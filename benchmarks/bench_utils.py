@@ -1,0 +1,9 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def save_and_print(table, output_dir, name):
+    """Persist a ResultTable as text+CSV and echo it to the terminal."""
+    table.save(str(output_dir / f"{name}.txt"), fmt="text")
+    table.save(str(output_dir / f"{name}.csv"), fmt="csv")
+    print()
+    print(table.to_text())

@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper artifact (table or figure series),
+prints it, saves it under ``benchmarks/output/`` and asserts the paper's
+qualitative claims about it.  By default the experiments run at a
+scaled-down size finishing in minutes; set ``REPRO_FULL=1`` to use the
+paper's exact parameters.
+"""
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR

@@ -1,0 +1,67 @@
+"""Availability under replica crashes: probabilistic vs strict quorums.
+
+Section 4's availability story, made concrete.  We crash a growing number
+of replica servers and attempt reads/writes through (a) the probabilistic
+system with k = √n and client-side retry (fresh random quorums route
+around dead replicas, so the system survives up to n−k crashes) and (b) a
+strict grid system, whose quorums are fixed row+column sets — crashing
+one server per row kills every quorum after only √n crashes.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import GridQuorumSystem, ProbabilisticQuorumSystem
+from repro.registers import RegisterDeployment
+from repro.sim.coroutines import spawn
+from repro.sim.delays import ConstantDelay
+
+
+def attempt_round_trip(deployment: RegisterDeployment, deadline: float) -> bool:
+    """Write then read through client 0; True if both finish by deadline."""
+
+    def round_trip():
+        yield deployment.handle(0, "X").write("payload")
+        value = yield deployment.handle(0, "X").read()
+        return value
+
+    future = spawn(deployment.scheduler, round_trip(), label="round-trip")
+    deployment.run(until=deployment.scheduler.now + deadline)
+    return future.done and not future.failed
+
+
+def main() -> None:
+    n = 16
+    print(f"{'crashed':>8}  {'probabilistic k=4':>18}  {'strict grid 4x4':>16}")
+    for crashes in (0, 2, 4, 8, 13):
+        outcomes = []
+        for system in (
+            ProbabilisticQuorumSystem(n, 4),
+            GridQuorumSystem(4, 4),
+        ):
+            deployment = RegisterDeployment(
+                system,
+                num_clients=1,
+                delay_model=ConstantDelay(1.0),
+                seed=17,
+                retry_interval=3.0,    # re-sample a fresh quorum when stalled
+            )
+            deployment.space.declare("X", writer=0, initial_value=None)
+            # Crash one server per grid row first — the grid's worst case.
+            for index in range(crashes):
+                deployment.crash_server((index % 4) * 4 + index // 4)
+            outcomes.append(attempt_round_trip(deployment, deadline=600.0))
+        print(
+            f"{crashes:>8}  "
+            f"{'ok' if outcomes[0] else 'STUCK':>18}  "
+            f"{'ok' if outcomes[1] else 'STUCK':>16}"
+        )
+    print(
+        "\nThe grid dies once each row has a crash (4 crashes); the\n"
+        "probabilistic system keeps answering until fewer than k=4 of the\n"
+        "16 replicas are alive (13 crashes) — the availability gap of\n"
+        "Section 4."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Closed-form results from the paper: Theorem 1's survival bound, the
+monotone parameter q of Theorem 4, the convergence bounds of Theorem 5 and
+Corollaries 6-7, the Naor-Wool load bound, and the message-complexity
+equations of Section 6.4.
+"""
+
+from repro.analysis.theory import (
+    corollary6_rounds_bound,
+    corollary7_rounds_per_pseudocycle_bound,
+    expected_rounds_upper_bound,
+    geometric_pmf_bound,
+    naor_wool_load_lower_bound,
+    non_intersection_probability,
+    non_intersection_upper_bound,
+    q_exact,
+    q_lower_bound,
+    theorem1_survival_bound,
+)
+from repro.analysis.messages import (
+    high_availability_comparison,
+    messages_per_pseudocycle_probabilistic,
+    messages_per_pseudocycle_strict,
+    messages_per_round,
+    optimal_load_comparison,
+)
+
+__all__ = [
+    "corollary6_rounds_bound",
+    "corollary7_rounds_per_pseudocycle_bound",
+    "expected_rounds_upper_bound",
+    "geometric_pmf_bound",
+    "high_availability_comparison",
+    "messages_per_pseudocycle_probabilistic",
+    "messages_per_pseudocycle_strict",
+    "messages_per_round",
+    "naor_wool_load_lower_bound",
+    "non_intersection_probability",
+    "non_intersection_upper_bound",
+    "optimal_load_comparison",
+    "q_exact",
+    "q_lower_bound",
+    "theorem1_survival_bound",
+]

@@ -1,0 +1,100 @@
+"""Operation-latency analysis from register histories.
+
+A quorum operation completes when its *slowest* quorum member has been
+heard from, so operation latency is the maximum of k round-trip samples —
+it grows with the quorum size even though load shrinks.  This is the
+latency side of the paper's load story, extracted post-hoc from the
+recorded histories (no instrumentation in the protocol code).
+"""
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.history import RegisterHistory
+
+
+def operation_latencies(
+    history: RegisterHistory,
+) -> Tuple[List[float], List[float]]:
+    """(read latencies, write latencies) of all completed operations."""
+    reads = [
+        r.response_time - r.invoke_time
+        for r in history.reads
+        if not r.pending
+    ]
+    writes = [
+        w.response_time - w.invoke_time
+        for w in history.writes
+        if w.response_time is not None and w is not history.initial_write
+    ]
+    return reads, writes
+
+
+def merged_latencies(
+    histories: Iterable[RegisterHistory],
+) -> Tuple[List[float], List[float]]:
+    """Latencies pooled across several registers."""
+    all_reads: List[float] = []
+    all_writes: List[float] = []
+    for history in histories:
+        reads, writes = operation_latencies(history)
+        all_reads.extend(reads)
+        all_writes.extend(writes)
+    return all_reads, all_writes
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The q-th percentile (0 < q <= 100) by linear interpolation."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    value = ordered[low] * (1.0 - weight) + ordered[high] * weight
+    # Interpolation of equal endpoints can drift one ulp outside the
+    # sample range; clamp so the result is always a plausible latency.
+    return min(max(value, ordered[0]), ordered[-1])
+
+
+def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
+    """mean / p50 / p95 / p99 / max of a latency sample set."""
+    if not samples:
+        raise ValueError("no samples")
+    return {
+        "count": float(len(samples)),
+        "mean": sum(samples) / len(samples),
+        "p50": percentile(samples, 50),
+        "p95": percentile(samples, 95),
+        "p99": percentile(samples, 99),
+        "max": max(samples),
+    }
+
+
+def expected_read_latency_synchronous(delay: float) -> float:
+    """With constant delays a quorum read is exactly one round trip."""
+    if delay <= 0:
+        raise ValueError(f"delay must be positive, got {delay}")
+    return 2.0 * delay
+
+
+def expected_max_of_exponentials(mean: float, k: int) -> float:
+    """E[max of k i.i.d. Exp(mean)] = mean · H_k (the harmonic number).
+
+    The expected *one-way* worst leg of a k-member quorum access under
+    the paper's asynchronous delay model; a full operation is the sum of
+    two such phases (queries out, replies back) bounded below by the max
+    over k of the two-leg sums.
+    """
+    if mean <= 0:
+        raise ValueError(f"mean must be positive, got {mean}")
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    return mean * sum(1.0 / i for i in range(1, k + 1))

@@ -1,0 +1,89 @@
+"""Message-complexity formulas of Section 6.4.
+
+Inspecting Alg. 1: per round each of the p processes reads all m registers
+(2k messages per read) and the m registers are each written once (2k
+messages per write), so a round costs 2pmk + 2mk = 2m(p+1)k messages.
+
+Eqn 1:  M_prob(k) = 2 c_n m (p+1) k   (c_n = expected rounds/pseudocycle)
+Eqn 2:  M_str(k)  = 2 m (p+1) k        (strict: 1 round per pseudocycle)
+
+The two regime comparisons of Section 6.4 are implemented as functions
+returning the rows the paper's prose walks through: in the
+high-availability regime probabilistic quorums win asymptotically (k = √n
+vs k = n/2); in the optimal-load regime they tie with grid/FPP strict
+systems but keep Θ(n) availability.
+"""
+
+import math
+from typing import Dict
+
+from repro.analysis.theory import corollary7_rounds_per_pseudocycle_bound
+
+
+def messages_per_round(p: int, m: int, k: int) -> int:
+    """Total messages per round of Alg. 1: 2pmk + 2mk."""
+    if min(p, m, k) < 1:
+        raise ValueError(f"p, m, k must all be >= 1, got {p}, {m}, {k}")
+    return 2 * p * m * k + 2 * m * k
+
+
+def messages_per_pseudocycle_strict(k: int, m: int, p: int) -> int:
+    """Eqn 2: M_str(k) = 2m(p+1)k — one round per pseudocycle."""
+    return messages_per_round(p, m, k)
+
+
+def messages_per_pseudocycle_probabilistic(
+    k: int, m: int, p: int, n: int
+) -> float:
+    """Eqn 1: M_prob(k) = 2 c_n m (p+1) k, with c_n the Corollary 7 bound."""
+    c_n = corollary7_rounds_per_pseudocycle_bound(n, k)
+    return c_n * messages_per_round(p, m, k)
+
+
+def high_availability_comparison(n: int, m: int, p: int) -> Dict[str, float]:
+    """Section 6.4, first regime: both systems at Ω(n) availability.
+
+    Probabilistic takes k = ⌈√n⌉ (availability n - k + 1 = Θ(n)); a strict
+    system needs k = ⌊n/2⌋ + 1 (majority).  Returns the per-pseudocycle
+    message counts (Eqn 3 vs the majority row) and their ratio — which the
+    paper shows grows as Θ(√n).
+    """
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    k_prob = max(1, math.ceil(math.sqrt(n)))
+    k_major = n // 2 + 1
+    prob = messages_per_pseudocycle_probabilistic(k_prob, m, p, n)
+    strict = messages_per_pseudocycle_strict(k_major, m, p)
+    return {
+        "n": n,
+        "k_probabilistic": k_prob,
+        "k_majority": k_major,
+        "M_prob": prob,
+        "M_str_majority": strict,
+        "strict_over_prob": strict / prob,
+        "c_n": corollary7_rounds_per_pseudocycle_bound(n, k_prob),
+    }
+
+
+def optimal_load_comparison(n: int, m: int, p: int) -> Dict[str, float]:
+    """Section 6.4, second regime: both systems at optimal Θ(1/√n) load.
+
+    Both take k = Θ(√n); message complexities match up to the constant
+    c_n ∈ (1, 2), but the strict system's availability collapses to O(√n)
+    while the probabilistic system keeps Θ(n).
+    """
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    k = max(1, math.ceil(math.sqrt(n)))
+    prob = messages_per_pseudocycle_probabilistic(k, m, p, n)
+    strict = messages_per_pseudocycle_strict(k, m, p)
+    return {
+        "n": n,
+        "k": k,
+        "M_prob": prob,
+        "M_str_optimal_load": strict,
+        "prob_over_strict": prob / strict,
+        "availability_probabilistic": n - k + 1,
+        "availability_strict_grid": max(1, math.isqrt(n)),
+        "c_n": corollary7_rounds_per_pseudocycle_bound(n, k),
+    }

@@ -1,0 +1,53 @@
+"""ACO applications.
+
+The concrete asynchronously contracting operators the paper's framework
+covers (Section 5 names shortest paths, constraint satisfaction and
+transitive closure; Bertsekas-Tsitsiklis add linear systems):
+
+* :class:`ApspACO` — all-pairs shortest paths, the paper's Section 7
+  application (process i owns row i of the distance matrix).
+* :class:`SsspACO` — single-source shortest paths (asynchronous
+  Bellman-Ford).
+* :class:`TransitiveClosureACO` — reachability by row-set doubling.
+* :class:`ArcConsistencyACO` — constraint-satisfaction domain filtering.
+* :class:`JacobiACO` — Jacobi iteration for strictly diagonally dominant
+  linear systems (chaotic relaxation, Chazan-Miranker).
+
+Plus the directed weighted graph type and generators in
+:mod:`repro.apps.graphs`.
+"""
+
+from repro.apps.graphs import (
+    Graph,
+    chain_graph,
+    complete_graph,
+    grid_graph,
+    random_graph,
+    ring_graph,
+)
+from repro.apps.apsp import ApspACO
+from repro.apps.sssp import SsspACO
+from repro.apps.transitive_closure import TransitiveClosureACO
+from repro.apps.constraint import ArcConsistencyACO, ConstraintProblem
+from repro.apps.linear import JacobiACO
+from repro.apps.agreement import ApproximateAgreementACO
+from repro.apps.mdp import MarkovDecisionProcess, ValueIterationACO, gridworld
+
+__all__ = [
+    "ApproximateAgreementACO",
+    "ApspACO",
+    "MarkovDecisionProcess",
+    "ValueIterationACO",
+    "gridworld",
+    "ArcConsistencyACO",
+    "ConstraintProblem",
+    "Graph",
+    "JacobiACO",
+    "SsspACO",
+    "TransitiveClosureACO",
+    "chain_graph",
+    "complete_graph",
+    "grid_graph",
+    "random_graph",
+    "ring_graph",
+]

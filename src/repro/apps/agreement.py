@@ -1,0 +1,79 @@
+"""Approximate agreement over random registers.
+
+Section 8 of the paper: "We consider the approximate agreement problem to
+be a good application for such a new model."  Each process holds a real
+value; processes repeatedly read everyone's value and move to the
+midpoint of the observed range.  The observed range at least halves per
+pseudocycle, so values converge to within any ε.
+
+Unlike the other applications the limit value is *trajectory-dependent*
+(any point in the initial range is a legal outcome), so this is not an
+ACO in the strict [C1]-[C3] sense — there is no single predetermined
+fixed point.  We therefore publish, alongside each process's value, the
+spread it last observed, and declare a component converged when that
+spread is at most ε.  When every process's last observed spread is ≤ ε,
+all published values provably lie within 3ε of each other (each value is
+inside its publisher's observed interval of width ≤ ε, and the intervals
+pairwise intersect the true range).
+"""
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.iterative.aco import ACO
+
+# A component value: (current estimate, spread last observed).
+Estimate = Tuple[float, float]
+
+
+class ApproximateAgreementACO(ACO):
+    """Midpoint iteration for approximate agreement on reals."""
+
+    def __init__(self, initial_values: List[float], epsilon: float = 1e-3) -> None:
+        if not initial_values:
+            raise ValueError("need at least one process value")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.initial_values = [float(v) for v in initial_values]
+        self.epsilon = epsilon
+        self.initial_range = max(self.initial_values) - min(self.initial_values)
+
+    @property
+    def m(self) -> int:
+        return len(self.initial_values)
+
+    def initial(self) -> List[Estimate]:
+        return [(v, self.initial_range) for v in self.initial_values]
+
+    def apply(self, i: int, x: List[Estimate]) -> Estimate:
+        values = [pair[0] for pair in x]
+        low, high = min(values), max(values)
+        return ((low + high) / 2.0, high - low)
+
+    def fixed_point(self) -> List[Estimate]:
+        """No predetermined fixed point exists; any agreed value is legal."""
+        raise NotImplementedError(
+            "approximate agreement has a trajectory-dependent limit; "
+            "convergence is spread-based (component_converged)"
+        )
+
+    def component_converged(self, i: int, value: Estimate) -> bool:
+        _, spread = value
+        return spread <= self.epsilon
+
+    def contraction_depth(self) -> Optional[int]:
+        """Pseudocycles to halve the initial range down to ε."""
+        if self.initial_range <= self.epsilon:
+            return 1
+        return max(1, math.ceil(math.log2(self.initial_range / self.epsilon)))
+
+    def agreement_spread(self, x: List[Estimate]) -> float:
+        """The actual spread of the current estimates."""
+        values = [pair[0] for pair in x]
+        return max(values) - min(values)
+
+    def __repr__(self) -> str:
+        return (
+            f"ApproximateAgreementACO(m={self.m}, eps={self.epsilon}, "
+            f"range={self.initial_range})"
+        )

@@ -1,0 +1,109 @@
+"""Constraint satisfaction: arc-consistency filtering as an ACO.
+
+A binary constraint network has m variables with finite domains and a set
+of binary constraints.  One component per variable: its current domain.
+The operator removes values with no support:
+
+    F_i(x) = { v in x[i] : for every constraint (i, j),
+                            some u in x[j] satisfies allowed(i, j, v, u) }
+
+Domains only shrink and are bounded below by the arc-consistent fixpoint,
+so the iteration is an ACO (the paper lists constraint satisfaction among
+the framework's applications).  Ground truth comes from a standard AC-3.
+"""
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Hashable, List, Set, Tuple
+
+from repro.iterative.aco import ACO
+
+Domain = FrozenSet[Hashable]
+Predicate = Callable[[Hashable, Hashable], bool]
+
+
+class ConstraintProblem:
+    """A binary constraint network."""
+
+    def __init__(self, domains: List[Set[Hashable]]) -> None:
+        if not domains:
+            raise ValueError("need at least one variable")
+        self.domains: List[Domain] = [frozenset(d) for d in domains]
+        # Directed constraint arcs: (i, j) -> predicate(v_i, v_j).
+        self._constraints: Dict[Tuple[int, int], Predicate] = {}
+
+    @property
+    def num_variables(self) -> int:
+        """Number of variables."""
+        return len(self.domains)
+
+    def add_constraint(self, i: int, j: int, predicate: Predicate) -> None:
+        """Constrain (x_i, x_j) by ``predicate``; registers both arcs."""
+        if i == j:
+            raise ValueError("binary constraints need two distinct variables")
+        for var in (i, j):
+            if not 0 <= var < self.num_variables:
+                raise ValueError(f"variable {var} out of range")
+        self._constraints[(i, j)] = predicate
+        self._constraints[(j, i)] = lambda u, v: predicate(v, u)
+
+    def arcs_from(self, i: int) -> List[Tuple[int, Predicate]]:
+        """All arcs (i, j) with their predicates."""
+        return [
+            (j, pred) for (a, j), pred in self._constraints.items() if a == i
+        ]
+
+    def arcs(self) -> List[Tuple[int, int]]:
+        """All directed arcs (i, j)."""
+        return sorted(self._constraints)
+
+    def ac3(self) -> List[Domain]:
+        """Arc-consistent domains by the classical AC-3 algorithm."""
+        domains: List[Set[Hashable]] = [set(d) for d in self.domains]
+        queue = deque(self.arcs())
+        while queue:
+            i, j = queue.popleft()
+            predicate = self._constraints[(i, j)]
+            revised = False
+            for v in list(domains[i]):
+                if not any(predicate(v, u) for u in domains[j]):
+                    domains[i].discard(v)
+                    revised = True
+            if revised:
+                for (a, b) in self.arcs():
+                    if b == i and a != j:
+                        queue.append((a, b))
+        return [frozenset(d) for d in domains]
+
+
+class ArcConsistencyACO(ACO):
+    """Distributed arc-consistency: one process per variable (or block)."""
+
+    def __init__(self, problem: ConstraintProblem) -> None:
+        self.problem = problem
+        self._fixed_point = problem.ac3()
+
+    @property
+    def m(self) -> int:
+        return self.problem.num_variables
+
+    def initial(self) -> List[Domain]:
+        return list(self.problem.domains)
+
+    def apply(self, i: int, x: List[Domain]) -> Domain:
+        supported = []
+        for v in x[i]:
+            if all(
+                any(pred(v, u) for u in x[j])
+                for j, pred in self.problem.arcs_from(i)
+            ):
+                supported.append(v)
+        return frozenset(supported)
+
+    def fixed_point(self) -> List[Domain]:
+        return list(self._fixed_point)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArcConsistencyACO(vars={self.m}, "
+            f"arcs={len(self.problem.arcs())})"
+        )

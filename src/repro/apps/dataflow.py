@@ -1,0 +1,145 @@
+"""Dataflow analysis as an ACO: reaching definitions on a CFG.
+
+Compiler dataflow analyses are lattice fixpoint computations — the same
+shape as the paper's transitive closure and constraint satisfaction
+examples.  Here the classic *reaching definitions* analysis:
+
+    IN(b)  = union over predecessors p of OUT(p)
+    OUT(b) = GEN(b) ∪ (IN(b) − KILL(b))
+
+One component per basic block (its OUT set).  OUT sets only grow and are
+bounded by the finite universe of definitions, so the iteration is an
+ACO in the superset ordering; a distributed compiler could partition the
+CFG among processes and converge through stale reads, exactly per
+Theorem 3.  Ground truth comes from the standard worklist algorithm.
+"""
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.iterative.aco import ACO
+
+Definitions = FrozenSet[str]
+
+
+class ControlFlowGraph:
+    """A CFG whose blocks carry GEN/KILL sets of definition names."""
+
+    def __init__(self, num_blocks: int) -> None:
+        if num_blocks < 1:
+            raise ValueError(f"need at least one block, got {num_blocks}")
+        self.n = num_blocks
+        self._successors: List[Set[int]] = [set() for _ in range(num_blocks)]
+        self._predecessors: List[Set[int]] = [set() for _ in range(num_blocks)]
+        self.gen: List[Set[str]] = [set() for _ in range(num_blocks)]
+        self.kill: List[Set[str]] = [set() for _ in range(num_blocks)]
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Add a control-flow edge."""
+        for block in (src, dst):
+            if not 0 <= block < self.n:
+                raise ValueError(f"block {block} out of range [0, {self.n})")
+        self._successors[src].add(dst)
+        self._predecessors[dst].add(src)
+
+    def define(self, block: int, name: str, kills: Iterable[str] = ()) -> None:
+        """Record that ``block`` generates definition ``name`` and kills
+        the definitions in ``kills`` (other definitions of the same
+        variable)."""
+        if not 0 <= block < self.n:
+            raise ValueError(f"block {block} out of range [0, {self.n})")
+        self.gen[block].add(name)
+        self.kill[block].update(kills)
+        self.kill[block].discard(name)
+
+    def predecessors(self, block: int) -> Set[int]:
+        """Predecessor blocks of ``block``."""
+        return set(self._predecessors[block])
+
+    def successors(self, block: int) -> Set[int]:
+        """Successor blocks of ``block``."""
+        return set(self._successors[block])
+
+    def transfer(self, block: int, incoming: Definitions) -> Definitions:
+        """The block's transfer function GEN ∪ (IN − KILL)."""
+        return frozenset(self.gen[block] | (set(incoming) - self.kill[block]))
+
+    def reaching_definitions(self) -> List[Definitions]:
+        """OUT sets by the classical worklist algorithm (ground truth)."""
+        out: List[Definitions] = [frozenset(self.gen[b]) for b in range(self.n)]
+        worklist = deque(range(self.n))
+        while worklist:
+            block = worklist.popleft()
+            incoming: Set[str] = set()
+            for pred in self._predecessors[block]:
+                incoming |= out[pred]
+            new_out = self.transfer(block, frozenset(incoming))
+            if new_out != out[block]:
+                out[block] = new_out
+                worklist.extend(self._successors[block])
+        return out
+
+
+class ReachingDefinitionsACO(ACO):
+    """Block-partitioned reaching definitions."""
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self.cfg = cfg
+        self._fixed_point = cfg.reaching_definitions()
+
+    @property
+    def m(self) -> int:
+        return self.cfg.n
+
+    def initial(self) -> List[Definitions]:
+        return [frozenset(self.cfg.gen[b]) for b in range(self.cfg.n)]
+
+    def apply(self, i: int, x: List[Definitions]) -> Definitions:
+        incoming: Set[str] = set()
+        for pred in self.cfg.predecessors(i):
+            incoming |= x[pred]
+        # Union with the current OUT keeps the operator monotone under
+        # stale reads (OUT sets may only grow toward the fixed point).
+        return frozenset(x[i] | self.cfg.transfer(i, frozenset(incoming)))
+
+    def fixed_point(self) -> List[Definitions]:
+        return list(self._fixed_point)
+
+    def __repr__(self) -> str:
+        return f"ReachingDefinitionsACO(blocks={self.m})"
+
+
+def diamond_cfg() -> ControlFlowGraph:
+    """The textbook diamond: entry -> {then, else} -> join, with the
+    branches redefining the same variable."""
+    cfg = ControlFlowGraph(4)
+    cfg.add_edge(0, 1)
+    cfg.add_edge(0, 2)
+    cfg.add_edge(1, 3)
+    cfg.add_edge(2, 3)
+    cfg.define(0, "x0", kills=["x1", "x2"])
+    cfg.define(1, "x1", kills=["x0", "x2"])
+    cfg.define(2, "x2", kills=["x0", "x1"])
+    cfg.define(3, "y0")
+    return cfg
+
+
+def loop_cfg(body_blocks: int = 3) -> ControlFlowGraph:
+    """entry -> header -> body chain -> back to header -> exit, each body
+    block defining its own variable generation."""
+    if body_blocks < 1:
+        raise ValueError(f"need at least one body block, got {body_blocks}")
+    n = body_blocks + 3  # entry, header, body..., exit
+    cfg = ControlFlowGraph(n)
+    entry, header, exit_block = 0, 1, n - 1
+    cfg.add_edge(entry, header)
+    previous = header
+    for i in range(body_blocks):
+        block = 2 + i
+        cfg.add_edge(previous, block)
+        cfg.define(block, f"v{i}")
+        previous = block
+    cfg.add_edge(previous, header)   # loop back edge
+    cfg.add_edge(header, exit_block)
+    cfg.define(entry, "init")
+    return cfg

@@ -1,0 +1,67 @@
+"""Single-source shortest paths (asynchronous Bellman-Ford) as an ACO.
+
+One scalar component per vertex: the current distance estimate from the
+source.  F pins the source at 0 and relaxes every other vertex over its
+in-edges:
+
+    F_i(x) = min over predecessors j of ( x[j] + w(j, i) ),   F_src = 0.
+
+Estimates start at infinity, only ever decrease, and never pass below the
+true distances, so the iteration is an ACO; convergence needs at most
+(height of the shortest-path tree) pseudocycles.
+"""
+
+import math
+from typing import List, Optional
+
+from repro.apps.graphs import Graph
+from repro.iterative.aco import ACO
+
+
+class SsspACO(ACO):
+    """Per-vertex single-source shortest path distances."""
+
+    def __init__(self, graph: Graph, source: int = 0) -> None:
+        if not 0 <= source < graph.n:
+            raise ValueError(f"source {source} out of range [0, {graph.n})")
+        self.graph = graph
+        self.source = source
+        self._fixed_point = graph.dijkstra(source)
+
+    @property
+    def m(self) -> int:
+        return self.graph.n
+
+    def initial(self) -> List[float]:
+        values = [math.inf] * self.graph.n
+        values[self.source] = 0.0
+        return values
+
+    def apply(self, i: int, x: List[float]) -> float:
+        if i == self.source:
+            return 0.0
+        best = x[i]
+        for j, w in self.graph.predecessors(i).items():
+            candidate = x[j] + w
+            if candidate < best:
+                best = candidate
+        return best
+
+    def fixed_point(self) -> List[float]:
+        return list(self._fixed_point)
+
+    def component_converged(self, i: int, value: float) -> bool:
+        # Relaxation sums associate differently than Dijkstra's, so float
+        # weights need a tolerance; math.isclose(inf, inf) is True.
+        return math.isclose(
+            value, self._fixed_point[i], rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    def contraction_depth(self) -> Optional[int]:
+        """The shortest-path tree height: max hops of any reached vertex."""
+        hops = self.graph.bfs_hops(self.source)
+        finite = [int(h) for h in hops if h < math.inf]
+        return max(finite) if finite else None
+
+    def __repr__(self) -> str:
+        return f"SsspACO(n={self.graph.n}, source={self.source})"

@@ -1,0 +1,216 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro.cli figure2 [--full] [--output DIR]
+    python -m repro.cli survival | freshness | messages | load | ablations
+    python -m repro.cli pseudocycles | fault | latency | tuning | churn
+    python -m repro.cli all [--full] [--output DIR]
+
+Each subcommand prints the reproduced table(s) and, with ``--output``,
+also writes text and CSV copies.
+"""
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.ablations import (
+    AblationConfig,
+    delay_ablation,
+    monotone_ablation,
+    topology_ablation,
+)
+from repro.experiments.figure2 import Figure2Config, figure2_table, run_figure2
+from repro.experiments.freshness import FreshnessConfig, freshness_table
+from repro.experiments.load_availability import (
+    LoadAvailabilityConfig,
+    load_availability_experiment,
+    tradeoff_sweep,
+)
+from repro.experiments.message_complexity import (
+    MessageComplexityConfig,
+    analytic_tables,
+    measured_table,
+)
+from repro.experiments.churn import ChurnConfig, churn_table
+from repro.experiments.fault_tolerance import (
+    FaultToleranceConfig,
+    fault_tolerance_table,
+)
+from repro.experiments.latency import LatencyConfig, latency_table
+from repro.experiments.pseudocycles import (
+    PseudocycleConfig,
+    pseudocycle_table,
+)
+from repro.experiments.quorum_tuning import TuningConfig, tuning_table
+from repro.experiments.results import ResultTable
+from repro.experiments.survival import SurvivalConfig, survival_table
+
+
+def _emit(tables: List[ResultTable], output: Optional[str], stem: str) -> None:
+    for index, table in enumerate(tables):
+        print(table.to_text())
+        print()
+        if output:
+            suffix = f"_{index}" if len(tables) > 1 else ""
+            base = os.path.join(output, f"{stem}{suffix}")
+            table.save(base + ".txt", fmt="text")
+            table.save(base + ".csv", fmt="csv")
+
+
+def _cmd_figure2(full: bool, output: Optional[str]) -> None:
+    config = Figure2Config() if full else Figure2Config.scaled_down()
+    points = run_figure2(config)
+    _emit([figure2_table(config, points)], output, "figure2")
+
+
+def _cmd_survival(full: bool, output: Optional[str]) -> None:
+    config = (
+        SurvivalConfig(num_servers=34, quorum_size=6, max_lag=15,
+                       trials=100_000)
+        if full
+        else SurvivalConfig.scaled_down()
+    )
+    _emit([survival_table(config)], output, "survival")
+
+
+def _cmd_freshness(full: bool, output: Optional[str]) -> None:
+    config = (
+        FreshnessConfig(num_servers=34, quorum_size=4, trials=100_000)
+        if full
+        else FreshnessConfig.scaled_down()
+    )
+    _emit([freshness_table(config)], output, "freshness")
+
+
+def _cmd_messages(full: bool, output: Optional[str]) -> None:
+    n_values = [16, 64, 256, 1024] if full else [16, 64, 256]
+    tables = analytic_tables(n_values, m=34, p=34)
+    config = (
+        MessageComplexityConfig()
+        if full
+        else MessageComplexityConfig.scaled_down()
+    )
+    tables.append(measured_table(config))
+    _emit(tables, output, "messages")
+
+
+def _cmd_load(full: bool, output: Optional[str]) -> None:
+    config = (
+        LoadAvailabilityConfig(num_servers=63, trials=20_000)
+        if full
+        else LoadAvailabilityConfig()
+    )
+    tables = [load_availability_experiment(config)]
+    tables.append(tradeoff_sweep([16, 36, 64, 144] if full else [16, 36, 64]))
+    _emit(tables, output, "load_availability")
+
+
+def _cmd_ablations(full: bool, output: Optional[str]) -> None:
+    config = (
+        AblationConfig(num_vertices=34, num_servers=34, runs=5)
+        if full
+        else AblationConfig.scaled_down()
+    )
+    _emit(
+        [
+            monotone_ablation(config),
+            delay_ablation(config),
+            topology_ablation(config),
+        ],
+        output,
+        "ablations",
+    )
+
+
+def _cmd_pseudocycles(full: bool, output: Optional[str]) -> None:
+    config = (
+        PseudocycleConfig(num_vertices=34, num_servers=34,
+                          quorum_sizes=(1, 2, 3, 4, 6, 8, 12), runs=5)
+        if full
+        else PseudocycleConfig.scaled_down()
+    )
+    _emit([pseudocycle_table(config)], output, "pseudocycles")
+
+
+def _cmd_fault(full: bool, output: Optional[str]) -> None:
+    config = (
+        FaultToleranceConfig(num_vertices=16, num_servers=16,
+                             crash_counts=(0, 2, 4, 8, 11))
+        if full
+        else FaultToleranceConfig.scaled_down()
+    )
+    _emit([fault_tolerance_table(config)], output, "fault_tolerance")
+
+
+def _cmd_latency(full: bool, output: Optional[str]) -> None:
+    config = LatencyConfig() if full else LatencyConfig.scaled_down()
+    _emit([latency_table(config)], output, "latency")
+
+
+def _cmd_tuning(full: bool, output: Optional[str]) -> None:
+    config = (
+        TuningConfig(num_vertices=34, num_servers=64, runs=5)
+        if full
+        else TuningConfig.scaled_down()
+    )
+    _emit([tuning_table(config)], output, "quorum_tuning")
+
+
+def _cmd_churn(full: bool, output: Optional[str]) -> None:
+    config = ChurnConfig() if full else ChurnConfig.scaled_down()
+    _emit([churn_table(config)], output, "churn")
+
+
+COMMANDS: Dict[str, Callable[[bool, Optional[str]], None]] = {
+    "figure2": _cmd_figure2,
+    "survival": _cmd_survival,
+    "freshness": _cmd_freshness,
+    "messages": _cmd_messages,
+    "load": _cmd_load,
+    "ablations": _cmd_ablations,
+    "pseudocycles": _cmd_pseudocycles,
+    "fault": _cmd_fault,
+    "latency": _cmd_latency,
+    "tuning": _cmd_tuning,
+    "churn": _cmd_churn,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's full parameters (slow)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        help="also save text and CSV copies into DIR",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.output:
+        os.makedirs(args.output, exist_ok=True)
+    names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        COMMANDS[name](args.full, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Core register model: histories, the reads-from relation, and the
+executable random-register specification ([R1]-[R5] of the paper).
+
+The types here are implementation-independent, exactly as Section 3 of the
+paper demands: any register implementation (message-passing or otherwise)
+can record its operations into a :class:`~repro.core.history.RegisterHistory`
+and have the specification conditions checked against it.
+"""
+
+from repro.core.timestamps import Timestamp
+from repro.core.history import (
+    HistoryError,
+    OperationRecord,
+    ReadRecord,
+    RegisterHistory,
+    WriteRecord,
+)
+from repro.core.spec import (
+    SpecViolation,
+    check_r1_every_invocation_responded,
+    check_r2_reads_from_some_write,
+    check_r4_monotone_reads,
+    estimate_r5_geometric_parameter,
+    freshness_wait_samples,
+    staleness_distribution,
+    write_survival_counts,
+)
+from repro.core.register import AbstractRegister
+from repro.core.atomicity import atomicity_violations, check_atomic, is_atomic
+
+__all__ = [
+    "AbstractRegister",
+    "HistoryError",
+    "OperationRecord",
+    "ReadRecord",
+    "RegisterHistory",
+    "SpecViolation",
+    "Timestamp",
+    "WriteRecord",
+    "atomicity_violations",
+    "check_atomic",
+    "check_r1_every_invocation_responded",
+    "check_r2_reads_from_some_write",
+    "check_r4_monotone_reads",
+    "estimate_r5_geometric_parameter",
+    "freshness_wait_samples",
+    "is_atomic",
+    "staleness_distribution",
+    "write_survival_counts",
+]

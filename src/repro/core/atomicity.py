@@ -1,0 +1,114 @@
+"""Atomicity (linearizability) checking for register histories.
+
+Section 8 of the paper asks how *stronger* registers (multi-writer,
+atomic) relate to random registers.  We implement the classical stronger
+baselines (see :mod:`repro.registers.atomic`), and this module provides
+the checker that certifies them: a register history with unique write
+timestamps is atomic iff
+
+  [L1] timestamp order refines the real-time order of writes:
+       if W1 responds before W2 is invoked then ts(W1) < ts(W2);
+  [L2] a read never returns a value from the future: the write it reads
+       from is invoked before the read responds (this is [R2]);
+  [L3] a read never returns an overwritten value: no write with a larger
+       timestamp completed before the read was invoked;
+  [L4] reads are globally monotone: if read R1 responds before read R2 is
+       invoked (any two processes), then ts(R1) <= ts(R2).
+
+These are Lamport's atomicity conditions specialised to histories whose
+writes carry unique totally ordered timestamps (as all implementations in
+this library do), where they are necessary *and* sufficient: linearise
+writes by timestamp and insert each read after the write it returns,
+ordering reads of the same write by invocation time.
+"""
+
+from typing import List
+
+from repro.core.history import RegisterHistory
+from repro.core.spec import SpecViolation
+
+
+def check_atomic(history: RegisterHistory) -> None:
+    """Raise :class:`SpecViolation` unless the history is atomic.
+
+    Pending operations are ignored (they may be linearised anywhere), so
+    the check is on the completed sub-history.
+    """
+    writes = [
+        w for w in history.writes if w.response_time is not None
+    ]
+    writes.sort(key=lambda w: w.timestamp)
+    # [L1] timestamp order refines write real-time order.
+    for earlier, later in zip(writes, writes[1:]):
+        # earlier/later are in timestamp order; a real-time inversion means
+        # the later-timestamped write finished before the earlier started.
+        if later.response_time < earlier.invoke_time:
+            raise SpecViolation(
+                f"[L1] atomicity violated on {history.name}: write "
+                f"ts={later.timestamp.seq} completed at {later.response_time} "
+                f"before write ts={earlier.timestamp.seq} began at "
+                f"{earlier.invoke_time}"
+            )
+
+    reads = [r for r in history.reads if not r.pending and r.timestamp is not None]
+    for read in reads:
+        source = history.write_for_timestamp(read.timestamp)
+        # [L2] the value must come from a write begun before the read ends.
+        if source is None or source.invoke_time >= read.response_time:
+            raise SpecViolation(
+                f"[L2] atomicity violated on {history.name}: {read!r} "
+                "returned a value not yet written"
+            )
+        # [L3] no newer write completed before the read began.
+        for write in writes:
+            if (
+                write.timestamp > read.timestamp
+                and write.response_time is not None
+                and write.response_time < read.invoke_time
+            ):
+                raise SpecViolation(
+                    f"[L3] atomicity violated on {history.name}: {read!r} "
+                    f"returned ts={read.timestamp.seq} although write "
+                    f"ts={write.timestamp.seq} completed at "
+                    f"{write.response_time}, before the read began at "
+                    f"{read.invoke_time}"
+                )
+
+    # [L4] global read monotonicity over non-overlapping reads.
+    ordered = sorted(reads, key=lambda r: (r.invoke_time, r.op_id))
+    for i, first in enumerate(ordered):
+        for second in ordered[i + 1:]:
+            if second.invoke_time < first.response_time:
+                continue  # overlapping reads may be linearised either way
+            if second.timestamp < first.timestamp:
+                raise SpecViolation(
+                    f"[L4] atomicity violated on {history.name}: read "
+                    f"{second!r} (after {first!r}) went back in time from "
+                    f"ts={first.timestamp.seq} to ts={second.timestamp.seq}"
+                )
+
+
+def is_atomic(history: RegisterHistory) -> bool:
+    """Boolean form of :func:`check_atomic`."""
+    try:
+        check_atomic(history)
+    except SpecViolation:
+        return False
+    return True
+
+
+def atomicity_violations(history: RegisterHistory) -> List[str]:
+    """All violated conditions, by label — for diagnostics and tests.
+
+    Runs each condition family independently instead of stopping at the
+    first failure.
+    """
+    labels: List[str] = []
+    try:
+        check_atomic(history)
+    except SpecViolation as exc:
+        message = str(exc)
+        for label in ("[L1]", "[L2]", "[L3]", "[L4]"):
+            if label in message:
+                labels.append(label)
+    return labels

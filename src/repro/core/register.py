@@ -1,0 +1,29 @@
+"""Abstract register interface.
+
+Every register client implementation in :mod:`repro.registers` exposes this
+interface: asynchronous ``read`` and ``write`` returning futures that settle
+when the operation's response arrives, per the invocation/response model of
+Section 3.  The history recorder is shared so the spec checkers in
+:mod:`repro.core.spec` can audit any implementation.
+"""
+
+from typing import Any
+
+from repro.core.history import RegisterHistory
+from repro.sim.futures import Future
+
+
+class AbstractRegister:
+    """A multi-reader single-writer shared register (client-side handle)."""
+
+    def __init__(self, name: str, history: RegisterHistory) -> None:
+        self.name = name
+        self.history = history
+
+    def read(self) -> Future:
+        """Invoke a read; the returned future resolves with the value."""
+        raise NotImplementedError
+
+    def write(self, value: Any) -> Future:
+        """Invoke a write; the returned future resolves on the Ack."""
+        raise NotImplementedError

@@ -1,0 +1,245 @@
+"""Executable checkers for the random-register specification.
+
+The paper defines a *random register* by conditions [R1]-[R3] and a
+*monotone* random register by the additional [R4]-[R5] (Sections 3 and 6.1):
+
+[R1] every operation invocation in every complete execution has a matching
+     response;
+[R2] every read reads from some write;
+[R3] for every write, the probability it is read from infinitely often is 0
+     (given infinitely many subsequent writes);
+[R4] a process's reads never regress: a later read does not read from an
+     earlier write than a previous read did;
+[R5] the number of reads Y by a process until it sees a given write (or a
+     later one) is stochastically dominated by a geometric distribution
+     with some parameter q.
+
+[R1], [R2] and [R4] are safety conditions checkable on any finite history.
+[R3] and [R5] are probabilistic; for them we provide estimators over
+(finite prefixes of) histories, which the statistical experiments E-THM1
+and E-THM4 compare against the paper's analytic bounds.
+"""
+
+import math
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.history import ReadRecord, RegisterHistory, WriteRecord
+
+
+class SpecViolation(AssertionError):
+    """Raised by a checker when a safety condition fails."""
+
+
+# --------------------------------------------------------------------- #
+# Safety conditions
+# --------------------------------------------------------------------- #
+
+
+def check_r1_every_invocation_responded(history: RegisterHistory) -> None:
+    """[R1]: in a complete execution every invocation has a response."""
+    for op in history.operations():
+        if op.pending:
+            raise SpecViolation(
+                f"[R1] violated on {history.name}: operation {op!r} never responded"
+            )
+
+
+def check_r2_reads_from_some_write(history: RegisterHistory) -> None:
+    """[R2]: every completed read reads from some write.
+
+    Checked against the paper's specification-level reads-from definition;
+    the virtual initial write counts, as in the paper's model where
+    registers start initialised.
+    """
+    for read in history.reads:
+        if read.pending:
+            continue
+        if history.reads_from_spec(read) is None:
+            raise SpecViolation(
+                f"[R2] violated on {history.name}: {read!r} returned a value "
+                "no write (begun before the read ended) ever wrote"
+            )
+
+
+def check_r4_monotone_reads(history: RegisterHistory) -> None:
+    """[R4]: per process, successive reads never read from older writes."""
+    processes = {read.process for read in history.reads}
+    for process in processes:
+        last_ts = None
+        for read in history.reads_by_process(process):
+            if read.pending or read.timestamp is None:
+                continue
+            if last_ts is not None and read.timestamp < last_ts:
+                raise SpecViolation(
+                    f"[R4] violated on {history.name}: process {process} read "
+                    f"ts={read.timestamp.seq} after having read ts={last_ts.seq}"
+                )
+            last_ts = read.timestamp
+    # No violation found.
+
+
+# --------------------------------------------------------------------- #
+# Probabilistic conditions: estimators
+# --------------------------------------------------------------------- #
+
+
+def staleness_distribution(history: RegisterHistory) -> Counter:
+    """Histogram of read staleness (how many completed writes each read missed).
+
+    A register satisfying [R3] should show staleness mass concentrated near 0
+    with a geometrically decaying tail; a broken implementation that pins an
+    old value shows unbounded staleness.
+    """
+    counts: Counter = Counter()
+    for read in history.reads:
+        staleness = history.staleness(read)
+        if staleness is not None:
+            counts[staleness] += 1
+    return counts
+
+
+def write_survival_counts(
+    history: RegisterHistory, max_ell: Optional[int] = None
+) -> Dict[int, Tuple[int, int]]:
+    """Empirical data for the Theorem 1 bound.
+
+    For each lag ``ell`` returns ``(survivals, trials)`` where a *trial* is a
+    (write W, read R) pair with exactly ``ell`` writes invoked between W and
+    R's response, and a *survival* means R still read from W (i.e. W's value
+    outlived ``ell`` subsequent writes for that reader).
+
+    Theorem 1's proof bounds the survival probability by k((n-k)/n)^ell.
+    """
+    writes = sorted(history.writes, key=lambda w: w.timestamp)
+    index_of = {w.timestamp: i for i, w in enumerate(writes)}
+    results: Dict[int, Tuple[int, int]] = {}
+    trials: Counter = Counter()
+    for read in history.reads:
+        if read.pending or read.timestamp is None:
+            continue
+        source = history.reads_from(read)
+        if source is None:
+            continue
+        source_idx = index_of[source.timestamp]
+        # Writes invoked after the source write and before the read responded:
+        # the read's lag. A read at lag `later` means the source value
+        # survived `later` intervening writes for this reader.
+        later = sum(
+            1
+            for w in writes[source_idx + 1:]
+            if w.invoke_time < read.response_time
+        )
+        if max_ell is not None and later > max_ell:
+            later = max_ell
+        trials[later] += 1
+    # For lag ell, survival means the read's lag was >= ell, so the per-lag
+    # survival count is the tail sum of the lag histogram.
+    max_seen = max(trials) if trials else 0
+    total_reads = sum(trials.values())
+    cumulative = 0
+    for ell in range(max_seen, -1, -1):
+        cumulative += trials[ell]
+        results[ell] = (cumulative, total_reads)
+    return results
+
+
+def freshness_wait_samples(history: RegisterHistory) -> List[int]:
+    """Samples of the random variable Y from [R5].
+
+    For each (write W, process i) pair, Y is the number of reads by i
+    issued after W completes until one returns W or a later write.  Only
+    pairs where the wait completed within the history are counted, so the
+    estimate is slightly optimistic for heavily truncated histories.
+    """
+    samples: List[int] = []
+    real_writes = [
+        w
+        for w in history.writes
+        if w.response_time is not None and w is not history.initial_write
+    ]
+    processes = sorted({r.process for r in history.reads})
+    for write in real_writes:
+        for process in processes:
+            later_reads = [
+                r
+                for r in history.reads_by_process(process)
+                if not r.pending and r.invoke_time >= write.response_time
+            ]
+            count = 0
+            for read in later_reads:
+                count += 1
+                if read.timestamp is not None and read.timestamp >= write.timestamp:
+                    samples.append(count)
+                    break
+    return samples
+
+
+def estimate_r5_geometric_parameter(samples: List[int]) -> float:
+    """Maximum-likelihood estimate of q from Y samples (q_hat = 1 / mean(Y)).
+
+    [R5] asserts Pr(Y = r) <= (1-q)^{r-1} q; if Y were exactly geometric the
+    MLE is 1/mean.  Since [R5] is an upper bound the empirical q_hat should
+    come out *at least* the analytic q of Theorem 4.
+    """
+    if not samples:
+        raise ValueError("cannot estimate q from zero samples")
+    mean = sum(samples) / len(samples)
+    return 1.0 / mean
+
+
+def geometric_tail_dominates(
+    samples: List[int], q: float, slack: float = 0.0
+) -> bool:
+    """Check the [R5] bound empirically: Pr(Y >= r) <= (1-q)^{r-1} (+ slack).
+
+    The geometric tail (1-q)^{r-1} follows from summing the [R5] bound.
+    ``slack`` absorbs sampling noise in statistical tests.
+    """
+    if not 0 < q <= 1:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    if not samples:
+        return True
+    n = len(samples)
+    max_r = max(samples)
+    for r in range(1, max_r + 1):
+        empirical_tail = sum(1 for y in samples if y >= r) / n
+        bound = (1.0 - q) ** (r - 1)
+        if empirical_tail > bound + slack:
+            return False
+    return True
+
+
+def expected_wait_upper_bound(q: float) -> float:
+    """E[Y] <= 1/q, the bound used in Theorem 5's proof."""
+    if not 0 < q <= 1:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    return 1.0 / q
+
+
+def staleness_tail_is_light(
+    distribution: Counter, ratio: float = 0.5, start: int = 1
+) -> bool:
+    """Heuristic [R3] check: the staleness histogram tail keeps decaying.
+
+    Verifies that the total mass at staleness >= s shrinks by at least
+    ``ratio`` per doubling of s — consistent with the geometric decay the
+    probabilistic quorum algorithm guarantees, and violated by an
+    implementation that keeps returning one stale value forever.
+    """
+    total = sum(distribution.values())
+    if total == 0:
+        return True
+    s = start
+    previous_tail = None
+    while s <= max(distribution):
+        tail = sum(c for st, c in distribution.items() if st >= s) / total
+        if previous_tail is not None and previous_tail > 0.05:
+            if tail > previous_tail * (1.0 + 1e-9) or (
+                previous_tail > 0.2 and tail > previous_tail * (1.0 - (1.0 - ratio) / 2)
+                and tail > math.sqrt(1.0 / total)
+            ):
+                return False
+        previous_tail = tail
+        s *= 2
+    return True

@@ -1,0 +1,46 @@
+"""Timestamps for register values.
+
+The probabilistic quorum algorithm associates a timestamp with each replica
+value; a read returns the value with the largest timestamp in its quorum.
+For the single-writer registers of the paper, the sequence number alone
+totally orders writes; the writer id is carried so that the representation
+extends to the multi-writer case discussed as future work in Section 8.
+"""
+
+import functools
+
+
+@functools.total_ordering
+class Timestamp:
+    """A (sequence, writer) pair, totally ordered lexicographically."""
+
+    __slots__ = ("seq", "writer")
+
+    ZERO: "Timestamp"
+
+    def __init__(self, seq: int, writer: int = 0) -> None:
+        self.seq = seq
+        self.writer = writer
+
+    def next(self, writer: int = None) -> "Timestamp":
+        """The successor timestamp, optionally rebound to another writer."""
+        return Timestamp(self.seq + 1, self.writer if writer is None else writer)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return (self.seq, self.writer) == (other.seq, other.writer)
+
+    def __lt__(self, other: "Timestamp") -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return (self.seq, self.writer) < (other.seq, other.writer)
+
+    def __hash__(self) -> int:
+        return hash((self.seq, self.writer))
+
+    def __repr__(self) -> str:
+        return f"Timestamp({self.seq}, w{self.writer})"
+
+
+Timestamp.ZERO = Timestamp(0, 0)

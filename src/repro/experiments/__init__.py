@@ -1,0 +1,24 @@
+"""Experiment harnesses: one module per paper artifact (see DESIGN.md §4).
+
+* :mod:`repro.experiments.figure2` — E-FIG2/E-COR7: quorum size vs rounds
+  to convergence, four variants plus the Corollary 7 bound.
+* :mod:`repro.experiments.survival` — E-THM1: write-survival probability
+  vs the Theorem 1 bound.
+* :mod:`repro.experiments.freshness` — E-THM4: the distribution of Y vs
+  the Geometric(q) bound of [R5].
+* :mod:`repro.experiments.message_complexity` — E-MSG: Eqns 1-3 regimes,
+  analytic and measured.
+* :mod:`repro.experiments.load_availability` — E-LOADAVAIL: Section 4's
+  load/availability trade-off table.
+* :mod:`repro.experiments.ablations` — E-ABL-*: monotone cache, delay
+  distribution and topology ablations.
+
+Each module exposes a config dataclass with paper-scale defaults, a
+``run_*`` function returning structured rows, and a formatter producing
+the table/series the paper reports.  ``REPRO_FULL=1`` in the environment
+switches benchmark invocations to full paper scale.
+"""
+
+from repro.experiments.results import ResultTable, full_scale
+
+__all__ = ["ResultTable", "full_scale"]

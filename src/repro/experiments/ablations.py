@@ -1,0 +1,149 @@
+"""E-ABL-*: ablations of the design choices DESIGN.md calls out.
+
+1. **Monotone cache** (E-ABL-MONO): the Section 6.2 modification toggled
+   on/off on the same workload — isolates how much of the convergence
+   speedup comes from the per-client timestamp cache.
+2. **Delay distribution** (E-ABL-DELAY): the paper claims sync ≈ async
+   because the round structure averages delays out; we stress this with
+   uniform and heavy-tailed lognormal delays.
+3. **Topology** (E-ABL-TOPO): APSP convergence is M = ⌈log₂ d⌉
+   pseudocycles; varying the input graph's diameter d should shift rounds
+   proportionally to M.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.apps.apsp import ApspACO
+from repro.apps.graphs import (
+    Graph,
+    chain_graph,
+    complete_graph,
+    grid_graph,
+    random_graph,
+    ring_graph,
+)
+from repro.experiments.results import ResultTable
+from repro.iterative.runner import Alg1Runner
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.sim.delays import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    LogNormalDelay,
+    UniformDelay,
+)
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class AblationConfig:
+    """Shared parameters for the ablation experiments."""
+
+    num_vertices: int = 16
+    num_servers: int = 16
+    quorum_size: int = 3
+    runs: int = 3
+    max_rounds: int = 250
+    seed: int = 31
+
+    @classmethod
+    def scaled_down(cls) -> "AblationConfig":
+        return cls(num_vertices=10, num_servers=10, runs=2, max_rounds=150)
+
+
+def _mean_rounds(
+    aco: ApspACO,
+    config: AblationConfig,
+    monotone: bool,
+    delay_model: DelayModel,
+    quorum_size: int,
+) -> Tuple[float, bool]:
+    """Mean rounds over config.runs; second value flags any non-convergence."""
+    rounds: List[int] = []
+    all_converged = True
+    for run in range(config.runs):
+        runner = Alg1Runner(
+            aco,
+            ProbabilisticQuorumSystem(config.num_servers, quorum_size),
+            monotone=monotone,
+            delay_model=delay_model,
+            seed=config.seed + 6151 * run,
+            max_rounds=config.max_rounds,
+        )
+        result = runner.run(check_spec=False)
+        rounds.append(result.rounds)
+        all_converged = all_converged and result.converged
+    return sum(rounds) / len(rounds), all_converged
+
+
+def monotone_ablation(config: AblationConfig) -> ResultTable:
+    """E-ABL-MONO: cache on vs off across quorum sizes."""
+    aco = ApspACO(chain_graph(config.num_vertices))
+    table = ResultTable(
+        f"Ablation — monotone cache (chain {config.num_vertices}, "
+        f"n={config.num_servers})",
+        ["k", "monotone_rounds", "plain_rounds", "plain_over_monotone"],
+    )
+    for k in sorted({1, 2, config.quorum_size, config.num_servers // 2}):
+        if k < 1:
+            continue
+        mono, _ = _mean_rounds(aco, config, True, ConstantDelay(1.0), k)
+        plain, converged = _mean_rounds(aco, config, False, ConstantDelay(1.0), k)
+        ratio = plain / mono if mono else float("nan")
+        table.add_row(k, mono, f"{plain}" if converged else f">={plain}", ratio)
+    return table
+
+
+def delay_ablation(config: AblationConfig) -> ResultTable:
+    """E-ABL-DELAY: delay distribution sweep (monotone registers)."""
+    aco = ApspACO(chain_graph(config.num_vertices))
+    models: List[Tuple[str, DelayModel]] = [
+        ("constant (sync)", ConstantDelay(1.0)),
+        ("exponential", ExponentialDelay(1.0)),
+        ("uniform [0.5, 1.5]", UniformDelay(0.5, 1.5)),
+        ("lognormal (heavy tail)", LogNormalDelay(1.0, sigma=1.2)),
+    ]
+    table = ResultTable(
+        f"Ablation — delay distribution (chain {config.num_vertices}, "
+        f"n={config.num_servers}, k={config.quorum_size}, monotone)",
+        ["delay_model", "mean_rounds", "all_converged"],
+    )
+    for label, model in models:
+        mean, converged = _mean_rounds(
+            aco, config, True, model, config.quorum_size
+        )
+        table.add_row(label, mean, converged)
+    return table
+
+
+def topology_ablation(config: AblationConfig) -> ResultTable:
+    """E-ABL-TOPO: rounds vs the pseudocycle bound M = ⌈log₂ d⌉."""
+    rng = RngRegistry(config.seed).stream("topology")
+    n = config.num_vertices
+    topologies: Dict[str, Callable[[], Graph]] = {
+        "chain": lambda: chain_graph(n),
+        "ring": lambda: ring_graph(n),
+        "grid": lambda: grid_graph(max(2, n // 4), 4),
+        "random p=0.2": lambda: random_graph(n, 0.2, rng),
+        "complete": lambda: complete_graph(n),
+    }
+    table = ResultTable(
+        f"Ablation — input topology (~{n} vertices, n={config.num_servers} "
+        f"servers, k={config.quorum_size}, monotone)",
+        ["topology", "vertices", "diameter_d", "M_bound", "mean_rounds"],
+    )
+    for label, builder in topologies.items():
+        graph = builder()
+        aco = ApspACO(graph)
+        mean, converged = _mean_rounds(
+            aco, config, True, ConstantDelay(1.0), config.quorum_size
+        )
+        table.add_row(
+            label,
+            graph.n,
+            graph.hop_diameter(),
+            aco.contraction_depth(),
+            mean if converged else float("nan"),
+        )
+    return table

@@ -1,0 +1,120 @@
+"""E-EXT-CHURN: convergence under continuous replica churn.
+
+Beyond E-FAULT's one-shot crash batch, real replicated systems see
+*churn*: servers leave and rejoin continuously.  The probabilistic quorum
+register needs no membership protocol to ride this out — fresh random
+quorums plus client retry route around whoever is currently down, and a
+recovering replica is repaired implicitly the next time a write quorum
+includes it (its stale timestamp loses to newer ones, so it never
+poisons reads).
+
+The experiment runs the paper's APSP workload while a churn process
+cycles a fraction of the replicas down and up, sweeping the churn rate.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.apps.apsp import ApspACO
+from repro.apps.graphs import chain_graph
+from repro.experiments.results import ResultTable
+from repro.iterative.runner import Alg1Runner
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.sim.delays import ExponentialDelay
+
+
+@dataclass
+class ChurnConfig:
+    """Parameters for the churn experiment."""
+
+    num_vertices: int = 10
+    num_servers: int = 16
+    quorum_size: int = 4
+    down_fraction: float = 0.25
+    churn_periods: Tuple[float, ...] = (0.0, 40.0, 20.0, 10.0)
+    outage_duration: float = 5.0
+    retry_interval: float = 4.0
+    max_rounds: int = 400
+    max_sim_time: float = 3000.0
+    runs: int = 2
+    seed: int = 81
+
+    @classmethod
+    def scaled_down(cls) -> "ChurnConfig":
+        return cls(num_vertices=8, churn_periods=(0.0, 20.0), runs=1)
+
+
+def run_under_churn(
+    config: ChurnConfig, period: float, seed_offset: int = 0
+) -> dict:
+    """One APSP run with a churn cycle every ``period`` time units.
+
+    ``period`` 0 disables churn.  Each cycle crashes a rotating window of
+    ``down_fraction``·n servers for ``outage_duration``, then recovers
+    them.
+    """
+    aco = ApspACO(chain_graph(config.num_vertices))
+    runner = Alg1Runner(
+        aco,
+        ProbabilisticQuorumSystem(config.num_servers, config.quorum_size),
+        monotone=True,
+        delay_model=ExponentialDelay(1.0),
+        seed=config.seed + seed_offset,
+        max_rounds=config.max_rounds,
+        retry_interval=config.retry_interval,
+        max_sim_time=config.max_sim_time,
+    )
+    batch = max(1, int(config.down_fraction * config.num_servers))
+    scheduler = runner.deployment.scheduler
+    state = {"cycle": 0}
+
+    def crash_cycle() -> None:
+        start = (state["cycle"] * batch) % config.num_servers
+        window = [
+            (start + offset) % config.num_servers for offset in range(batch)
+        ]
+        for index in window:
+            runner.deployment.crash_server(index)
+        scheduler.schedule(config.outage_duration, recover_cycle, window)
+        state["cycle"] += 1
+        scheduler.schedule(period, crash_cycle)
+
+    def recover_cycle(window: List[int]) -> None:
+        for index in window:
+            runner.deployment.recover_server(index)
+
+    if period > 0:
+        scheduler.schedule(period, crash_cycle)
+    result = runner.run(check_spec=False)
+    return {
+        "churn_period": period,
+        "converged": result.converged,
+        "rounds": result.rounds,
+        "sim_time": result.sim_time,
+        "messages": result.messages,
+    }
+
+
+def churn_table(config: ChurnConfig) -> ResultTable:
+    """Rounds and wall-clock (simulated) vs churn rate."""
+    table = ResultTable(
+        f"Replica churn — APSP chain {config.num_vertices}, "
+        f"n={config.num_servers}, k={config.quorum_size}, "
+        f"{int(config.down_fraction * 100)}% down for "
+        f"{config.outage_duration} per cycle",
+        ["churn_period", "all_converged", "mean_rounds", "mean_sim_time"],
+    )
+    for period in config.churn_periods:
+        rounds, times, converged = [], [], True
+        for run in range(config.runs):
+            outcome = run_under_churn(config, period, seed_offset=131 * run)
+            converged = converged and outcome["converged"]
+            rounds.append(outcome["rounds"])
+            times.append(outcome["sim_time"])
+        table.add_row(
+            period if period > 0 else float("inf"),
+            converged,
+            sum(rounds) / len(rounds),
+            sum(times) / len(times),
+        )
+    return table

@@ -1,0 +1,159 @@
+"""E-FIG2 / E-COR7: the paper's Figure 2 — quorum size vs rounds.
+
+The paper's setup (Section 7): APSP on a directed 34-vertex unit-weight
+chain (d = 33, so M = 6 pseudocycles), 34 replica servers, p = 34
+processes (process i owns row i), quorum sizes 1..18 (from 18 up all
+quorums of 34 servers intersect), four variants — {monotone, non-monotone}
+× {synchronous, asynchronous} — seven runs per point, and the Corollary 7
+upper bound M / (1 - ((n-k)/n)^k) for the monotone case.
+
+Non-monotone runs at small quorum sizes may hit the round cap without
+converging; like the paper's open squares, those means are *lower bounds*
+and are flagged in the output.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.theory import corollary6_rounds_bound, q_lower_bound
+from repro.apps.apsp import ApspACO
+from repro.apps.graphs import chain_graph
+from repro.experiments.results import ResultTable
+from repro.iterative.runner import Alg1Runner
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.sim.delays import ConstantDelay, ExponentialDelay
+
+VARIANTS: Tuple[Tuple[str, bool, bool], ...] = (
+    # (label, monotone, synchronous)
+    ("monotone/sync", True, True),
+    ("monotone/async", True, False),
+    ("non-monotone/sync", False, True),
+    ("non-monotone/async", False, False),
+)
+
+
+@dataclass
+class Figure2Config:
+    """Parameters of the Figure 2 sweep; defaults are the paper's."""
+
+    num_vertices: int = 34
+    num_servers: int = 34
+    quorum_sizes: Tuple[int, ...] = tuple(range(1, 19))
+    runs_per_point: int = 7
+    max_rounds: int = 250
+    base_seed: int = 2001
+    mean_delay: float = 1.0
+    variants: Tuple[Tuple[str, bool, bool], ...] = VARIANTS
+
+    @classmethod
+    def scaled_down(cls) -> "Figure2Config":
+        """A minutes-scale version preserving the figure's shape."""
+        return cls(
+            num_vertices=12,
+            num_servers=12,
+            quorum_sizes=(1, 2, 3, 4, 6, 7),
+            runs_per_point=3,
+            max_rounds=120,
+        )
+
+
+@dataclass
+class Figure2Point:
+    """One (variant, quorum size) cell of the figure."""
+
+    variant: str
+    quorum_size: int
+    rounds: List[int] = field(default_factory=list)
+    converged: List[bool] = field(default_factory=list)
+
+    @property
+    def mean_rounds(self) -> float:
+        return sum(self.rounds) / len(self.rounds) if self.rounds else math.nan
+
+    @property
+    def all_converged(self) -> bool:
+        return all(self.converged)
+
+    @property
+    def is_lower_bound(self) -> bool:
+        """True when some run hit the cap — the mean underestimates, like
+        the open squares in the paper's figure."""
+        return not self.all_converged
+
+
+def corollary7_curve(config: Figure2Config, pseudocycles: int) -> Dict[int, float]:
+    """The analytic bound M / (1 - ((n-k)/n)^k) per quorum size."""
+    return {
+        k: corollary6_rounds_bound(
+            pseudocycles, q_lower_bound(config.num_servers, k)
+        )
+        for k in config.quorum_sizes
+    }
+
+
+def run_figure2(config: Figure2Config, progress=None) -> List[Figure2Point]:
+    """Run the full sweep; returns one point per (variant, quorum size)."""
+    graph = chain_graph(config.num_vertices)
+    aco = ApspACO(graph)
+    points: List[Figure2Point] = []
+    for label, monotone, synchronous in config.variants:
+        for k in config.quorum_sizes:
+            point = Figure2Point(label, k)
+            for run in range(config.runs_per_point):
+                seed = (
+                    config.base_seed
+                    + 7919 * k
+                    + 104729 * run
+                    + 1299709 * int(monotone)
+                    + 15485863 * int(synchronous)
+                )
+                delay = (
+                    ConstantDelay(config.mean_delay)
+                    if synchronous
+                    else ExponentialDelay(config.mean_delay)
+                )
+                runner = Alg1Runner(
+                    aco,
+                    ProbabilisticQuorumSystem(config.num_servers, k),
+                    monotone=monotone,
+                    delay_model=delay,
+                    seed=seed,
+                    max_rounds=config.max_rounds,
+                )
+                result = runner.run(check_spec=False)
+                point.rounds.append(result.rounds)
+                point.converged.append(result.converged)
+                if progress is not None:
+                    progress(label, k, run, result)
+            points.append(point)
+    return points
+
+
+def figure2_table(
+    config: Figure2Config, points: List[Figure2Point]
+) -> ResultTable:
+    """The figure as a table: one row per quorum size, one column per
+    variant, plus the Corollary 7 bound — the series of Figure 2."""
+    graph = chain_graph(config.num_vertices)
+    pseudocycles = ApspACO(graph).contraction_depth()
+    bound = corollary7_curve(config, pseudocycles)
+    by_cell = {(p.variant, p.quorum_size): p for p in points}
+    labels = [label for label, _, _ in config.variants]
+    table = ResultTable(
+        f"Figure 2 — quorum size vs rounds (n={config.num_servers}, "
+        f"chain of {config.num_vertices}, M={pseudocycles}, "
+        f"{config.runs_per_point} runs/point; '>=' marks round-cap lower bounds)",
+        ["k", "cor7_bound"] + labels,
+    )
+    for k in config.quorum_sizes:
+        row: List[object] = [k, bound[k]]
+        for label in labels:
+            point = by_cell.get((label, k))
+            if point is None or not point.rounds:
+                row.append("-")
+            else:
+                mean = point.mean_rounds
+                row.append(f">={mean:.2f}" if point.is_lower_bound else f"{mean:.2f}")
+        table.add_row(*row)
+    return table

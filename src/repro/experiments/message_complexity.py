@@ -1,0 +1,164 @@
+"""E-MSG: the message-complexity comparison of Section 6.4.
+
+Two regimes, each compared analytically (Eqns 1-3) *and* by measurement
+(running Alg. 1 and counting actual messages):
+
+* **high availability** — probabilistic quorums at k = ⌈√n⌉ vs the
+  majority system at k = ⌊n/2⌋+1.  The paper: Θ(mp√n) vs Θ(mpn), so the
+  ratio grows as Θ(√n) in the probabilistic system's favour.
+* **optimal load** — probabilistic at k = ⌈√n⌉ vs a strict grid system of
+  the same quorum size.  The paper: same asymptotic message complexity
+  (within the constant c_n ∈ (1,2)), but availability Θ(n) vs O(√n).
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.messages import (
+    high_availability_comparison,
+    optimal_load_comparison,
+)
+from repro.apps.apsp import ApspACO
+from repro.apps.graphs import chain_graph
+from repro.experiments.results import ResultTable
+from repro.iterative.runner import Alg1Runner
+from repro.quorum.base import QuorumSystem
+from repro.quorum.grid import GridQuorumSystem
+from repro.quorum.majority import MajorityQuorumSystem
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.sim.delays import ConstantDelay
+
+
+@dataclass
+class MessageComplexityConfig:
+    """Parameters for the message-complexity measurement."""
+
+    num_vertices: int = 16       # m = p = number of vertices
+    num_servers: int = 16        # n replicas (grid-friendly square)
+    max_rounds: int = 250
+    seed: int = 5
+
+    @classmethod
+    def scaled_down(cls) -> "MessageComplexityConfig":
+        return cls(num_vertices=9, num_servers=9, max_rounds=150)
+
+
+def _measure(
+    config: MessageComplexityConfig,
+    system: QuorumSystem,
+    monotone: bool,
+) -> Dict[str, float]:
+    graph = chain_graph(config.num_vertices)
+    aco = ApspACO(graph)
+    runner = Alg1Runner(
+        aco,
+        system,
+        monotone=monotone,
+        delay_model=ConstantDelay(1.0),
+        seed=config.seed,
+        max_rounds=config.max_rounds,
+    )
+    result = runner.run(check_spec=False)
+    pseudocycles = aco.contraction_depth() or 1
+    return {
+        "converged": result.converged,
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "messages_per_round": result.messages_per_round(),
+        "messages_per_pseudocycle": result.messages / pseudocycles,
+    }
+
+
+def analytic_tables(n_values: List[int], m: int, p: int) -> List[ResultTable]:
+    """The two Section 6.4 regime tables from Eqns 1-3, over an n sweep."""
+    availability = ResultTable(
+        f"Section 6.4 (analytic) — high-availability regime (m={m}, p={p}): "
+        "probabilistic k=⌈√n⌉ vs strict majority",
+        [
+            "n",
+            "k_probabilistic",
+            "k_majority",
+            "M_prob",
+            "M_str_majority",
+            "strict_over_prob",
+        ],
+    )
+    for n in n_values:
+        row = high_availability_comparison(n, m, p)
+        availability.add_row(
+            row["n"],
+            row["k_probabilistic"],
+            row["k_majority"],
+            row["M_prob"],
+            row["M_str_majority"],
+            row["strict_over_prob"],
+        )
+    load = ResultTable(
+        f"Section 6.4 (analytic) — optimal-load regime (m={m}, p={p}): "
+        "probabilistic vs strict grid at k=⌈√n⌉",
+        [
+            "n",
+            "k",
+            "M_prob",
+            "M_str_optimal_load",
+            "prob_over_strict",
+            "availability_probabilistic",
+            "availability_strict_grid",
+        ],
+    )
+    for n in n_values:
+        row = optimal_load_comparison(n, m, p)
+        load.add_row(
+            row["n"],
+            row["k"],
+            row["M_prob"],
+            row["M_str_optimal_load"],
+            row["prob_over_strict"],
+            row["availability_probabilistic"],
+            row["availability_strict_grid"],
+        )
+    return [availability, load]
+
+
+def measured_table(config: MessageComplexityConfig) -> ResultTable:
+    """Measured Alg. 1 message counts for the three implementations.
+
+    Uses the monotone client for the probabilistic system (the paper's
+    recommended configuration) and the plain client for strict systems
+    (monotonicity is automatic when all quorums intersect).
+    """
+    n = config.num_servers
+    k_prob = max(1, math.ceil(math.sqrt(n)))
+    systems = [
+        ("probabilistic k=sqrt(n)", ProbabilisticQuorumSystem(n, k_prob), True),
+        ("strict majority", MajorityQuorumSystem(n), False),
+        ("strict grid", GridQuorumSystem.square(n), False),
+    ]
+    table = ResultTable(
+        f"Section 6.4 (measured) — APSP chain m=p={config.num_vertices}, "
+        f"n={n} servers",
+        [
+            "system",
+            "quorum_size",
+            "availability",
+            "converged",
+            "rounds",
+            "messages",
+            "messages_per_round",
+            "messages_per_pseudocycle",
+        ],
+    )
+    for label, system, monotone in systems:
+        measurement = _measure(config, system, monotone)
+        table.add_row(
+            label,
+            system.quorum_size,
+            system.availability(),
+            measurement["converged"],
+            measurement["rounds"],
+            measurement["messages"],
+            measurement["messages_per_round"],
+            measurement["messages_per_pseudocycle"],
+        )
+    return table

@@ -1,0 +1,134 @@
+"""ASCII charts for experiment results.
+
+The paper's Figure 2 is a scatter of series over quorum sizes; this
+module renders such series directly in the terminal so the reproduction
+is inspectable without any plotting dependency (the environment is
+offline).  Used by ``examples/figure2_reproduction.py --plot`` and
+available for any :class:`~repro.experiments.results.ResultTable`.
+"""
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Series = Dict[str, List[Tuple[float, float]]]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _finite(points: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    return [
+        (x, y)
+        for x, y in points
+        if y == y and y not in (math.inf, -math.inf)
+    ]
+
+
+def ascii_chart(
+    series: Series,
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_y: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Render named point series as a fixed-size ASCII scatter chart.
+
+    Later series overwrite earlier ones on collisions; the legend maps
+    markers to series names.  ``log_y`` plots log10(y) (all y must be
+    positive then).
+    """
+    if width < 16 or height < 4:
+        raise ValueError(f"chart too small: {width}x{height}")
+    cleaned = {name: _finite(points) for name, points in series.items()}
+    cleaned = {name: pts for name, pts in cleaned.items() if pts}
+    if not cleaned:
+        raise ValueError("no finite data points to plot")
+    if len(cleaned) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+
+    def y_transform(value: float) -> float:
+        if log_y:
+            if value <= 0:
+                raise ValueError("log_y requires positive y values")
+            return math.log10(value)
+        return value
+
+    all_points = [
+        (x, y_transform(y)) for pts in cleaned.values() for x, y in pts
+    ]
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, points) in zip(_MARKERS, sorted(cleaned.items())):
+        for x, y in points:
+            col = round((x - x_low) / x_span * (width - 1))
+            row = round((y_transform(y) - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_top = f"{10 ** y_high if log_y else y_high:.4g}"
+    y_bottom = f"{10 ** y_low if log_y else y_low:.4g}"
+    label_width = max(len(y_top), len(y_bottom))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_top.rjust(label_width)
+        elif i == height - 1:
+            prefix = y_bottom.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = (
+        f"{x_low:.4g}".ljust(width - 8) + f"{x_high:.4g}".rjust(8)
+    )
+    lines.append(" " * (label_width + 2) + x_axis)
+    lines.append(
+        " " * (label_width + 2)
+        + f"{x_label}  ({'log ' if log_y else ''}{y_label} vertical)"
+    )
+    legend = "   ".join(
+        f"{marker}={name}"
+        for marker, name in zip(_MARKERS, sorted(cleaned))
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def figure2_chart(config, points, width: int = 64, height: int = 20) -> str:
+    """Render Figure 2 from :func:`repro.experiments.figure2.run_figure2`
+    output, bound curve included, with a log-scale y axis like the paper."""
+    from repro.apps.apsp import ApspACO
+    from repro.apps.graphs import chain_graph
+    from repro.experiments.figure2 import corollary7_curve
+
+    pseudocycles = ApspACO(chain_graph(config.num_vertices)).contraction_depth()
+    bound = corollary7_curve(config, pseudocycles)
+    series: Series = {
+        "cor7-bound": sorted(bound.items()),
+    }
+    for point in points:
+        series.setdefault(point.variant, []).append(
+            (point.quorum_size, point.mean_rounds)
+        )
+    for name in series:
+        series[name] = sorted(series[name])
+    return ascii_chart(
+        series,
+        width=width,
+        height=height,
+        x_label="quorum size k",
+        y_label="rounds",
+        log_y=True,
+        title=(
+            f"Figure 2 — rounds to convergence "
+            f"(n={config.num_servers}, chain {config.num_vertices})"
+        ),
+    )

@@ -1,0 +1,97 @@
+"""Result tables: uniform formatting for every experiment's output."""
+
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def full_scale() -> bool:
+    """Whether to run experiments at full paper scale (REPRO_FULL=1)."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+class ResultTable:
+    """A small column-typed table with text and CSV rendering."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[Any]] = []
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append a row, positionally or by column name."""
+        if values and named:
+            raise ValueError("pass either positional values or named, not both")
+        if named:
+            missing = set(self.columns) - set(named)
+            if missing:
+                raise ValueError(f"missing columns: {sorted(missing)}")
+            row = [named[c] for c in self.columns]
+        else:
+            if len(values) != len(self.columns):
+                raise ValueError(
+                    f"expected {len(self.columns)} values, got {len(values)}"
+                )
+            row = list(values)
+        self.rows.append(row)
+
+    def add_dict_rows(self, rows: List[Dict[str, Any]]) -> None:
+        """Append many rows given as dicts keyed by column name."""
+        for row in rows:
+            self.add_row(**{c: row[c] for c in self.columns})
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    @staticmethod
+    def _format_cell(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "-"
+            magnitude = abs(value)
+            if magnitude != 0 and (magnitude >= 1e5 or magnitude < 1e-3):
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    def to_text(self) -> str:
+        """Render as an aligned monospace table."""
+        cells = [[self._format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, ""]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render as CSV (no quoting; experiment values are plain)."""
+        lines = [",".join(self.columns)]
+        for row in self.rows:
+            lines.append(",".join(self._format_cell(v) for v in row))
+        return "\n".join(lines)
+
+    def save(self, path: str, fmt: Optional[str] = None) -> None:
+        """Write the table to ``path`` as text or CSV (by extension)."""
+        if fmt is None:
+            fmt = "csv" if path.endswith(".csv") else "text"
+        content = self.to_csv() if fmt == "csv" else self.to_text()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content + "\n")
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"ResultTable({self.title!r}, {len(self.rows)} rows)"

@@ -1,0 +1,129 @@
+"""E-THM1: write-survival probability vs the Theorem 1 bound.
+
+Theorem 1's proof shows the probability that at least one replica in a
+write's quorum still holds that write's value after ℓ subsequent writes is
+at most k·((n-k)/n)^ℓ.  Two estimators:
+
+* a direct quorum-level Monte Carlo (`quorum_level_survival`): sample a
+  write quorum and ℓ later write quorums and check whether any member of
+  the first escaped them all — this is exactly the event the proof bounds;
+* a register-level measurement (`register_level_survival`): run an actual
+  deployment with a writer and readers and derive per-lag survival from
+  the recorded history via :func:`repro.core.spec.write_survival_counts`.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.theory import theorem1_survival_bound
+from repro.core.spec import write_survival_counts
+from repro.experiments.results import ResultTable
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.registers.deployment import RegisterDeployment
+from repro.sim.coroutines import Sleep, spawn
+from repro.sim.delays import ExponentialDelay
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class SurvivalConfig:
+    """Parameters for the survival experiment."""
+
+    num_servers: int = 34
+    quorum_size: int = 6
+    max_lag: int = 12
+    trials: int = 20_000
+    seed: int = 7
+
+    @classmethod
+    def scaled_down(cls) -> "SurvivalConfig":
+        # Smaller n and k so the per-lag decay rate (n-k)/n bites within
+        # few lags; keeps the Monte Carlo trials cheap.
+        return cls(num_servers=16, quorum_size=4, max_lag=10, trials=2_000)
+
+
+def quorum_level_survival(config: SurvivalConfig) -> Dict[int, float]:
+    """Monte Carlo Pr[some replica of W's quorum survives ℓ later writes]."""
+    system = ProbabilisticQuorumSystem(config.num_servers, config.quorum_size)
+    rng = RngRegistry(config.seed).stream("survival")
+    survivals = {ell: 0 for ell in range(config.max_lag + 1)}
+    for _ in range(config.trials):
+        write_quorum = system.quorum(rng)
+        overwritten: set = set()
+        for ell in range(config.max_lag + 1):
+            if write_quorum - overwritten:
+                survivals[ell] += 1
+            overwritten |= system.quorum(rng)
+    return {ell: count / config.trials for ell, count in survivals.items()}
+
+
+def register_level_survival(
+    config: SurvivalConfig,
+    num_readers: int = 4,
+    num_writes: int = 200,
+) -> Dict[int, Tuple[int, int]]:
+    """Per-lag (survivals, trials) from a real register deployment run."""
+    system = ProbabilisticQuorumSystem(config.num_servers, config.quorum_size)
+    deployment = RegisterDeployment(
+        system,
+        num_clients=1 + num_readers,
+        delay_model=ExponentialDelay(1.0),
+        monotone=False,
+        seed=config.seed,
+    )
+    deployment.declare_register("X", writer=0, initial_value=0)
+
+    def writer():
+        for value in range(1, num_writes + 1):
+            yield deployment.handle(0, "X").write(value)
+            yield Sleep(0.5)
+
+    def reader(client_id: int):
+        for _ in range(num_writes):
+            yield deployment.handle(client_id, "X").read()
+            yield Sleep(0.5)
+
+    spawn(deployment.scheduler, writer(), label="writer")
+    for r in range(1, num_readers + 1):
+        spawn(deployment.scheduler, reader(r), label=f"reader-{r}")
+    deployment.run()
+    return write_survival_counts(
+        deployment.space.history("X"), max_ell=config.max_lag
+    )
+
+
+def survival_table(config: SurvivalConfig) -> ResultTable:
+    """The E-THM1 comparison table: measured vs bound per lag ℓ."""
+    monte_carlo = quorum_level_survival(config)
+    register = register_level_survival(config)
+    table = ResultTable(
+        f"Theorem 1 — write survival probability "
+        f"(n={config.num_servers}, k={config.quorum_size})",
+        ["ell", "bound_k_frac", "quorum_mc", "register_measured"],
+    )
+    for ell in range(config.max_lag + 1):
+        bound = theorem1_survival_bound(
+            config.num_servers, config.quorum_size, ell
+        )
+        reg = register.get(ell)
+        reg_value = reg[0] / reg[1] if reg and reg[1] else float("nan")
+        table.add_row(ell, bound, monte_carlo[ell], reg_value)
+    return table
+
+
+def check_bound_holds(
+    config: SurvivalConfig, slack: float = 0.02
+) -> List[int]:
+    """Lags at which the Monte Carlo estimate exceeds the bound + slack
+    (should be empty — used by tests and the benchmark's assertion)."""
+    measured = quorum_level_survival(config)
+    violations = []
+    for ell, probability in measured.items():
+        bound = theorem1_survival_bound(
+            config.num_servers, config.quorum_size, ell
+        )
+        if probability > bound + slack:
+            violations.append(ell)
+    return violations

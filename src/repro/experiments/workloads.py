@@ -1,0 +1,141 @@
+"""Reusable register workloads for experiments.
+
+The statistical experiments (survival, freshness, latency, spec audits)
+all drive a deployment with "a writer and some readers" shaped loops.
+This module centralises those shapes and adds two more realistic arrival
+processes:
+
+* periodic — fixed inter-operation gaps (the shape used by the paper's
+  synchronous analysis);
+* poisson — exponential inter-operation gaps (memoryless clients);
+* bursty — alternating hot bursts and idle gaps, the stress shape for
+  staleness (many writes land between a reader's visits).
+
+Each generator function returns a simulation coroutine ready for
+:func:`repro.sim.coroutines.spawn`.
+"""
+
+from typing import Any, Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.registers.deployment import RegisterDeployment
+from repro.sim.coroutines import Sleep
+
+
+GapSampler = Callable[[], float]
+
+
+def periodic_gaps(gap: float) -> GapSampler:
+    """Constant inter-operation gap."""
+    if gap < 0:
+        raise ValueError(f"gap must be non-negative, got {gap}")
+    return lambda: gap
+
+
+def poisson_gaps(mean_gap: float, rng: np.random.Generator) -> GapSampler:
+    """Exponential inter-operation gaps with the given mean."""
+    if mean_gap <= 0:
+        raise ValueError(f"mean gap must be positive, got {mean_gap}")
+    return lambda: float(rng.exponential(mean_gap))
+
+
+def bursty_gaps(
+    burst_length: int,
+    burst_gap: float,
+    idle_gap: float,
+) -> GapSampler:
+    """``burst_length`` ops spaced ``burst_gap`` apart, then one
+    ``idle_gap`` pause, repeating."""
+    if burst_length < 1:
+        raise ValueError(f"burst length must be >= 1, got {burst_length}")
+    if burst_gap < 0 or idle_gap < 0:
+        raise ValueError("gaps must be non-negative")
+    state = {"position": 0}
+
+    def sample() -> float:
+        state["position"] += 1
+        if state["position"] % burst_length == 0:
+            return idle_gap
+        return burst_gap
+
+    return sample
+
+
+def writer_loop(
+    deployment: RegisterDeployment,
+    client_id: int,
+    register: str,
+    num_writes: int,
+    gaps: GapSampler,
+    values: Optional[Iterator[Any]] = None,
+):
+    """A coroutine writing ``num_writes`` values with sampled gaps."""
+    if values is None:
+        values = iter(range(1, num_writes + 1))
+
+    def run():
+        for _ in range(num_writes):
+            yield deployment.handle(client_id, register).write(next(values))
+            yield Sleep(gaps())
+
+    return run()
+
+
+def reader_loop(
+    deployment: RegisterDeployment,
+    client_id: int,
+    register: str,
+    num_reads: int,
+    gaps: GapSampler,
+):
+    """A coroutine performing ``num_reads`` reads with sampled gaps;
+    resolves with the list of values read."""
+
+    def run():
+        seen = []
+        for _ in range(num_reads):
+            seen.append((yield deployment.handle(client_id, register).read()))
+            yield Sleep(gaps())
+        return seen
+
+    return run()
+
+
+def single_register_workload(
+    deployment: RegisterDeployment,
+    register: str = "X",
+    num_writes: int = 50,
+    reads_per_reader: int = 100,
+    writer_gaps: Optional[GapSampler] = None,
+    reader_gaps: Optional[GapSampler] = None,
+):
+    """Spawn the standard one-writer many-readers workload.
+
+    Client 0 writes; every other client reads.  Returns the futures of
+    the reader coroutines (each resolving with the values it saw).
+    """
+    from repro.sim.coroutines import spawn
+
+    if register not in deployment.space:
+        raise KeyError(f"register {register!r} not declared")
+    writer_gaps = writer_gaps or periodic_gaps(1.0)
+    reader_gaps = reader_gaps or periodic_gaps(0.8)
+    spawn(
+        deployment.scheduler,
+        writer_loop(deployment, 0, register, num_writes, writer_gaps),
+        label="workload-writer",
+    )
+    futures = []
+    for client_id in range(1, deployment.num_clients):
+        futures.append(
+            spawn(
+                deployment.scheduler,
+                reader_loop(
+                    deployment, client_id, register, reads_per_reader,
+                    reader_gaps,
+                ),
+                label=f"workload-reader-{client_id}",
+            )
+        )
+    return futures

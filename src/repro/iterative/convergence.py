@@ -1,0 +1,68 @@
+"""Convergence detection for Alg. 1 executions.
+
+Mirrors the paper's simulation (Section 7): at the end of each loop
+iteration, each process compares its local copy of the components it is
+responsible for against the precomputed correct answer; the simulation
+completes when every comparison is simultaneously equal.
+
+A process's flag is *recomputed* on every iteration — with non-monotone
+random registers a process that was correct can regress after reading
+stale inputs, and the monitor faithfully reflects that (it is exactly why
+the paper's non-monotone runs sometimes failed to terminate).
+"""
+
+from typing import Any, Dict, List, Optional
+
+from repro.iterative.aco import ACO
+
+
+class ConvergenceMonitor:
+    """Tracks which processes currently hold correct values."""
+
+    def __init__(self, aco: ACO, blocks: List[List[int]]) -> None:
+        self.aco = aco
+        self.blocks = blocks
+        self._correct: Dict[int, bool] = {
+            p: not block for p, block in enumerate(blocks)
+        }
+        self.converged_at_time: Optional[float] = None
+        self.converged_at_round: Optional[int] = None
+        self.checks_performed = 0
+        self.regressions = 0
+
+    def report(
+        self, process: int, local_values: Dict[int, Any], time: float
+    ) -> bool:
+        """Record the values ``process`` just computed for its components.
+
+        :param local_values: component index -> newly computed value.
+        :returns: True when every process is now simultaneously correct.
+        """
+        self.checks_performed += 1
+        was_correct = self._correct[process]
+        ok = all(
+            self.aco.component_converged(i, value)
+            for i, value in local_values.items()
+        )
+        if was_correct and not ok:
+            self.regressions += 1
+        self._correct[process] = ok
+        if self.all_correct and self.converged_at_time is None:
+            self.converged_at_time = time
+        return self.all_correct
+
+    @property
+    def all_correct(self) -> bool:
+        """True when every process's latest values are correct."""
+        return all(self._correct.values())
+
+    def mark_round(self, round_number: int) -> None:
+        """Record the first round at which convergence held at a round edge."""
+        if self.all_correct and self.converged_at_round is None:
+            self.converged_at_round = round_number
+
+    def __repr__(self) -> str:
+        return (
+            f"ConvergenceMonitor(correct={sum(self._correct.values())}/"
+            f"{len(self._correct)}, regressions={self.regressions})"
+        )

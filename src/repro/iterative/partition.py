@@ -1,0 +1,37 @@
+"""Partitioning vector components among processes.
+
+Alg. 1 partitions responsibility for the m components among p processes.
+The block partition used throughout matches the paper's APSP setup, where
+process i owns row i (p = m); for p < m each process owns a contiguous
+block of ⌈m/p⌉ or ⌊m/p⌋ components.
+"""
+
+from typing import List
+
+
+def block_partition(m: int, p: int) -> List[List[int]]:
+    """Split components {0..m-1} into p contiguous, balanced blocks.
+
+    Every process receives ⌊m/p⌋ or ⌈m/p⌉ components; when p > m the extra
+    processes receive empty blocks (they still participate in rounds).
+    """
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
+    if p < 1:
+        raise ValueError(f"p must be at least 1, got {p}")
+    base, extra = divmod(m, p)
+    blocks: List[List[int]] = []
+    start = 0
+    for process in range(p):
+        size = base + (1 if process < extra else 0)
+        blocks.append(list(range(start, start + size)))
+        start += size
+    return blocks
+
+
+def owner_of(component: int, blocks: List[List[int]]) -> int:
+    """The process owning ``component`` under a partition."""
+    for process, block in enumerate(blocks):
+        if component in block:
+            return process
+    raise ValueError(f"component {component} not covered by the partition")

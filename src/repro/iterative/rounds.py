@@ -1,0 +1,61 @@
+"""Round accounting.
+
+Section 7 of the paper: "A round finishes when every process completes at
+least one iteration of Alg. 1 in which it reads the registers, applies the
+function, and writes its registers."  In a synchronous execution a round is
+exactly one loop iteration per process; in an asynchronous execution fast
+processes may complete several iterations within one round.
+"""
+
+from typing import Dict, List
+
+
+class RoundTracker:
+    """Counts rounds from per-process iteration-completion reports."""
+
+    def __init__(self, num_processes: int) -> None:
+        if num_processes < 1:
+            raise ValueError(f"need at least one process, got {num_processes}")
+        self.num_processes = num_processes
+        self.rounds_completed = 0
+        self.iterations: Dict[int, int] = {p: 0 for p in range(num_processes)}
+        self._seen_this_round: set = set()
+        self._round_end_times: List[float] = []
+
+    def report_iteration(self, process: int, time: float) -> bool:
+        """Record that ``process`` completed one loop iteration at ``time``.
+
+        Returns True when this report closes a round.
+        """
+        if process not in self.iterations:
+            raise ValueError(f"unknown process {process}")
+        self.iterations[process] += 1
+        self._seen_this_round.add(process)
+        if len(self._seen_this_round) == self.num_processes:
+            self.rounds_completed += 1
+            self._round_end_times.append(time)
+            self._seen_this_round = set()
+            return True
+        return False
+
+    @property
+    def total_iterations(self) -> int:
+        """Sum of loop iterations across all processes."""
+        return sum(self.iterations.values())
+
+    @property
+    def round_end_times(self) -> List[float]:
+        """Simulated times at which each round closed."""
+        return list(self._round_end_times)
+
+    def iterations_per_round(self) -> float:
+        """Average loop iterations per completed round (>= num_processes)."""
+        if self.rounds_completed == 0:
+            return 0.0
+        return self.total_iterations / self.rounds_completed
+
+    def __repr__(self) -> str:
+        return (
+            f"RoundTracker(rounds={self.rounds_completed}, "
+            f"iterations={self.total_iterations})"
+        )

@@ -1,0 +1,129 @@
+"""Standard change/view schedules for the pure Üresin-Dubois framework.
+
+:mod:`repro.iterative.update_sequence` defines the machinery; this module
+supplies the schedules distributed-computing texts actually study:
+
+* Jacobi (all components every step) — ``synchronous_change``, re-exported;
+* Gauss-Seidel (one component per step, cyclic) — ``round_robin_change``;
+* block-cyclic — blocks of components take turns, the schedule Alg. 1
+  induces when p < m;
+* random-subset — each step updates a random non-empty subset, with a
+  deterministic round-robin fallback woven in so [A2] holds surely, not
+  just almost surely;
+* delayed views — every component read lags by a fixed bound, the
+  textbook model of bounded asynchrony.
+"""
+
+from typing import Callable, List, Sequence, Set
+
+import numpy as np
+
+from repro.iterative.partition import block_partition
+from repro.iterative.update_sequence import (
+    ChangeFunction,
+    ViewFunction,
+    round_robin_change,
+    synchronous_change,
+)
+
+__all__ = [
+    "block_cyclic_change",
+    "bounded_delay_view",
+    "random_subset_change",
+    "round_robin_change",
+    "synchronous_change",
+]
+
+
+def block_cyclic_change(m: int, p: int) -> ChangeFunction:
+    """Blocks of a p-way partition update in cyclic turns.
+
+    This is the schedule a synchronous Alg. 1 run with p processes and a
+    sequentialised network induces on the formal model.
+    """
+    blocks = [set(block) for block in block_partition(m, p) if block]
+    if not blocks:
+        raise ValueError("partition produced no non-empty blocks")
+
+    def change(k: int) -> Set[int]:
+        return blocks[(k - 1) % len(blocks)]
+
+    return change
+
+
+def random_subset_change(
+    m: int, rng: np.random.Generator, include_probability: float = 0.5,
+    fairness_period: int = None,
+) -> ChangeFunction:
+    """Each step updates a random subset of components.
+
+    Every ``fairness_period`` steps (default 2m) one deterministic
+    round-robin component is forced in, so every component updates
+    infinitely often regardless of the random draws — [A2] holds surely.
+    Draws are cached per k so the function is deterministic across calls.
+    """
+    if not 0.0 < include_probability <= 1.0:
+        raise ValueError(
+            f"include probability must be in (0, 1], got {include_probability}"
+        )
+    if fairness_period is None:
+        fairness_period = 2 * m
+    if fairness_period < 1:
+        raise ValueError(f"fairness period must be positive, got {fairness_period}")
+    cache: List[Set[int]] = []
+
+    def change(k: int) -> Set[int]:
+        while len(cache) < k:
+            step = len(cache) + 1
+            subset = {
+                i for i in range(m) if rng.random() < include_probability
+            }
+            subset.add((step // fairness_period) % m)
+            cache.append(subset)
+        return cache[k - 1]
+
+    return change
+
+
+def bounded_delay_view(delays: Sequence[int]) -> ViewFunction:
+    """Component i's view always lags exactly ``delays[i]`` updates.
+
+    The classical "bounded asynchrony" model: view_i(k) = max(0, k-1-d_i).
+    """
+    if any(d < 0 for d in delays):
+        raise ValueError(f"delays must be non-negative, got {list(delays)}")
+
+    def view(component: int, k: int) -> int:
+        return max(0, k - 1 - delays[component])
+
+    return view
+
+
+def process_local_view(
+    m: int, p: int, lag_between_processes: int = 1
+) -> ViewFunction:
+    """Views as seen by block-partitioned processes: a component reads its
+    *own* block's values fresh and other blocks' values with a lag.
+
+    Models the essential asymmetry of Alg. 1 — your own components are
+    always current, everyone else's are a communication delay old.
+    """
+    if lag_between_processes < 0:
+        raise ValueError(
+            f"lag must be non-negative, got {lag_between_processes}"
+        )
+    blocks = block_partition(m, p)
+    owner = {}
+    for process, block in enumerate(blocks):
+        for component in block:
+            owner[component] = process
+
+    def view(component: int, k: int) -> int:
+        # The updating block at step k under block-cyclic scheduling.
+        non_empty = [set(b) for b in blocks if b]
+        updating = non_empty[(k - 1) % len(non_empty)]
+        if component in updating:
+            return k - 1
+        return max(0, k - 1 - lag_between_processes)
+
+    return view

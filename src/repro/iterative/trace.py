@@ -1,0 +1,121 @@
+"""Empirical pseudocycle measurement from Alg. 1 executions.
+
+Theorem 5 bounds the *expected rounds per pseudocycle*; Figure 2 only
+measures rounds to convergence.  This module closes the gap: it
+reconstructs the Üresin-Dubois update sequence of a finished
+:class:`~repro.iterative.runner.Alg1Runner` execution directly from the
+recorded register histories, extracts its pseudocycles with
+:func:`~repro.iterative.update_sequence.extract_pseudocycles`, and reports
+measured rounds per pseudocycle for comparison against Corollary 7.
+
+Reconstruction uses only history facts:
+
+* every loop iteration of process p performs exactly m reads followed by
+  writes of p's components, so chunking p's reads per register into
+  groups in invocation order recovers the iteration structure;
+* each write to register X_j is one *update* of component j in the formal
+  model; writes ordered by invocation time give the update sequence
+  (a value can only be read after its write was invoked, so views always
+  point into the past — condition [A1] holds by construction);
+* the timestamp a read returned identifies the write (= update) it viewed.
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.iterative.runner import Alg1Runner
+from repro.iterative.update_sequence import extract_pseudocycles
+
+
+class TraceError(RuntimeError):
+    """Raised when a history cannot be reconstructed into an update sequence."""
+
+
+def reconstruct_update_sequence(
+    runner: Alg1Runner,
+) -> Tuple[List[set], List[List[int]]]:
+    """Rebuild (change, views) of the execution's update sequence.
+
+    :returns: ``(changes, views)`` where ``changes[t]`` is the component
+        set of update t+1 and ``views[t][j]`` is the index (0 = initial
+        values) of the update whose value of component j the updating
+        iteration read.
+    """
+    space = runner.deployment.space
+    m = len(runner.register_names)
+    # Global update index per write: order all real writes by invocation.
+    events = []  # (invoke_time, op_id, component, seq, process)
+    for j, name in enumerate(runner.register_names):
+        history = space.history(name)
+        for write in history.writes:
+            if write is history.initial_write:
+                continue
+            events.append(
+                (write.invoke_time, write.op_id, j, write.timestamp.seq,
+                 write.process)
+            )
+    events.sort()
+    index_of: Dict[Tuple[int, int], int] = {}  # (component, seq) -> update idx
+    for idx, (_, _, j, seq, _) in enumerate(events, start=1):
+        index_of[(j, seq)] = idx
+
+    # Per process: chunk reads into iterations and map iteration -> views.
+    views_of_iteration: Dict[Tuple[int, int], List[int]] = {}
+    processes = {event[4] for event in events}
+    for process in processes:
+        per_register_reads = []
+        for j, name in enumerate(runner.register_names):
+            reads = [
+                r
+                for r in space.history(name).reads_by_process(process)
+                if not r.pending and r.timestamp is not None
+            ]
+            per_register_reads.append(reads)
+        iterations = min(len(reads) for reads in per_register_reads)
+        for it in range(iterations):
+            view = []
+            for j in range(m):
+                seq = per_register_reads[j][it].timestamp.seq
+                view.append(index_of.get((j, seq), 0) if seq > 0 else 0)
+            views_of_iteration[(process, it)] = view
+
+    # A process's i-th write to its register belongs to its i-th iteration
+    # (one write per owned register per iteration).
+    write_counter: Dict[Tuple[int, int], int] = {}
+    changes: List[set] = []
+    views: List[List[int]] = []
+    for _, _, j, seq, process in events:
+        iteration = write_counter.get((process, j), 0)
+        write_counter[(process, j)] = iteration + 1
+        view = views_of_iteration.get((process, iteration))
+        if view is None:
+            # The final, partially recorded iteration (stopped mid-flight):
+            # treat its views as maximally fresh to avoid fabricating lag.
+            view = [len(changes)] * m
+        changes.append({j})
+        views.append(list(view))
+    return changes, views
+
+
+def measure_pseudocycles(runner: Alg1Runner) -> int:
+    """The number of [B1]/[B2] pseudocycles the execution completed."""
+    changes, views = reconstruct_update_sequence(runner)
+    steps = len(changes)
+    if steps == 0:
+        return 0
+    m = len(runner.register_names)
+
+    def change(k: int) -> set:
+        return changes[k - 1]
+
+    def view(i: int, k: int) -> int:
+        return views[k - 1][i]
+
+    return len(extract_pseudocycles(m, change, view, steps))
+
+
+def rounds_per_pseudocycle(runner: Alg1Runner, rounds: int) -> float:
+    """Measured rounds per pseudocycle for a finished execution."""
+    pseudocycles = measure_pseudocycles(runner)
+    if pseudocycles == 0:
+        raise TraceError("execution completed no pseudocycles")
+    return rounds / pseudocycles

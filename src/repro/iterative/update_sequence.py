@@ -1,0 +1,244 @@
+"""Update sequences, admissibility conditions [A1]-[A3], and pseudocycles.
+
+This module is the *pure* (non-distributed) half of the Üresin-Dubois
+framework.  An update sequence is determined by an ACO, a ``change``
+function (which components update at step k) and per-component ``view``
+functions (which past update's value each component read).  Conditions:
+
+[A1] view_i(k) < k — views come from the past;
+[A2] every component appears in change(k) for infinitely many k;
+[A3] each view value is used only finitely often.
+
+On infinite objects these cannot be checked outright; the checkers here
+validate finite prefixes ([A1] exactly, [A2]/[A3] as bounded-window
+approximations suited to property-based testing).
+
+``extract_pseudocycles`` partitions a prefix greedily into pseudocycles
+per [B1]-[B2]: each pseudocycle updates every component at least once, and
+every view used in pseudocycle K was produced in pseudocycle K-1 or later.
+Theorem 2 then gives convergence within M pseudocycles.
+"""
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from repro.iterative.aco import ACO
+
+ChangeFunction = Callable[[int], Set[int]]
+ViewFunction = Callable[[int, int], int]  # (component, k) -> source update index
+
+
+class UpdateSequenceError(RuntimeError):
+    """Raised for inadmissible change/view functions."""
+
+
+# --------------------------------------------------------------------- #
+# Standard change/view schedules
+# --------------------------------------------------------------------- #
+
+
+def synchronous_change(m: int) -> ChangeFunction:
+    """Every component updates at every step (Jacobi-style schedule)."""
+
+    def change(k: int) -> Set[int]:
+        return set(range(m))
+
+    return change
+
+
+def round_robin_change(m: int) -> ChangeFunction:
+    """One component per step, cyclically (Gauss-Seidel-style schedule)."""
+
+    def change(k: int) -> Set[int]:
+        return {(k - 1) % m}
+
+    return change
+
+
+def current_view(component: int, k: int) -> int:
+    """The freshest admissible view: the previous update."""
+    return k - 1
+
+
+def make_bounded_stale_view(staleness: Sequence[Sequence[int]]) -> ViewFunction:
+    """A view function reading ``staleness[k-1][i]`` steps into the past.
+
+    ``staleness`` is indexed by update (k-1) then component; entry s >= 0
+    means view_i(k) = max(0, k - 1 - s).
+    """
+
+    def view(component: int, k: int) -> int:
+        lag = staleness[k - 1][component]
+        if lag < 0:
+            raise UpdateSequenceError(f"negative staleness {lag} at update {k}")
+        return max(0, k - 1 - lag)
+
+    return view
+
+
+# --------------------------------------------------------------------- #
+# Iteration
+# --------------------------------------------------------------------- #
+
+
+def iterate_update_sequence(
+    aco: ACO,
+    steps: int,
+    change: ChangeFunction,
+    view: ViewFunction = current_view,
+) -> List[List[Any]]:
+    """Produce the vectors x(0), x(1), ..., x(steps) of an update sequence.
+
+    x(0) is the ACO's initial vector; for k >= 1 component i of x(k) equals
+    F_i applied to the *viewed* vector (each component j taken from
+    x(view_j(k))) when i ∈ change(k), else x_i(k-1).  This is Section 5's
+    definition verbatim.
+    """
+    if steps < 0:
+        raise UpdateSequenceError(f"steps must be non-negative, got {steps}")
+    history: List[List[Any]] = [list(aco.initial())]
+    for k in range(1, steps + 1):
+        changing = change(k)
+        if not changing <= set(range(aco.m)):
+            raise UpdateSequenceError(
+                f"change({k}) = {changing} escapes components 0..{aco.m - 1}"
+            )
+        viewed = []
+        for j in range(aco.m):
+            source = view(j, k)
+            if source >= k:
+                raise UpdateSequenceError(
+                    f"[A1] violated: view_{j}({k}) = {source} >= {k}"
+                )
+            if source < 0:
+                raise UpdateSequenceError(
+                    f"view_{j}({k}) = {source} is before the initial vector"
+                )
+            viewed.append(history[source][j])
+        previous = history[k - 1]
+        new_vector = [
+            aco.apply(i, viewed) if i in changing else previous[i]
+            for i in range(aco.m)
+        ]
+        history.append(new_vector)
+    return history
+
+
+# --------------------------------------------------------------------- #
+# Admissibility checkers (finite-prefix forms)
+# --------------------------------------------------------------------- #
+
+
+def check_a1_views_from_past(
+    m: int, view: ViewFunction, steps: int
+) -> None:
+    """[A1] on a prefix: view_i(k) < k for all components and 1 <= k <= steps."""
+    for k in range(1, steps + 1):
+        for i in range(m):
+            if view(i, k) >= k:
+                raise UpdateSequenceError(
+                    f"[A1] violated: view_{i}({k}) = {view(i, k)} >= {k}"
+                )
+
+
+def check_a2_all_components_update(
+    m: int, change: ChangeFunction, steps: int, window: Optional[int] = None
+) -> None:
+    """[A2] prefix form: every component updates within every ``window``.
+
+    With window=None just requires each component to update at least once
+    in the whole prefix — the weakest finite consequence of [A2].
+    """
+    if window is None:
+        window = steps
+    if window < 1:
+        raise UpdateSequenceError(f"window must be positive, got {window}")
+    for start in range(1, steps - window + 2):
+        seen: Set[int] = set()
+        for k in range(start, start + window):
+            seen |= change(k)
+        missing = set(range(m)) - seen
+        if missing:
+            raise UpdateSequenceError(
+                f"[A2] violated on window [{start}, {start + window - 1}]: "
+                f"components {sorted(missing)} never update"
+            )
+
+
+def check_a3_views_finitely_used(
+    m: int, view: ViewFunction, steps: int, max_uses: Optional[int] = None
+) -> None:
+    """[A3] prefix form: no view value is reused more than ``max_uses`` times.
+
+    Defaults to ``steps`` (i.e. only flags a value pinned for the *entire*
+    prefix); tighter bounds express stronger staleness limits.
+    """
+    if max_uses is None:
+        max_uses = steps
+    uses: Dict[tuple, int] = {}
+    for k in range(1, steps + 1):
+        for i in range(m):
+            key = (i, view(i, k))
+            uses[key] = uses.get(key, 0) + 1
+            if uses[key] > max_uses:
+                raise UpdateSequenceError(
+                    f"[A3] violated: view value x_{i}({view(i, k)}) used more "
+                    f"than {max_uses} times within the prefix"
+                )
+
+
+# --------------------------------------------------------------------- #
+# Pseudocycle extraction ([B1]-[B2])
+# --------------------------------------------------------------------- #
+
+
+def extract_pseudocycles(
+    m: int,
+    change: ChangeFunction,
+    view: ViewFunction,
+    steps: int,
+) -> List[int]:
+    """Partition updates 1..steps into pseudocycles satisfying [B1]-[B2].
+
+    Returns the starts φ(1), φ(2), ... of pseudocycles 1, 2, ... (1-based
+    update indices; pseudocycle 0 starts at update 1, and pseudocycle K
+    comprises updates φ(K)..φ(K+1)-1).  The partition satisfies
+
+    [B1] every component updates at least once in each closed pseudocycle;
+    [B2] every update in pseudocycle K >= 1 views only values produced in
+         pseudocycle K-1 or later.  Views of the initial vector (index 0)
+         count as produced in pseudocycle 0, so the constraint only bites
+         from pseudocycle 2 onward.
+
+    The algorithm closes each pseudocycle greedily as soon as [B1] holds,
+    and *merges* a pseudocycle back into its predecessor whenever an update
+    turns out to use a view too old for the current floor — extending
+    pseudocycles is always admissible, so the result is a valid partition
+    (close to the maximum number of pseudocycles in the prefix).
+    """
+    all_components = set(range(m))
+    if not all_components:
+        return []
+    starts: List[int] = [1]          # starts[K] = first update of pseudocycle K
+    updated_stack: List[Set[int]] = [set()]  # components updated in each cycle
+
+    def floor_for(cycle_index: int) -> int:
+        # Views in pseudocycle K must be >= start of pseudocycle K-1; the
+        # initial vector (view index 0) belongs to pseudocycle 0, so the
+        # floor is 0 during pseudocycles 0 and 1.
+        if cycle_index <= 1:
+            return 0
+        return starts[cycle_index - 1]
+
+    for k in range(1, steps + 1):
+        min_view = min(view(i, k) for i in range(m))
+        # Merge the open cycle into its predecessor while this update's
+        # views are too old for the open cycle's floor.
+        while len(starts) > 1 and min_view < floor_for(len(starts) - 1):
+            merged = updated_stack.pop()
+            starts.pop()
+            updated_stack[-1] |= merged
+        updated_stack[-1] |= change(k)
+        if updated_stack[-1] == all_components:
+            starts.append(k + 1)
+            updated_stack.append(set())
+    return starts[1:]

@@ -1,0 +1,94 @@
+"""Quorum system base class."""
+
+from typing import FrozenSet, Iterator, Optional
+
+import numpy as np
+
+
+class QuorumSystemError(ValueError):
+    """Raised for invalid quorum-system parameters."""
+
+
+class QuorumSystem:
+    """A collection of quorums over the universe ``{0, ..., n-1}``.
+
+    Subclasses implement :meth:`read_quorum` and :meth:`write_quorum`
+    (symmetric systems implement just :meth:`quorum`).  Sampling takes an
+    explicit RNG so quorum choice is attributable to a named random stream.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise QuorumSystemError(f"need at least one server, got n={n}")
+        self.n = n
+
+    # -- sampling ------------------------------------------------------ #
+
+    def quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        """Sample one quorum (symmetric systems)."""
+        raise NotImplementedError
+
+    def read_quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        """Sample a quorum for a read.  Defaults to :meth:`quorum`."""
+        return self.quorum(rng)
+
+    def write_quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        """Sample a quorum for a write.  Defaults to :meth:`quorum`."""
+        return self.quorum(rng)
+
+    # -- structure ------------------------------------------------------ #
+
+    @property
+    def is_strict(self) -> bool:
+        """True when every read quorum intersects every write quorum."""
+        raise NotImplementedError
+
+    @property
+    def quorum_size(self) -> int:
+        """Size of the (smallest) quorum; used in complexity formulas."""
+        raise NotImplementedError
+
+    def enumerate_quorums(self) -> Optional[Iterator[FrozenSet[int]]]:
+        """Enumerate all quorums, or None when infeasible.
+
+        Used by brute-force availability cross-checks in the tests; systems
+        with astronomically many quorums (probabilistic, majority at large
+        n) return None.
+        """
+        return None
+
+    # -- analytic properties -------------------------------------------- #
+
+    def availability(self) -> int:
+        """Minimum number of server crashes that disables every quorum.
+
+        This is the paper's Section 4 notion (due to Peleg and Wool): the
+        size of a minimum "hitting set" of crashes.  Subclasses return the
+        known analytic value.
+        """
+        raise NotImplementedError
+
+    def analytic_load(self) -> float:
+        """The load (access probability of the busiest server) under the
+        system's natural sampling strategy."""
+        raise NotImplementedError
+
+    def is_available(self, alive: frozenset) -> Optional[bool]:
+        """Whether some quorum is fully contained in ``alive``.
+
+        Returns None when the system has no efficient structural test;
+        callers then fall back to enumeration or sampling.
+        """
+        return None
+
+    def validate_quorum(self, quorum: FrozenSet[int]) -> None:
+        """Raise if ``quorum`` is not a subset of the universe."""
+        if not quorum:
+            raise QuorumSystemError("empty quorum")
+        if not all(0 <= member < self.n for member in quorum):
+            raise QuorumSystemError(
+                f"quorum {sorted(quorum)} escapes universe of size {self.n}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n})"

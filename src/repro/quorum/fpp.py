@@ -1,0 +1,128 @@
+"""Finite-projective-plane quorum system (Maekawa, 1985).
+
+In the projective plane PG(2, q) over GF(q), q prime, there are
+n = q² + q + 1 points and equally many lines; every line has q + 1 points
+and *any two lines meet in exactly one point*.  Taking lines as quorums
+gives a strict system with quorum size q + 1 ≈ √n and load ≈ 1/√n — the
+other optimal-load strict construction cited in Section 6.4.  Availability
+is only q + 1: crashing all points of one line hits every other line.
+"""
+
+import math
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.quorum.base import QuorumSystem, QuorumSystemError
+
+
+def is_prime(value: int) -> bool:
+    """Primality by trial division (orders of interest are tiny)."""
+    if value < 2:
+        return False
+    if value < 4:
+        return True
+    if value % 2 == 0:
+        return False
+    for divisor in range(3, int(math.isqrt(value)) + 1, 2):
+        if value % divisor == 0:
+            return False
+    return True
+
+
+def _normalize(point: Tuple[int, int, int], q: int) -> Tuple[int, int, int]:
+    """Scale a homogeneous triple so its first nonzero coordinate is 1."""
+    for coord in point:
+        if coord % q != 0:
+            inverse = pow(coord, q - 2, q)
+            return tuple((c * inverse) % q for c in point)
+    raise ValueError("the zero triple is not a projective point")
+
+
+class FppQuorumSystem(QuorumSystem):
+    """Lines of PG(2, q) as quorums over n = q² + q + 1 servers."""
+
+    def __init__(self, order: int) -> None:
+        if not is_prime(order):
+            raise QuorumSystemError(
+                f"projective plane order must be prime here, got {order}"
+            )
+        self.order = order
+        q = order
+        super().__init__(q * q + q + 1)
+        points = self._projective_points(q)
+        self._point_index: Dict[Tuple[int, int, int], int] = {
+            point: idx for idx, point in enumerate(points)
+        }
+        # Lines are also normalized triples; point P lies on line L iff
+        # P·L ≡ 0 (mod q).
+        self._lines: List[FrozenSet[int]] = []
+        for line in points:  # lines are in bijection with points (duality)
+            members = frozenset(
+                idx
+                for point, idx in self._point_index.items()
+                if sum(a * b for a, b in zip(point, line)) % q == 0
+            )
+            self._lines.append(members)
+        self._validate_plane()
+
+    @staticmethod
+    def _projective_points(q: int) -> List[Tuple[int, int, int]]:
+        points = set()
+        for x in range(q):
+            for y in range(q):
+                for z in range(q):
+                    if x == y == z == 0:
+                        continue
+                    points.add(_normalize((x, y, z), q))
+        return sorted(points)
+
+    def _validate_plane(self) -> None:
+        expected = self.order + 1
+        for line in self._lines:
+            if len(line) != expected:
+                raise QuorumSystemError(
+                    f"PG(2,{self.order}) construction broken: line of size "
+                    f"{len(line)}, expected {expected}"
+                )
+
+    @classmethod
+    def largest_order_for(cls, max_servers: int) -> Optional[int]:
+        """The largest prime q with q²+q+1 <= max_servers, if any."""
+        best = None
+        q = 2
+        while q * q + q + 1 <= max_servers:
+            if is_prime(q):
+                best = q
+            q += 1
+        return best
+
+    def quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        return self._lines[int(rng.integers(len(self._lines)))]
+
+    @property
+    def is_strict(self) -> bool:
+        return True
+
+    @property
+    def quorum_size(self) -> int:
+        return self.order + 1
+
+    def enumerate_quorums(self) -> Optional[Iterator[FrozenSet[int]]]:
+        return iter(self._lines)
+
+    def availability(self) -> int:
+        """q + 1: crash every point of one line; each other line meets it."""
+        return self.order + 1
+
+    def is_available(self, alive: frozenset) -> bool:
+        """Some line must be fully alive."""
+        return any(line <= alive for line in self._lines)
+
+    def analytic_load(self) -> float:
+        """Each point lies on q+1 of the q²+q+1 lines, so uniform line
+        choice hits each server with probability (q+1)/n ≈ 1/√n."""
+        return (self.order + 1) / self.n
+
+    def __repr__(self) -> str:
+        return f"FppQuorumSystem(order={self.order}, n={self.n})"

@@ -1,0 +1,105 @@
+"""Grid quorum system (Cheung, Ammar and Ahamad, 1990).
+
+Servers are arranged in an r×c grid; a quorum is one full row together with
+one full column.  Any two quorums intersect (each one's row crosses the
+other's column), quorum size is r + c - 1 = Θ(√n) for a square grid —
+giving the optimal-load strict system the paper cites in Section 6.4 —
+but availability is only O(√n): killing one server per row disables every
+row and hence every quorum.
+"""
+
+import math
+from typing import FrozenSet, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.quorum.base import QuorumSystem, QuorumSystemError
+
+
+class GridQuorumSystem(QuorumSystem):
+    """Row-plus-column quorums on an r×c grid of n = r·c servers."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise QuorumSystemError(f"grid must be at least 1x1, got {rows}x{cols}")
+        super().__init__(rows * cols)
+        self.rows = rows
+        self.cols = cols
+
+    @classmethod
+    def square(cls, n: int) -> "GridQuorumSystem":
+        """Build the most-square grid whose area is exactly n."""
+        side = int(math.isqrt(n))
+        for rows in range(side, 0, -1):
+            if n % rows == 0:
+                return cls(rows, n // rows)
+        return cls(1, n)
+
+    def _server(self, row: int, col: int) -> int:
+        return row * self.cols + col
+
+    def row_members(self, row: int) -> FrozenSet[int]:
+        """All servers in ``row``."""
+        return frozenset(self._server(row, c) for c in range(self.cols))
+
+    def col_members(self, col: int) -> FrozenSet[int]:
+        """All servers in ``col``."""
+        return frozenset(self._server(r, col) for r in range(self.rows))
+
+    def quorum_for(self, row: int, col: int) -> FrozenSet[int]:
+        """The quorum made of ``row`` plus ``col``."""
+        return self.row_members(row) | self.col_members(col)
+
+    def quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        row = int(rng.integers(self.rows))
+        col = int(rng.integers(self.cols))
+        return self.quorum_for(row, col)
+
+    @property
+    def is_strict(self) -> bool:
+        return True
+
+    @property
+    def quorum_size(self) -> int:
+        return self.rows + self.cols - 1
+
+    def enumerate_quorums(self) -> Optional[Iterator[FrozenSet[int]]]:
+        return (
+            self.quorum_for(row, col)
+            for row in range(self.rows)
+            for col in range(self.cols)
+        )
+
+    def availability(self) -> int:
+        """min(rows, cols) crashes (one per row, or one per column).
+
+        One crash per row kills every row; since every quorum contains a
+        full row, all quorums die.  Symmetrically for columns.  No smaller
+        set works: with fewer than min(rows, cols) crashes some row r and
+        some column c are untouched, and quorum (r, c) survives.
+        """
+        return min(self.rows, self.cols)
+
+    def is_available(self, alive: frozenset) -> bool:
+        """A quorum survives iff some full row and some full column do."""
+        row_alive = any(
+            self.row_members(row) <= alive for row in range(self.rows)
+        )
+        col_alive = any(
+            self.col_members(col) <= alive for col in range(self.cols)
+        )
+        return row_alive and col_alive
+
+    def analytic_load(self) -> float:
+        """Uniform (row, col) choice hits each server with probability
+        1/rows + 1/cols - 1/(rows·cols) — about 2/√n on a square grid."""
+        return 1.0 / self.rows + 1.0 / self.cols - 1.0 / (self.rows * self.cols)
+
+    def coordinates(self, server: int) -> Tuple[int, int]:
+        """Inverse of the server numbering: (row, col) of a server id."""
+        if not 0 <= server < self.n:
+            raise QuorumSystemError(f"server {server} out of range [0, {self.n})")
+        return divmod(server, self.cols)
+
+    def __repr__(self) -> str:
+        return f"GridQuorumSystem({self.rows}x{self.cols})"

@@ -1,0 +1,187 @@
+"""Hierarchical quorum consensus (Kumar, 1991).
+
+Servers form a tree of groups: at the top level the universe splits into
+g groups, a quorum needs a majority of groups, and within each chosen
+group recursively a (sub)quorum.  With 3-way splits at every level the
+quorum size is n^{log_3 2} ≈ n^0.63 — between majority's Θ(n) and the
+grid/FPP Θ(√n) — with availability better than the grid's.
+
+Included as an intermediate point on the Section 4 load/availability
+spectrum.
+"""
+
+import math
+from typing import FrozenSet, Iterator, List, Optional
+
+import numpy as np
+
+from repro.quorum.base import QuorumSystem, QuorumSystemError
+
+
+class HierarchicalQuorumSystem(QuorumSystem):
+    """Recursive majority-of-groups over n = branching^depth servers."""
+
+    def __init__(self, depth: int, branching: int = 3) -> None:
+        if depth < 1:
+            raise QuorumSystemError(f"depth must be at least 1, got {depth}")
+        if branching < 2:
+            raise QuorumSystemError(
+                f"branching must be at least 2, got {branching}"
+            )
+        self.depth = depth
+        self.branching = branching
+        super().__init__(branching ** depth)
+        self._group_majority = branching // 2 + 1
+
+    def _sample(
+        self, rng: np.random.Generator, start: int, size: int
+    ) -> FrozenSet[int]:
+        """A quorum of the subtree covering servers [start, start + size)."""
+        if size == 1:
+            return frozenset([start])
+        child_size = size // self.branching
+        chosen = rng.choice(
+            self.branching, size=self._group_majority, replace=False
+        )
+        members: FrozenSet[int] = frozenset()
+        for child in chosen:
+            members |= self._sample(
+                rng, start + int(child) * child_size, child_size
+            )
+        return members
+
+    def quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        return self._sample(rng, 0, self.n)
+
+    def _enumerate(self, start: int, size: int) -> List[FrozenSet[int]]:
+        if size == 1:
+            return [frozenset([start])]
+        child_size = size // self.branching
+        import itertools
+
+        quorums: List[FrozenSet[int]] = []
+        for combo in itertools.combinations(
+            range(self.branching), self._group_majority
+        ):
+            child_lists = [
+                self._enumerate(start + child * child_size, child_size)
+                for child in combo
+            ]
+            for parts in itertools.product(*child_lists):
+                merged: FrozenSet[int] = frozenset()
+                for part in parts:
+                    merged |= part
+                quorums.append(merged)
+        return quorums
+
+    def enumerate_quorums(self) -> Optional[Iterator[FrozenSet[int]]]:
+        if self.n > 81:
+            return None
+        return iter(self._enumerate(0, self.n))
+
+    @property
+    def is_strict(self) -> bool:
+        # Majorities of groups intersect in a group; recursively the
+        # sub-quorums of that group intersect.
+        return True
+
+    @property
+    def quorum_size(self) -> int:
+        return self._group_majority ** self.depth
+
+    def availability(self) -> int:
+        """Killing the system needs, recursively, enough crashes to kill
+        ⌈b/2⌉ of the b child systems (leaving fewer than a majority):
+        A(d) = (b - majority + 1) · A(d-1) with A(0) = 1."""
+        per_level = self.branching - self._group_majority + 1
+        return per_level ** self.depth
+
+    def analytic_load(self) -> float:
+        """Each child group is chosen with probability majority/branching
+        at every level, so a server is hit with (maj/b)^depth."""
+        return (self._group_majority / self.branching) ** self.depth
+
+    def is_available(self, alive: frozenset) -> bool:
+        """Recursive: a subtree is available iff a majority of its child
+        groups are; a leaf iff the server is alive."""
+
+        def available(start: int, size: int) -> bool:
+            if size == 1:
+                return start in alive
+            child_size = size // self.branching
+            live_children = sum(
+                1
+                for child in range(self.branching)
+                if available(start + child * child_size, child_size)
+            )
+            return live_children >= self._group_majority
+
+        return available(0, self.n)
+
+    def __repr__(self) -> str:
+        return (
+            f"HierarchicalQuorumSystem(depth={self.depth}, "
+            f"branching={self.branching}, n={self.n})"
+        )
+
+
+class WheelQuorumSystem(QuorumSystem):
+    """The wheel system: a hub plus spokes.
+
+    Quorums are either {hub, spoke_i} (for any spoke i) or the full rim
+    (all spokes).  Any two quorums intersect: two hub quorums share the
+    hub; a hub quorum and the rim share the spoke; the rim shares itself.
+    Load can be pushed to ~1/2 on the hub with tiny quorums of size 2,
+    and availability is 2 (crash the hub and one spoke... crash the hub
+    and any spoke kills all {hub, s} quorums and the rim respectively).
+
+    The classic example showing that *tiny* strict quorums exist at the
+    price of terrible fault tolerance — another Section 4 data point.
+    """
+
+    def __init__(self, n: int, rim_probability: float = 0.1) -> None:
+        if n < 3:
+            raise QuorumSystemError(f"a wheel needs at least 3 servers, got {n}")
+        if not 0.0 <= rim_probability < 1.0:
+            raise QuorumSystemError(
+                f"rim probability must be in [0, 1), got {rim_probability}"
+            )
+        super().__init__(n)
+        self.hub = 0
+        self.rim_probability = rim_probability
+        self._rim = frozenset(range(1, n))
+
+    def quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        if rng.random() < self.rim_probability:
+            return self._rim
+        spoke = 1 + int(rng.integers(self.n - 1))
+        return frozenset([self.hub, spoke])
+
+    def enumerate_quorums(self) -> Optional[Iterator[FrozenSet[int]]]:
+        spokes = [frozenset([self.hub, s]) for s in range(1, self.n)]
+        return iter(spokes + [self._rim])
+
+    @property
+    def is_strict(self) -> bool:
+        return True
+
+    @property
+    def quorum_size(self) -> int:
+        return 2
+
+    def availability(self) -> int:
+        """Crashing the hub and any one spoke kills every quorum."""
+        return 2
+
+    def analytic_load(self) -> float:
+        """The hub is on every non-rim quorum."""
+        return 1.0 - self.rim_probability
+
+    def is_available(self, alive: frozenset) -> bool:
+        """Hub plus any spoke, or the full rim."""
+        if self.hub in alive and any(s in alive for s in self._rim):
+            return True
+        return self._rim <= alive
+
+    def __repr__(self) -> str:
+        return f"WheelQuorumSystem(n={self.n})"

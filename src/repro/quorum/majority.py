@@ -1,0 +1,53 @@
+"""Majority quorum system.
+
+Quorums are all subsets of size ⌊n/2⌋+1.  Any two majorities intersect, and
+availability is the best possible for a strict system: ⌈n/2⌉ crashes are
+needed to disable every quorum.  The price is load ≈ 1/2 (Section 4).
+"""
+
+import itertools
+import math
+from typing import FrozenSet, Iterator, Optional
+
+import numpy as np
+
+from repro.quorum.base import QuorumSystem
+
+
+class MajorityQuorumSystem(QuorumSystem):
+    """All (⌊n/2⌋+1)-subsets of n servers."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self.k = n // 2 + 1
+
+    def quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        members = rng.choice(self.n, size=self.k, replace=False)
+        return frozenset(int(m) for m in members)
+
+    @property
+    def is_strict(self) -> bool:
+        return True
+
+    @property
+    def quorum_size(self) -> int:
+        return self.k
+
+    def enumerate_quorums(self) -> Optional[Iterator[FrozenSet[int]]]:
+        if math.comb(self.n, self.k) > 200_000:
+            return None
+        return (
+            frozenset(combo) for combo in itertools.combinations(range(self.n), self.k)
+        )
+
+    def availability(self) -> int:
+        """⌈n/2⌉ crashes leave fewer than ⌊n/2⌋+1 servers alive."""
+        return self.n - self.k + 1
+
+    def is_available(self, alive: frozenset) -> bool:
+        """Some majority is fully alive iff a majority of servers is."""
+        return len(alive) >= self.k
+
+    def analytic_load(self) -> float:
+        """Uniform sampling hits each server with probability k/n ≈ 1/2."""
+        return self.k / self.n

@@ -1,0 +1,76 @@
+"""The probabilistic quorum system of Malkhi, Reiter and Wright.
+
+Each access chooses a uniform random k-subset of the n servers.  Two
+independently chosen quorums fail to intersect with probability
+``C(n-k, k) / C(n, k)``, which Proposition 3.2 of [19] bounds above by
+``((n-k)/n)^k``; choosing ``k = c·√n`` makes non-intersection at most
+``e^{-c²}``, independent of n.
+"""
+
+import math
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.quorum.base import QuorumSystem, QuorumSystemError
+
+
+class ProbabilisticQuorumSystem(QuorumSystem):
+    """Uniform random k-subsets of n servers."""
+
+    def __init__(self, n: int, k: int) -> None:
+        super().__init__(n)
+        if not 1 <= k <= n:
+            raise QuorumSystemError(f"quorum size k={k} must be in [1, {n}]")
+        self.k = k
+
+    def quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        members = rng.choice(self.n, size=self.k, replace=False)
+        return frozenset(int(m) for m in members)
+
+    @property
+    def is_strict(self) -> bool:
+        # All k-subsets pairwise intersect exactly when 2k > n.
+        return 2 * self.k > self.n
+
+    @property
+    def quorum_size(self) -> int:
+        return self.k
+
+    def non_intersection_probability(self) -> float:
+        """Exact Pr[two independent quorums are disjoint] = C(n-k,k)/C(n,k)."""
+        if 2 * self.k > self.n:
+            return 0.0
+        return math.comb(self.n - self.k, self.k) / math.comb(self.n, self.k)
+
+    def intersection_probability(self) -> float:
+        """Exact Pr[two independent quorums intersect]."""
+        return 1.0 - self.non_intersection_probability()
+
+    def non_intersection_upper_bound(self) -> float:
+        """Proposition 3.2 of [19]: C(n-k,k)/C(n,k) <= ((n-k)/n)^k."""
+        return ((self.n - self.k) / self.n) ** self.k
+
+    def availability(self) -> int:
+        """Quorums are drawn from live servers, so the system functions as
+        long as k servers are up: n - k + 1 crashes are needed — Θ(n) for
+        k = Θ(√n), the headline availability result of [19]."""
+        return self.n - self.k + 1
+
+    def analytic_load(self) -> float:
+        """Under uniform sampling each server is hit with probability k/n."""
+        return self.k / self.n
+
+    def is_available(self, alive: frozenset) -> bool:
+        """Quorums are drawn from live servers: k of them must be up."""
+        return len(alive) >= self.k
+
+    @staticmethod
+    def optimal_k(n: int, c: float = 1.0) -> int:
+        """The paper's recommended quorum size k = ⌈c·√n⌉ (capped at n)."""
+        if n < 1:
+            raise QuorumSystemError(f"need n >= 1, got {n}")
+        return min(n, max(1, math.ceil(c * math.sqrt(n))))
+
+    def __repr__(self) -> str:
+        return f"ProbabilisticQuorumSystem(n={self.n}, k={self.k})"

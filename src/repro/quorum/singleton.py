@@ -1,0 +1,51 @@
+"""Singleton quorum system: one coordinator server.
+
+The degenerate strict system — every quorum is the same single server.
+Load is 1 (every access hits the coordinator) and availability is 1 (one
+crash takes the system down).  Useful as the extreme point in load and
+availability comparisons, and as the trivially correct register baseline
+in tests.
+"""
+
+from typing import FrozenSet, Iterator, Optional
+
+import numpy as np
+
+from repro.quorum.base import QuorumSystem, QuorumSystemError
+
+
+class SingletonQuorumSystem(QuorumSystem):
+    """All quorums equal {coordinator}."""
+
+    def __init__(self, n: int, coordinator: int = 0) -> None:
+        super().__init__(n)
+        if not 0 <= coordinator < n:
+            raise QuorumSystemError(
+                f"coordinator {coordinator} out of range [0, {n})"
+            )
+        self.coordinator = coordinator
+        self._quorum = frozenset([coordinator])
+
+    def quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        return self._quorum
+
+    @property
+    def is_strict(self) -> bool:
+        return True
+
+    @property
+    def quorum_size(self) -> int:
+        return 1
+
+    def enumerate_quorums(self) -> Optional[Iterator[FrozenSet[int]]]:
+        return iter([self._quorum])
+
+    def availability(self) -> int:
+        return 1
+
+    def is_available(self, alive: frozenset) -> bool:
+        """The coordinator must be alive."""
+        return self.coordinator in alive
+
+    def analytic_load(self) -> float:
+        return 1.0

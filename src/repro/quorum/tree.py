@@ -1,0 +1,129 @@
+"""Tree quorum system (Agrawal and El Abbadi, 1991).
+
+Servers are the nodes of a complete binary tree.  A quorum for a subtree is
+defined recursively: either the root together with a quorum of one child's
+subtree, or quorums of *both* children's subtrees (used when the root is
+avoided).  Any two quorums intersect; quorum sizes range from O(log n)
+(a root-to-leaf path, when all choices take the root) to O(n).
+
+Included as an additional strict baseline: it illustrates a different point
+on the load/availability trade-off than majority, grid and FPP.
+"""
+
+from typing import FrozenSet, Iterator, List, Optional
+
+import numpy as np
+
+from repro.quorum.base import QuorumSystem, QuorumSystemError
+
+
+class TreeQuorumSystem(QuorumSystem):
+    """Recursive quorums over a complete binary tree of n = 2^d - 1 nodes."""
+
+    def __init__(self, n: int, descend_probability: float = 0.75) -> None:
+        if n < 1 or (n & (n + 1)) != 0:
+            raise QuorumSystemError(
+                f"tree quorum system needs n = 2^d - 1 nodes, got {n}"
+            )
+        if not 0.0 < descend_probability <= 1.0:
+            raise QuorumSystemError(
+                f"descend probability must be in (0, 1], got {descend_probability}"
+            )
+        super().__init__(n)
+        self.descend_probability = descend_probability
+
+    # Nodes are heap-indexed: root 0, children of v are 2v+1 and 2v+2.
+
+    def _children(self, node: int) -> Optional[List[int]]:
+        left, right = 2 * node + 1, 2 * node + 2
+        if left >= self.n:
+            return None
+        return [left, right]
+
+    def _sample(self, node: int, rng: np.random.Generator) -> FrozenSet[int]:
+        children = self._children(node)
+        if children is None:
+            return frozenset([node])
+        use_root = rng.random() < self.descend_probability
+        if use_root:
+            child = children[int(rng.integers(2))]
+            return frozenset([node]) | self._sample(child, rng)
+        return self._sample(children[0], rng) | self._sample(children[1], rng)
+
+    def quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        return self._sample(0, rng)
+
+    def _enumerate(self, node: int) -> List[FrozenSet[int]]:
+        children = self._children(node)
+        if children is None:
+            return [frozenset([node])]
+        left = self._enumerate(children[0])
+        right = self._enumerate(children[1])
+        quorums = [frozenset([node]) | q for q in left]
+        quorums += [frozenset([node]) | q for q in right]
+        quorums += [lq | rq for lq in left for rq in right]
+        return quorums
+
+    def enumerate_quorums(self) -> Optional[Iterator[FrozenSet[int]]]:
+        # The quorum count satisfies C(d) = (C(d-1) + 1)^2 - 1, so depth 6
+        # (n = 63) already has ~4.3 billion quorums; stop at depth 5.
+        if self.n > 31:
+            return None
+        return iter(self._enumerate(0))
+
+    @property
+    def is_strict(self) -> bool:
+        return True
+
+    @property
+    def quorum_size(self) -> int:
+        # The smallest quorum is a root-to-leaf path of length d = log2(n+1).
+        return (self.n + 1).bit_length() - 1
+
+    def availability(self) -> int:
+        """The minimum hitting set of the tree quorums.
+
+        For a complete binary tree of depth d the cheapest kill is a
+        root-to-leaf path — crash the root and then, recursively, one
+        child's subtree quorums must also be killed on *both* sides... in
+        fact killing the root forces killing both children's systems, so
+        A(d) = 1 + ... ; the standard result is that availability equals
+        the depth-d value A(d) = min over strategies, computed recursively
+        here: A(leaf) = 1; A(node) = min(1 + A(child killing both), ...).
+
+        A quorum either contains the root or is a pair of child quorums.
+        Killing everything means: (kill root AND kill one child system is
+        not enough — the other child pair survives)... precisely:
+        hitting set H hits all quorums iff
+        (root in H and (H hits left or H hits right)) or
+        (H hits left and H hits right).
+        Minimum = min(1 + m(d-1), 2·m(d-1)) where m(d) is the minimum for
+        depth d; since m(1) = 1 this gives m(d) = d: the root-to-leaf path.
+        """
+        return (self.n + 1).bit_length() - 1
+
+    def is_available(self, alive: frozenset) -> bool:
+        """Recursive: a subtree has a live quorum iff (root alive and one
+        child subtree does) or both child subtrees do; a live leaf always
+        does."""
+        def available(node: int) -> bool:
+            children = self._children(node)
+            if children is None:
+                return node in alive
+            left, right = (available(child) for child in children)
+            if node in alive:
+                return left or right
+            return left and right
+        return available(0)
+
+    def analytic_load(self) -> float:
+        """The root is on every root-containing quorum; with descend
+        probability p the root is accessed with probability p itself (it is
+        skipped only when the top-level choice splits), so load ≈ p."""
+        return self.descend_probability
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeQuorumSystem(n={self.n}, "
+            f"descend_probability={self.descend_probability})"
+        )

@@ -1,0 +1,79 @@
+"""Asymmetric read/write threshold quorums (Gifford's weighted voting,
+with unit weights).
+
+Read quorums are any r-subsets and write quorums any w-subsets with
+r + w > n (every read quorum meets every write quorum) and 2w > n (any two
+write quorums meet, so writes are totally ordered).  Skewing r small and w
+large trades read cost against write cost — a useful strict baseline for
+read-heavy iterative workloads, where Alg. 1 performs m reads per write.
+"""
+
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.quorum.base import QuorumSystem, QuorumSystemError
+
+
+class VotingQuorumSystem(QuorumSystem):
+    """Threshold read/write quorums: |read| = r, |write| = w, r+w > n, 2w > n."""
+
+    def __init__(self, n: int, read_size: int, write_size: int) -> None:
+        super().__init__(n)
+        if not 1 <= read_size <= n or not 1 <= write_size <= n:
+            raise QuorumSystemError(
+                f"quorum sizes must be in [1, {n}], got r={read_size}, w={write_size}"
+            )
+        if read_size + write_size <= n:
+            raise QuorumSystemError(
+                f"need r + w > n for read/write intersection, got "
+                f"{read_size}+{write_size} <= {n}"
+            )
+        if 2 * write_size <= n:
+            raise QuorumSystemError(
+                f"need 2w > n for write/write intersection, got 2*{write_size} <= {n}"
+            )
+        self.read_size = read_size
+        self.write_size = write_size
+
+    def _sample(self, rng: np.random.Generator, size: int) -> FrozenSet[int]:
+        members = rng.choice(self.n, size=size, replace=False)
+        return frozenset(int(m) for m in members)
+
+    def quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        return self.read_quorum(rng)
+
+    def read_quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        return self._sample(rng, self.read_size)
+
+    def write_quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        return self._sample(rng, self.write_size)
+
+    @property
+    def is_strict(self) -> bool:
+        return True
+
+    @property
+    def quorum_size(self) -> int:
+        return min(self.read_size, self.write_size)
+
+    def availability(self) -> int:
+        """The system dies when either reads or writes become impossible:
+        n - max(r, w) + 1 crashes suffice (and are needed)."""
+        return self.n - max(self.read_size, self.write_size) + 1
+
+    def is_available(self, alive: frozenset) -> bool:
+        """Reads and writes both possible: max(r, w) servers alive."""
+        return len(alive) >= max(self.read_size, self.write_size)
+
+    def analytic_load(self) -> float:
+        """Assuming an equal mix of reads and writes, each server is hit
+        with probability (r/n + w/n)/2; reads dominate Alg. 1's traffic so
+        this is an upper estimate for that workload."""
+        return (self.read_size + self.write_size) / (2.0 * self.n)
+
+    def __repr__(self) -> str:
+        return (
+            f"VotingQuorumSystem(n={self.n}, r={self.read_size}, "
+            f"w={self.write_size})"
+        )

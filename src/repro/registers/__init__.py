@@ -1,0 +1,48 @@
+"""Register implementations over quorum systems.
+
+This layer implements the paper's Section 4 and 6.2 algorithms:
+
+* :class:`QuorumRegisterClient` — the (single-writer) probabilistic quorum
+  register of Malkhi, Reiter and Wright: reads query a random quorum and
+  return the highest-timestamped value; writes update a random quorum with
+  a fresh timestamp.
+* the **monotone** variant (Section 6.2): the client additionally caches
+  the highest-timestamped value it has ever returned, and serves the cache
+  when a read quorum only produced older values.
+* the **strict** baseline: the same protocol over any strict quorum system
+  (majority, grid, FPP, ...), which yields a regular register.
+
+:class:`RegisterDeployment` wires scheduler, network, replica servers and
+clients together and exposes per-register handles implementing
+:class:`repro.core.register.AbstractRegister`.
+"""
+
+from repro.registers.messages import ReadQuery, ReadReply, WriteAck, WriteUpdate
+from repro.registers.server import ReplicaServer
+from repro.registers.space import RegisterInfo, RegisterSpace
+from repro.registers.client import QuorumRegisterClient, RegisterHandle
+from repro.registers.deployment import RegisterDeployment
+from repro.registers.atomic import AtomicClient, MultiWriterClient
+from repro.registers.masking import (
+    ByzantineReplicaServer,
+    MaskingClient,
+    replace_with_byzantine,
+)
+
+__all__ = [
+    "AtomicClient",
+    "ByzantineReplicaServer",
+    "MaskingClient",
+    "MultiWriterClient",
+    "QuorumRegisterClient",
+    "ReadQuery",
+    "ReadReply",
+    "RegisterDeployment",
+    "RegisterHandle",
+    "RegisterInfo",
+    "RegisterSpace",
+    "ReplicaServer",
+    "WriteAck",
+    "WriteUpdate",
+    "replace_with_byzantine",
+]

@@ -1,0 +1,260 @@
+"""Client-side shared register subsystem.
+
+Implements the read and write protocols of the probabilistic quorum
+algorithm (Section 4) and, when ``monotone=True``, the monotone variant of
+Section 6.2: the client remembers the largest timestamp (and value) any of
+its reads has returned, and answers from that cache when a read quorum
+returns only older values.  Exactly the same client code over a *strict*
+quorum system yields the regular-register baseline.
+"""
+
+import itertools
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.history import ReadRecord, WriteRecord
+from repro.core.register import AbstractRegister
+from repro.core.timestamps import Timestamp
+from repro.quorum.base import QuorumSystem
+from repro.registers.messages import ReadQuery, ReadReply, WriteAck, WriteUpdate
+from repro.registers.space import RegisterSpace
+from repro.sim.futures import Future
+from repro.sim.network import Node
+from repro.sim.scheduler import EventHandle
+
+
+class SingleWriterViolation(RuntimeError):
+    """Raised when a client writes a register it does not own."""
+
+
+class _PendingOp:
+    """Book-keeping for one in-flight read or write."""
+
+    __slots__ = (
+        "op_id",
+        "register",
+        "is_read",
+        "quorum",
+        "replies",
+        "future",
+        "record",
+        "value",
+        "timestamp",
+        "retry_handle",
+    )
+
+    def __init__(
+        self,
+        op_id: int,
+        register: str,
+        is_read: bool,
+        quorum: FrozenSet[int],
+        future: Future,
+        record,
+        value: Any = None,
+        timestamp: Optional[Timestamp] = None,
+    ) -> None:
+        self.op_id = op_id
+        self.register = register
+        self.is_read = is_read
+        self.quorum = quorum
+        self.replies: Dict[int, Any] = {}
+        self.future = future
+        self.record = record
+        self.value = value
+        self.timestamp = timestamp
+        self.retry_handle: Optional[EventHandle] = None
+
+    def complete_against_quorum(self) -> bool:
+        """True once every member of the current quorum has replied."""
+        return all(member in self.replies for member in self.quorum)
+
+
+class QuorumRegisterClient(Node):
+    """The shared register subsystem attached to one application process."""
+
+    _op_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        client_id: int,
+        space: RegisterSpace,
+        quorum_system: QuorumSystem,
+        server_ids: List[int],
+        rng: np.random.Generator,
+        monotone: bool = False,
+        retry_interval: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        self.client_id = client_id
+        self.space = space
+        self.quorum_system = quorum_system
+        self.server_ids = list(server_ids)
+        self.rng = rng
+        self.monotone = monotone
+        self.retry_interval = retry_interval
+        self._pending: Dict[int, _PendingOp] = {}
+        # Monotone cache: register name -> (timestamp, value) of the most
+        # recent value this client has returned (Section 6.2).
+        self._cache: Dict[str, Tuple[Timestamp, Any]] = {}
+        # Writer state: next sequence number per owned register.
+        self._write_seq: Dict[str, int] = {}
+        self.reads_performed = 0
+        self.writes_performed = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Quorum plumbing
+    # ------------------------------------------------------------------ #
+
+    def _members(self, quorum: FrozenSet[int]) -> List[int]:
+        """Map abstract quorum indices {0..n-1} to actual server node ids."""
+        return [self.server_ids[i] for i in sorted(quorum)]
+
+    def _send_round(self, op: _PendingOp) -> None:
+        for server in self._members(op.quorum):
+            if op.is_read:
+                self.send(server, ReadQuery(op.register, op.op_id))
+            else:
+                self.send(
+                    server,
+                    WriteUpdate(op.register, op.op_id, op.value, op.timestamp),
+                )
+        if self.retry_interval is not None:
+            op.retry_handle = self.network.scheduler.schedule(
+                self.retry_interval, self._retry, op.op_id
+            )
+
+    def _retry(self, op_id: int) -> None:
+        """Resample a fresh quorum for a stalled operation (crash tolerance)."""
+        op = self._pending.get(op_id)
+        if op is None:
+            return
+        if op.is_read:
+            op.quorum = self.quorum_system.read_quorum(self.rng)
+        else:
+            op.quorum = self.quorum_system.write_quorum(self.rng)
+        if op.complete_against_quorum():
+            # The fresh quorum is already fully covered by earlier replies.
+            self._finish(op)
+            return
+        self._send_round(op)
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+
+    def read(self, register: str) -> Future:
+        """Invoke a read; the future resolves with the returned value."""
+        info = self.space.info(register)
+        now = self.network.scheduler.now
+        record: ReadRecord = info.history.begin_read(self.client_id, now)
+        future = Future(f"read({register}) by c{self.client_id}")
+        quorum = self.quorum_system.read_quorum(self.rng)
+        self.quorum_system.validate_quorum(quorum)
+        op = _PendingOp(
+            next(self._op_ids), register, True, quorum, future, record
+        )
+        self._pending[op.op_id] = op
+        self.reads_performed += 1
+        self._send_round(op)
+        return future
+
+    def write(self, register: str, value: Any) -> Future:
+        """Invoke a write; the future resolves (with None) on the Ack."""
+        info = self.space.info(register)
+        if info.writer is not None and info.writer != self.client_id:
+            raise SingleWriterViolation(
+                f"client {self.client_id} cannot write {register!r}; "
+                f"owner is client {info.writer}"
+            )
+        seq = self._write_seq.get(register, 0) + 1
+        self._write_seq[register] = seq
+        timestamp = Timestamp(seq, self.client_id)
+        now = self.network.scheduler.now
+        record: WriteRecord = info.history.begin_write(
+            self.client_id, now, value, timestamp
+        )
+        future = Future(f"write({register}) by c{self.client_id}")
+        quorum = self.quorum_system.write_quorum(self.rng)
+        self.quorum_system.validate_quorum(quorum)
+        op = _PendingOp(
+            next(self._op_ids), register, False, quorum, future, record,
+            value=value, timestamp=timestamp,
+        )
+        self._pending[op.op_id] = op
+        self.writes_performed += 1
+        self._send_round(op)
+        return future
+
+    # ------------------------------------------------------------------ #
+    # Message handling
+    # ------------------------------------------------------------------ #
+
+    def on_message(self, src: int, message: Any) -> None:
+        if isinstance(message, (ReadReply, WriteAck)):
+            op = self._pending.get(message.op_id)
+            if op is None:
+                return  # late reply for a completed operation
+            try:
+                server_index = self.server_ids.index(src)
+            except ValueError:
+                return  # reply from an unknown node
+            op.replies[server_index] = message
+            if op.complete_against_quorum():
+                self._finish(op)
+
+    def _finish(self, op: _PendingOp) -> None:
+        del self._pending[op.op_id]
+        if op.retry_handle is not None:
+            op.retry_handle.cancel()
+        now = self.network.scheduler.now
+        if not op.is_read:
+            op.record.respond(now)
+            op.future.resolve(None)
+            return
+        # Read: return the highest-timestamped value among quorum replies,
+        # consulting the monotone cache when enabled.
+        quorum_replies = [
+            op.replies[i] for i in op.quorum if isinstance(op.replies.get(i), ReadReply)
+        ]
+        best = max(quorum_replies, key=lambda reply: reply.timestamp)
+        value, timestamp = best.value, best.timestamp
+        if self.monotone:
+            cached = self._cache.get(op.register)
+            if cached is not None and cached[0] > timestamp:
+                timestamp, value = cached
+                self.cache_hits += 1
+            else:
+                self._cache[op.register] = (timestamp, value)
+        op.record.complete(now, value, timestamp)
+        op.future.resolve(value)
+
+    def handle(self, register: str) -> "RegisterHandle":
+        """A per-register view implementing :class:`AbstractRegister`."""
+        return RegisterHandle(self, register)
+
+    def __repr__(self) -> str:
+        mode = "monotone" if self.monotone else "plain"
+        return (
+            f"QuorumRegisterClient(c{self.client_id}, {mode}, "
+            f"reads={self.reads_performed}, writes={self.writes_performed})"
+        )
+
+
+class RegisterHandle(AbstractRegister):
+    """Binds a client and a register name to the AbstractRegister interface."""
+
+    def __init__(self, client: QuorumRegisterClient, register: str) -> None:
+        super().__init__(register, client.space.history(register))
+        self.client = client
+
+    def read(self) -> Future:
+        return self.client.read(self.name)
+
+    def write(self, value: Any) -> Future:
+        return self.client.write(self.name, value)
+
+    def __repr__(self) -> str:
+        return f"RegisterHandle({self.name!r} via c{self.client.client_id})"

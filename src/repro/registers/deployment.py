@@ -1,0 +1,118 @@
+"""Deployment builder: replicated registers over a simulated network.
+
+``RegisterDeployment`` assembles the full stack for an experiment in one
+call: scheduler, delay model, network, ``n`` replica servers, ``p`` client
+subsystems (one per application process), a quorum system, and the
+register namespace — with every random choice drawn from named streams of
+a single root-seeded :class:`~repro.sim.rng.RngRegistry`.
+"""
+
+from typing import Any, List, Optional
+
+from repro.quorum.base import QuorumSystem
+from repro.registers.client import QuorumRegisterClient, RegisterHandle
+from repro.registers.server import ReplicaServer
+from repro.registers.space import RegisterSpace
+from repro.sim.delays import ConstantDelay, DelayModel
+from repro.sim.failures import FailureInjector
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+
+
+class RegisterDeployment:
+    """A complete simulated deployment of quorum-replicated registers."""
+
+    def __init__(
+        self,
+        quorum_system: QuorumSystem,
+        num_clients: int,
+        delay_model: Optional[DelayModel] = None,
+        monotone: bool = False,
+        seed: int = 0,
+        retry_interval: Optional[float] = None,
+        scheduler: Optional[Scheduler] = None,
+        rng_registry: Optional[RngRegistry] = None,
+        client_class: type = QuorumRegisterClient,
+    ) -> None:
+        if num_clients < 1:
+            raise ValueError(f"need at least one client, got {num_clients}")
+        self.quorum_system = quorum_system
+        self.monotone = monotone
+        self.scheduler = scheduler or Scheduler()
+        self.rng = rng_registry or RngRegistry(seed)
+        self.delay_model = delay_model or ConstantDelay(1.0)
+        self.failures = FailureInjector()
+        self.network = Network(
+            self.scheduler,
+            self.delay_model,
+            self.rng.stream("delays"),
+            failures=self.failures,
+        )
+        self.space = RegisterSpace()
+
+        self.servers: List[ReplicaServer] = []
+        for _ in range(quorum_system.n):
+            server = ReplicaServer(self.space)
+            self.network.add_node(server)
+            self.servers.append(server)
+        self.server_ids = [server.node_id for server in self.servers]
+
+        self.clients: List[QuorumRegisterClient] = []
+        for client_id in range(num_clients):
+            client = client_class(
+                client_id,
+                self.space,
+                quorum_system,
+                self.server_ids,
+                self.rng.stream(f"quorum-choice/client-{client_id}"),
+                monotone=monotone,
+                retry_interval=retry_interval,
+            )
+            self.network.add_node(client)
+            self.clients.append(client)
+
+    @property
+    def num_servers(self) -> int:
+        """Number of replica servers (the quorum system's n)."""
+        return self.quorum_system.n
+
+    @property
+    def num_clients(self) -> int:
+        """Number of application processes (the paper's p)."""
+        return len(self.clients)
+
+    def declare_register(
+        self, name: str, writer: Optional[int], initial_value: Any = None
+    ) -> None:
+        """Create a register.  ``writer`` names the single client allowed
+        to write it; None declares a multi-writer register (for use with
+        :class:`repro.registers.atomic.MultiWriterClient`)."""
+        if writer is not None and not 0 <= writer < len(self.clients):
+            raise ValueError(
+                f"writer {writer} out of range [0, {len(self.clients)})"
+            )
+        self.space.declare(name, writer=writer, initial_value=initial_value)
+
+    def handle(self, client_id: int, register: str) -> RegisterHandle:
+        """A register handle bound to one client's subsystem."""
+        return self.clients[client_id].handle(register)
+
+    def crash_server(self, index: int) -> None:
+        """Crash the index-th replica server (fail-stop)."""
+        self.failures.crash(self.server_ids[index])
+
+    def recover_server(self, index: int) -> None:
+        """Recover the index-th replica server."""
+        self.failures.recover(self.server_ids[index])
+
+    def run(self, **kwargs) -> float:
+        """Run the underlying scheduler; see :meth:`Scheduler.run`."""
+        return self.scheduler.run(**kwargs)
+
+    def __repr__(self) -> str:
+        mode = "monotone" if self.monotone else "plain"
+        return (
+            f"RegisterDeployment({self.quorum_system!r}, "
+            f"clients={len(self.clients)}, {mode})"
+        )

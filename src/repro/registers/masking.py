@@ -1,0 +1,134 @@
+"""Probabilistic masking quorums: tolerating Byzantine replica servers.
+
+The probabilistic quorum paper this library builds on (Malkhi, Reiter and
+Wright) introduces *masking* quorums for Byzantine-faulty servers: if at
+most ``b`` servers can lie, a reader must only accept a (value,
+timestamp) pair vouched for by at least ``b + 1`` members of its quorum —
+a lie fabricated by the faulty servers then never survives, and choosing
+the quorum size so that read/write quorums intersect in at least
+``2b + 1`` servers with high probability keeps fresh values flowing.
+
+This module provides
+
+* :class:`ByzantineReplicaServer` — a replica that answers read queries
+  with a fabricated value carrying an enormous timestamp (the strongest
+  attack against a highest-timestamp-wins reader);
+* :class:`MaskingClient` — a client whose reads return the highest
+  timestamp vouched by at least ``b + 1`` quorum members, falling back to
+  its last accepted value when no candidate qualifies.
+"""
+
+from typing import Any, Dict, List, Tuple
+
+from repro.core.timestamps import Timestamp
+from repro.registers.client import QuorumRegisterClient, _PendingOp
+from repro.registers.messages import ReadQuery, ReadReply, WriteAck, WriteUpdate
+from repro.registers.server import ReplicaServer
+from repro.registers.space import RegisterSpace
+
+
+class ByzantineReplicaServer(ReplicaServer):
+    """A lying replica: fabricates values with sky-high timestamps.
+
+    Writes are acknowledged but silently dropped, and every read query is
+    answered with ``poison_value`` at a timestamp far above any honest
+    one — the worst case for a reader that trusts the maximum timestamp.
+    """
+
+    POISON_SEQ = 10**12
+
+    def __init__(self, space: RegisterSpace, poison_value: Any = "POISON") -> None:
+        super().__init__(space)
+        self.poison_value = poison_value
+        self.lies_told = 0
+
+    def on_message(self, src: int, message: Any) -> None:
+        if isinstance(message, ReadQuery):
+            self.lies_told += 1
+            self.send(
+                src,
+                ReadReply(
+                    message.register,
+                    message.op_id,
+                    self.poison_value,
+                    Timestamp(self.POISON_SEQ + self.lies_told, 999),
+                ),
+            )
+        elif isinstance(message, WriteUpdate):
+            # Acknowledge but never store: the writer cannot tell the
+            # replica is faulty, yet the data is gone.
+            self.send(src, WriteAck(message.register, message.op_id))
+
+
+class MaskingClient(QuorumRegisterClient):
+    """Reads accept only values vouched by at least b+1 quorum members."""
+
+    def __init__(self, *args, byzantine_bound: int = 1, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if byzantine_bound < 0:
+            raise ValueError(
+                f"byzantine bound must be non-negative, got {byzantine_bound}"
+            )
+        self.byzantine_bound = byzantine_bound
+        # Last accepted (timestamp, value) per register: the fallback when
+        # a read quorum yields no sufficiently vouched candidate.
+        self._accepted: Dict[str, Tuple[Timestamp, Any]] = {}
+        self.masked_reads = 0
+        self.fallback_reads = 0
+
+    def _finish(self, op: _PendingOp) -> None:
+        if not op.is_read:
+            super()._finish(op)
+            return
+        del self._pending[op.op_id]
+        if op.retry_handle is not None:
+            op.retry_handle.cancel()
+        now = self.network.scheduler.now
+        replies: List[ReadReply] = [
+            op.replies[i]
+            for i in op.quorum
+            if isinstance(op.replies.get(i), ReadReply)
+        ]
+        # Count vouchers per (timestamp, value) pair.
+        vouch: Dict[Tuple[Timestamp, Any], int] = {}
+        for reply in replies:
+            key = (reply.timestamp, reply.value)
+            vouch[key] = vouch.get(key, 0) + 1
+        candidates = [
+            key for key, count in vouch.items()
+            if count >= self.byzantine_bound + 1
+        ]
+        if candidates:
+            timestamp, value = max(candidates, key=lambda key: key[0])
+            self.masked_reads += 1
+        else:
+            timestamp, value = self._accepted.get(
+                op.register,
+                (Timestamp.ZERO, self.space.info(op.register).initial_value),
+            )
+            self.fallback_reads += 1
+        previous = self._accepted.get(op.register)
+        if previous is None or timestamp > previous[0]:
+            self._accepted[op.register] = (timestamp, value)
+        else:
+            timestamp, value = previous
+        op.record.complete(now, value, timestamp)
+        op.future.resolve(value)
+
+
+def replace_with_byzantine(deployment, indices, poison_value: Any = "POISON"):
+    """Swap the given replica servers of a deployment for Byzantine ones.
+
+    Must be called before any traffic flows.  Returns the new servers.
+    """
+    byzantine = []
+    for index in indices:
+        old = deployment.servers[index]
+        node_id = old.node_id
+        bad = ByzantineReplicaServer(deployment.space, poison_value)
+        bad.node_id = node_id
+        bad.network = deployment.network
+        deployment.network._nodes[node_id] = bad  # noqa: SLF001 - test/deploy hook
+        deployment.servers[index] = bad
+        byzantine.append(bad)
+    return byzantine

@@ -1,0 +1,81 @@
+"""Wire messages of the quorum register protocol.
+
+Four message kinds, matching the two round trips of the algorithm in
+Section 4: a read is a (ReadQuery, ReadReply) exchange with each quorum
+member, a write a (WriteUpdate, WriteAck) exchange.  Messages carry the
+register name so one server can host replicas of many registers.
+"""
+
+from typing import Any
+
+from repro.core.timestamps import Timestamp
+
+
+class ReadQuery:
+    """Client -> server: request the server's replica of a register."""
+
+    kind = "read_query"
+    __slots__ = ("register", "op_id")
+
+    def __init__(self, register: str, op_id: int) -> None:
+        self.register = register
+        self.op_id = op_id
+
+    def __repr__(self) -> str:
+        return f"ReadQuery({self.register!r}, op={self.op_id})"
+
+
+class ReadReply:
+    """Server -> client: the replica's current value and timestamp."""
+
+    kind = "read_reply"
+    __slots__ = ("register", "op_id", "value", "timestamp")
+
+    def __init__(
+        self, register: str, op_id: int, value: Any, timestamp: Timestamp
+    ) -> None:
+        self.register = register
+        self.op_id = op_id
+        self.value = value
+        self.timestamp = timestamp
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadReply({self.register!r}, op={self.op_id}, v={self.value!r}, "
+            f"ts={self.timestamp.seq})"
+        )
+
+
+class WriteUpdate:
+    """Client -> server: install a value if its timestamp is newer."""
+
+    kind = "write_update"
+    __slots__ = ("register", "op_id", "value", "timestamp")
+
+    def __init__(
+        self, register: str, op_id: int, value: Any, timestamp: Timestamp
+    ) -> None:
+        self.register = register
+        self.op_id = op_id
+        self.value = value
+        self.timestamp = timestamp
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteUpdate({self.register!r}, op={self.op_id}, v={self.value!r}, "
+            f"ts={self.timestamp.seq})"
+        )
+
+
+class WriteAck:
+    """Server -> client: acknowledge a WriteUpdate."""
+
+    kind = "write_ack"
+    __slots__ = ("register", "op_id")
+
+    def __init__(self, register: str, op_id: int) -> None:
+        self.register = register
+        self.op_id = op_id
+
+    def __repr__(self) -> str:
+        return f"WriteAck({self.register!r}, op={self.op_id})"

@@ -1,0 +1,61 @@
+"""Replica server.
+
+Each server keeps, per register, a local replica value and its timestamp
+(Section 4).  A ReadQuery is answered with the current replica; a
+WriteUpdate installs the value only when its timestamp is newer than the
+stored one, which makes the protocol tolerate message reordering.
+"""
+
+from typing import Any, Dict, Tuple
+
+from repro.core.timestamps import Timestamp
+from repro.registers.messages import ReadQuery, ReadReply, WriteAck, WriteUpdate
+from repro.registers.space import RegisterSpace
+from repro.sim.network import Node
+
+
+class ReplicaServer(Node):
+    """One replica server hosting a replica of every register in the space."""
+
+    def __init__(self, space: RegisterSpace) -> None:
+        super().__init__()
+        self.space = space
+        self._replicas: Dict[str, Tuple[Timestamp, Any]] = {}
+        self.reads_served = 0
+        self.writes_applied = 0
+        self.stale_updates_ignored = 0
+
+    def _replica(self, register: str) -> Tuple[Timestamp, Any]:
+        if register not in self._replicas:
+            info = self.space.info(register)
+            self._replicas[register] = (Timestamp.ZERO, info.initial_value)
+        return self._replicas[register]
+
+    def replica_timestamp(self, register: str) -> Timestamp:
+        """The timestamp of this server's replica (for tests/inspection)."""
+        return self._replica(register)[0]
+
+    def replica_value(self, register: str) -> Any:
+        """The value of this server's replica (for tests/inspection)."""
+        return self._replica(register)[1]
+
+    def on_message(self, src: int, message: Any) -> None:
+        if isinstance(message, ReadQuery):
+            timestamp, value = self._replica(message.register)
+            self.reads_served += 1
+            self.send(src, ReadReply(message.register, message.op_id, value, timestamp))
+        elif isinstance(message, WriteUpdate):
+            current_ts, _ = self._replica(message.register)
+            if message.timestamp > current_ts:
+                self._replicas[message.register] = (message.timestamp, message.value)
+                self.writes_applied += 1
+            else:
+                self.stale_updates_ignored += 1
+            self.send(src, WriteAck(message.register, message.op_id))
+        # Unknown message kinds are ignored, matching Node's default.
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaServer(id={self.node_id}, reads={self.reads_served}, "
+            f"writes={self.writes_applied})"
+        )

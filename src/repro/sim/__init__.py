@@ -1,0 +1,50 @@
+"""Discrete-event simulation substrate.
+
+This package provides the bottom layer of the reproduction: a deterministic
+discrete-event scheduler, futures, generator-based coroutine processes, a
+reliable asynchronous message-passing network with pluggable delay models,
+seeded random-number streams, failure injection and metrics.
+
+The layers above (quorum systems, register implementations, the iterative
+framework) are built purely on the public API exported here.
+"""
+
+from repro.sim.scheduler import EventHandle, Scheduler
+from repro.sim.futures import Future, FutureError, gather
+from repro.sim.coroutines import Sleep, spawn
+from repro.sim.delays import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    LogNormalDelay,
+    PerLinkDelay,
+    UniformDelay,
+)
+from repro.sim.network import Network, Node
+from repro.sim.rng import RngRegistry
+from repro.sim.metrics import MessageStats
+from repro.sim.failures import FailureInjector
+from repro.sim.trace import TraceEvent, TraceLog
+
+__all__ = [
+    "ConstantDelay",
+    "DelayModel",
+    "EventHandle",
+    "ExponentialDelay",
+    "FailureInjector",
+    "Future",
+    "FutureError",
+    "LogNormalDelay",
+    "MessageStats",
+    "Network",
+    "Node",
+    "PerLinkDelay",
+    "RngRegistry",
+    "Scheduler",
+    "Sleep",
+    "TraceEvent",
+    "TraceLog",
+    "UniformDelay",
+    "gather",
+    "spawn",
+]

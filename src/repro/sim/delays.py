@@ -1,0 +1,165 @@
+"""Message-delay models.
+
+Section 7 of the paper uses two delay regimes: constant delays (the
+synchronous case) and exponentially distributed delays (the asynchronous
+case).  We implement both plus uniform, shifted-lognormal and per-link
+models for the ablation study E-ABL-DELAY.
+"""
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+class DelayModel:
+    """Base class: draws a one-way message delay for a (src, dst) pair."""
+
+    def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
+        """Return a strictly positive delay for a message from src to dst."""
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        """The mean one-way delay (used for round-length heuristics)."""
+        raise NotImplementedError
+
+    @property
+    def is_synchronous(self) -> bool:
+        """True when every delay is identical (the paper's synchronous case)."""
+        return False
+
+
+class ConstantDelay(DelayModel):
+    """All messages take exactly ``delay`` time units (synchronous model)."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay <= 0:
+            raise ValueError(f"delay must be positive, got {delay}")
+        self._delay = delay
+
+    def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
+        return self._delay
+
+    @property
+    def mean(self) -> float:
+        return self._delay
+
+    @property
+    def is_synchronous(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"ConstantDelay({self._delay})"
+
+
+class ExponentialDelay(DelayModel):
+    """Exponentially distributed delays (the paper's asynchronous model).
+
+    A small positive floor avoids zero-length delays, which would let a
+    message arrive at the instant it was sent.
+    """
+
+    def __init__(self, mean: float = 1.0, floor: float = 1e-9) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self._mean = mean
+        self._floor = floor
+
+    def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
+        return max(self._floor, rng.exponential(self._mean))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"ExponentialDelay(mean={self._mean})"
+
+
+class UniformDelay(DelayModel):
+    """Delays uniform on [low, high]."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5) -> None:
+        if not 0 < low <= high:
+            raise ValueError(f"need 0 < low <= high, got low={low}, high={high}")
+        self._low = low
+        self._high = high
+
+    def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
+        return rng.uniform(self._low, self._high)
+
+    @property
+    def mean(self) -> float:
+        return (self._low + self._high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformDelay({self._low}, {self._high})"
+
+
+class LogNormalDelay(DelayModel):
+    """Heavy-tailed delays: lognormal with the requested mean.
+
+    Used by the ablation E-ABL-DELAY to stress the paper's claim that the
+    round structure averages out delay variation.
+    """
+
+    def __init__(self, mean: float = 1.0, sigma: float = 1.0) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self._mean = mean
+        self._sigma = sigma
+        # Choose mu so that the lognormal mean exp(mu + sigma^2/2) equals mean.
+        self._mu = math.log(mean) - sigma * sigma / 2.0
+
+    def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
+        return rng.lognormal(self._mu, self._sigma)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"LogNormalDelay(mean={self._mean}, sigma={self._sigma})"
+
+
+class PerLinkDelay(DelayModel):
+    """A fixed base delay per (src, dst) link plus an optional jitter model.
+
+    Models heterogeneous topologies (e.g. one distant replica).  Links not
+    listed fall back to ``default``.
+    """
+
+    def __init__(
+        self,
+        link_delays: Dict[Tuple[int, int], float],
+        default: float = 1.0,
+        jitter: DelayModel = None,
+    ) -> None:
+        for link, value in link_delays.items():
+            if value <= 0:
+                raise ValueError(f"delay for link {link} must be positive, got {value}")
+        if default <= 0:
+            raise ValueError(f"default delay must be positive, got {default}")
+        self._links = dict(link_delays)
+        self._default = default
+        self._jitter = jitter
+
+    def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
+        base = self._links.get((src, dst), self._default)
+        if self._jitter is not None:
+            base += self._jitter.sample(rng, src, dst)
+        return base
+
+    @property
+    def mean(self) -> float:
+        values = list(self._links.values()) or [self._default]
+        base = sum(values) / len(values)
+        if self._jitter is not None:
+            base += self._jitter.mean
+        return base
+
+    def __repr__(self) -> str:
+        return f"PerLinkDelay({len(self._links)} links, default={self._default})"

@@ -1,0 +1,68 @@
+"""Crash and partition injection.
+
+The paper analyses availability in the face of replica *server* crashes
+(Section 4).  The injector lets experiments crash servers (messages to and
+from a crashed node are silently dropped, matching the fail-stop model) and
+partition the network into non-communicating groups.
+"""
+
+from typing import Iterable, Optional, Set
+
+
+class FailureInjector:
+    """Tracks crashed nodes and network partitions for a simulation."""
+
+    def __init__(self) -> None:
+        self._crashed: Set[int] = set()
+        self._partition: Optional[list] = None  # list of frozensets or None
+
+    @property
+    def crashed(self) -> Set[int]:
+        """The set of currently crashed node ids."""
+        return set(self._crashed)
+
+    def crash(self, node_id: int) -> None:
+        """Crash a node; idempotent."""
+        self._crashed.add(node_id)
+
+    def crash_many(self, node_ids: Iterable[int]) -> None:
+        """Crash several nodes at once."""
+        self._crashed.update(node_ids)
+
+    def recover(self, node_id: int) -> None:
+        """Recover a crashed node; no-op if it was up."""
+        self._crashed.discard(node_id)
+
+    def recover_all(self) -> None:
+        """Bring every node back up."""
+        self._crashed.clear()
+
+    def partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Split the network: messages cross group boundaries get dropped.
+
+        Nodes absent from every group remain able to talk to everyone.
+        """
+        self._partition = [frozenset(group) for group in groups]
+
+    def heal_partition(self) -> None:
+        """Remove any active partition."""
+        self._partition = None
+
+    def is_crashed(self, node_id: int) -> bool:
+        """True if the node is currently crashed."""
+        return node_id in self._crashed
+
+    def can_deliver(self, src: int, dst: int) -> bool:
+        """Whether a message from ``src`` can currently reach ``dst``."""
+        if src in self._crashed or dst in self._crashed:
+            return False
+        if self._partition is not None:
+            src_groups = [g for g in self._partition if src in g]
+            dst_groups = [g for g in self._partition if dst in g]
+            if src_groups and dst_groups:
+                return any(src in g and dst in g for g in self._partition)
+        return True
+
+    def __repr__(self) -> str:
+        part = f", partition={self._partition}" if self._partition else ""
+        return f"FailureInjector(crashed={sorted(self._crashed)}{part})"

@@ -1,0 +1,72 @@
+"""Message and load accounting.
+
+The experiments need two kinds of counters:
+
+* total messages sent, to reproduce the Section 6.4 message-complexity
+  comparison (Eqns 1-3), and
+* per-node delivery counts, to measure quorum-system *load* (the access
+  frequency of the busiest replica server, Section 4).
+"""
+
+from collections import Counter
+from typing import Dict, Optional, Tuple
+
+
+class MessageStats:
+    """Counters for messages flowing through a :class:`~repro.sim.network.Network`."""
+
+    def __init__(self) -> None:
+        self.sent: int = 0
+        self.delivered: int = 0
+        self.dropped: int = 0
+        self.by_sender: Counter = Counter()
+        self.by_receiver: Counter = Counter()
+        self.by_kind: Counter = Counter()
+        self._marks: Dict[str, int] = {}
+
+    def record_send(self, src: int, dst: int, kind: Optional[str]) -> None:
+        """Record one message leaving ``src`` for ``dst``."""
+        self.sent += 1
+        self.by_sender[src] += 1
+        if kind is not None:
+            self.by_kind[kind] += 1
+
+    def record_delivery(self, src: int, dst: int) -> None:
+        """Record one message arriving at ``dst``."""
+        self.delivered += 1
+        self.by_receiver[dst] += 1
+
+    def record_drop(self, src: int, dst: int) -> None:
+        """Record a message lost to a crash or partition."""
+        self.dropped += 1
+
+    def mark(self, name: str) -> None:
+        """Remember the current sent-count under ``name`` (for deltas)."""
+        self._marks[name] = self.sent
+
+    def since_mark(self, name: str) -> int:
+        """Messages sent since :meth:`mark` was called with ``name``."""
+        return self.sent - self._marks.get(name, 0)
+
+    def busiest_receiver(self) -> Tuple[Optional[int], int]:
+        """Return (node id, delivery count) of the most-accessed node."""
+        if not self.by_receiver:
+            return None, 0
+        node, count = self.by_receiver.most_common(1)[0]
+        return node, count
+
+    def receiver_load(self, node: int) -> float:
+        """Fraction of all deliveries that went to ``node``."""
+        if self.delivered == 0:
+            return 0.0
+        return self.by_receiver[node] / self.delivered
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.__init__()
+
+    def __repr__(self) -> str:
+        return (
+            f"MessageStats(sent={self.sent}, delivered={self.delivered}, "
+            f"dropped={self.dropped})"
+        )

@@ -1,0 +1,125 @@
+"""Reliable asynchronous message passing.
+
+Matches the model assumed by the probabilistic quorum algorithm (Section 4
+of the paper): "every message sent is eventually received, and every message
+received was previously sent but not yet delivered" — unless failure
+injection is explicitly enabled, in which case crashed nodes drop traffic
+(the fail-stop availability model of Section 4's analysis).
+
+Delivery order between a pair of nodes follows sampled delays, so messages
+may be reordered — the protocols above must tolerate that, and timestamps
+make them do so.
+"""
+
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.sim.delays import DelayModel
+from repro.sim.failures import FailureInjector
+from repro.sim.metrics import MessageStats
+from repro.sim.scheduler import Scheduler
+
+
+class Node:
+    """Base class for anything addressable on the network.
+
+    Subclasses override :meth:`on_message`.  A node is registered under a
+    unique integer id by :meth:`Network.add_node`.
+    """
+
+    def __init__(self) -> None:
+        self.node_id: Optional[int] = None
+        self.network: Optional["Network"] = None
+
+    def on_message(self, src: int, message: Any) -> None:
+        """Handle a delivered message.  Default: ignore."""
+
+    def send(self, dst: int, message: Any) -> None:
+        """Convenience wrapper around :meth:`Network.send`."""
+        if self.network is None or self.node_id is None:
+            raise RuntimeError("node is not attached to a network")
+        self.network.send(self.node_id, dst, message)
+
+
+class Network:
+    """Point-to-point message delivery with a pluggable delay model."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        delay_model: DelayModel,
+        rng: np.random.Generator,
+        failures: Optional[FailureInjector] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.delay_model = delay_model
+        self.rng = rng
+        self.failures = failures or FailureInjector()
+        self.stats = MessageStats()
+        self._nodes: Dict[int, Node] = {}
+        self._next_id = 0
+        self._taps: list = []
+
+    def add_node(self, node: Node, node_id: Optional[int] = None) -> int:
+        """Register ``node`` and return its id.
+
+        Ids are assigned sequentially unless an explicit id is given.
+        """
+        if node_id is None:
+            node_id = self._next_id
+        if node_id in self._nodes:
+            raise ValueError(f"node id {node_id} already registered")
+        self._next_id = max(self._next_id, node_id + 1)
+        self._nodes[node_id] = node
+        node.node_id = node_id
+        node.network = self
+        return node_id
+
+    def node(self, node_id: int) -> Node:
+        """Look up a node by id."""
+        return self._nodes[node_id]
+
+    @property
+    def node_ids(self) -> list:
+        """All registered node ids, sorted."""
+        return sorted(self._nodes)
+
+    def add_tap(self, tap: Callable[[int, int, Any], None]) -> None:
+        """Register an observer called as ``tap(src, dst, message)`` on send."""
+        self._taps.append(tap)
+
+    def send(self, src: int, dst: int, message: Any) -> None:
+        """Send ``message`` from ``src`` to ``dst`` with a sampled delay."""
+        if dst not in self._nodes:
+            raise KeyError(f"unknown destination node {dst}")
+        kind = getattr(message, "kind", None) or type(message).__name__
+        self.stats.record_send(src, dst, kind)
+        for tap in self._taps:
+            tap(src, dst, message)
+        if not self.failures.can_deliver(src, dst):
+            self.stats.record_drop(src, dst)
+            return
+        delay = self.delay_model.sample(self.rng, src, dst)
+        if delay <= 0:
+            raise ValueError(f"delay model produced non-positive delay {delay}")
+        self.scheduler.schedule(delay, self._deliver, src, dst, message)
+
+    def _deliver(self, src: int, dst: int, message: Any) -> None:
+        # A node that crashed while the message was in flight drops it.
+        if not self.failures.can_deliver(src, dst):
+            self.stats.record_drop(src, dst)
+            return
+        self.stats.record_delivery(src, dst)
+        self._nodes[dst].on_message(src, message)
+
+    def broadcast(self, src: int, dsts: list, message: Any) -> None:
+        """Send the same message to every destination in ``dsts``."""
+        for dst in dsts:
+            self.send(src, dst, message)
+
+    def __repr__(self) -> str:
+        return (
+            f"Network({len(self._nodes)} nodes, delay={self.delay_model!r}, "
+            f"{self.stats!r})"
+        )

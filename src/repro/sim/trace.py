@@ -1,0 +1,122 @@
+"""Structured event tracing for simulations.
+
+A :class:`TraceLog` taps a :class:`~repro.sim.network.Network` and records
+every message send (and, via the shared scheduler clock, when it was
+sent), with an optional cap on retained events.  Query helpers slice the
+log by time window, node and message kind, and an ASCII timeline renderer
+aids debugging of protocol interleavings — the practical tooling a
+production simulator needs once a run misbehaves.
+"""
+
+from typing import Any, Callable, List, Optional
+
+from repro.sim.network import Network
+
+
+class TraceEvent:
+    """One traced message send."""
+
+    __slots__ = ("time", "src", "dst", "kind", "payload")
+
+    def __init__(self, time: float, src: int, dst: int, kind: str,
+                 payload: Any) -> None:
+        self.time = time
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceEvent(t={self.time:.4g}, {self.src}->{self.dst}, "
+            f"{self.kind})"
+        )
+
+
+class TraceLog:
+    """A bounded, queryable log of network events."""
+
+    def __init__(self, network: Network, max_events: Optional[int] = None,
+                 keep_payloads: bool = False) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        self.network = network
+        self.max_events = max_events
+        self.keep_payloads = keep_payloads
+        self.events: List[TraceEvent] = []
+        self.dropped_events = 0
+        network.add_tap(self._record)
+
+    def _record(self, src: int, dst: int, message: Any) -> None:
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        kind = getattr(message, "kind", None) or type(message).__name__
+        payload = message if self.keep_payloads else None
+        self.events.append(
+            TraceEvent(self.network.scheduler.now, src, dst, kind, payload)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def between(self, start: float, end: float) -> List[TraceEvent]:
+        """Events with start <= time < end."""
+        if end < start:
+            raise ValueError(f"empty window [{start}, {end})")
+        return [e for e in self.events if start <= e.time < end]
+
+    def involving(self, node: int) -> List[TraceEvent]:
+        """Events sent by or to ``node``."""
+        return [e for e in self.events if node in (e.src, e.dst)]
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """Events whose message kind matches."""
+        return [e for e in self.events if e.kind == kind]
+
+    def matching(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
+        """Events satisfying an arbitrary predicate."""
+        return [e for e in self.events if predicate(e)]
+
+    def count_by_kind(self) -> dict:
+        """Histogram of message kinds."""
+        counts: dict = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def render_timeline(
+        self, limit: int = 50, start: float = 0.0,
+        end: Optional[float] = None,
+    ) -> str:
+        """A compact textual timeline of (up to ``limit``) events."""
+        if limit < 1:
+            raise ValueError(f"limit must be positive, got {limit}")
+        window = [
+            e for e in self.events
+            if e.time >= start and (end is None or e.time < end)
+        ]
+        lines = [f"timeline: {len(window)} events"
+                 + (f" (showing first {limit})" if len(window) > limit else "")]
+        for event in window[:limit]:
+            lines.append(
+                f"  t={event.time:9.4f}  n{event.src:<3} -> n{event.dst:<3}  "
+                f"{event.kind}"
+            )
+        if self.dropped_events:
+            lines.append(f"  ... {self.dropped_events} events beyond cap")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceLog({len(self.events)} events, "
+            f"dropped={self.dropped_events})"
+        )

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.registers.deployment import RegisterDeployment
+from repro.sim.delays import ConstantDelay, ExponentialDelay
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+
+
+@pytest.fixture
+def scheduler():
+    return Scheduler()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng_registry():
+    return RngRegistry(12345)
+
+
+@pytest.fixture
+def small_deployment():
+    """10 servers, quorum size 3, 3 clients, synchronous delays."""
+    deployment = RegisterDeployment(
+        ProbabilisticQuorumSystem(10, 3),
+        num_clients=3,
+        delay_model=ConstantDelay(1.0),
+        seed=99,
+    )
+    deployment.declare_register("X", writer=0, initial_value=0)
+    return deployment
+
+
+@pytest.fixture
+def async_monotone_deployment():
+    """10 servers, quorum size 3, monotone clients, exponential delays."""
+    deployment = RegisterDeployment(
+        ProbabilisticQuorumSystem(10, 3),
+        num_clients=3,
+        delay_model=ExponentialDelay(1.0),
+        monotone=True,
+        seed=7,
+    )
+    deployment.declare_register("X", writer=0, initial_value=0)
+    return deployment

@@ -1,0 +1,93 @@
+"""Tests for approximate agreement (the Section 8 suggested application)."""
+
+import pytest
+
+from repro.apps.agreement import ApproximateAgreementACO
+from repro.iterative.runner import Alg1Runner
+from repro.quorum.majority import MajorityQuorumSystem
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.sim.delays import ExponentialDelay
+
+
+def test_apply_moves_to_midpoint():
+    aco = ApproximateAgreementACO([0.0, 10.0], epsilon=0.1)
+    x = aco.initial()
+    value, spread = aco.apply(0, x)
+    assert value == 5.0
+    assert spread == 10.0
+
+
+def test_range_halves_per_synchronous_step():
+    aco = ApproximateAgreementACO([0.0, 4.0, 8.0], epsilon=1e-6)
+    x = aco.initial()
+    spreads = []
+    for _ in range(5):
+        x = aco.apply_all(x)
+        spreads.append(aco.agreement_spread(x))
+    # Midpoint iteration collapses the range immediately in the
+    # synchronous case (everyone computes the same midpoint).
+    assert spreads[0] == 0.0
+
+
+def test_contraction_depth_log_of_range_over_epsilon():
+    aco = ApproximateAgreementACO([0.0, 8.0], epsilon=1.0)
+    assert aco.contraction_depth() == 3
+    trivial = ApproximateAgreementACO([1.0, 1.0], epsilon=0.5)
+    assert trivial.contraction_depth() == 1
+
+
+def test_fixed_point_is_explicitly_undefined():
+    aco = ApproximateAgreementACO([0.0, 1.0])
+    with pytest.raises(NotImplementedError):
+        aco.fixed_point()
+
+
+def test_component_converged_by_spread():
+    aco = ApproximateAgreementACO([0.0, 1.0], epsilon=0.25)
+    assert aco.component_converged(0, (0.5, 0.2))
+    assert not aco.component_converged(0, (0.5, 0.3))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ApproximateAgreementACO([])
+    with pytest.raises(ValueError):
+        ApproximateAgreementACO([1.0], epsilon=0.0)
+
+
+@pytest.mark.parametrize("monotone", [True, False])
+def test_distributed_agreement_over_random_registers(monotone):
+    initial = [0.0, 3.0, 7.0, 10.0, 2.5, 9.0]
+    epsilon = 0.05
+    aco = ApproximateAgreementACO(initial, epsilon=epsilon)
+    runner = Alg1Runner(
+        aco,
+        ProbabilisticQuorumSystem(12, 3),
+        monotone=monotone,
+        delay_model=ExponentialDelay(1.0),
+        seed=17,
+        max_rounds=400,
+    )
+    result = runner.run(check_spec=False)
+    assert result.converged
+    # Read back the final published estimates: all within the documented
+    # 3-epsilon envelope and inside the initial range.
+    finals = []
+    for name in runner.register_names:
+        latest = max(
+            runner.deployment.space.history(name).writes,
+            key=lambda w: w.timestamp,
+        )
+        finals.append(latest.value[0])
+    assert max(finals) - min(finals) <= 3 * epsilon
+    assert min(initial) <= min(finals) and max(finals) <= max(initial)
+
+
+def test_agreement_over_strict_quorums_is_fast():
+    aco = ApproximateAgreementACO([0.0, 100.0], epsilon=1e-3)
+    runner = Alg1Runner(aco, MajorityQuorumSystem(4), seed=5, max_rounds=100)
+    result = runner.run(check_spec=False)
+    assert result.converged
+    # Strict reads are fresh: the synchronous collapse happens in O(1)
+    # rounds regardless of the 17-pseudocycle bound.
+    assert result.rounds <= 5

@@ -1,0 +1,32 @@
+"""Tests for the churn experiment."""
+
+from repro.experiments.churn import ChurnConfig, churn_table, run_under_churn
+
+
+def test_no_churn_baseline_converges():
+    config = ChurnConfig.scaled_down()
+    outcome = run_under_churn(config, period=0.0)
+    assert outcome["converged"]
+    assert outcome["churn_period"] == 0.0
+
+
+def test_convergence_survives_churn():
+    config = ChurnConfig.scaled_down()
+    outcome = run_under_churn(config, period=20.0)
+    assert outcome["converged"]
+
+
+def test_churn_costs_time():
+    config = ChurnConfig.scaled_down()
+    calm = run_under_churn(config, period=0.0)
+    churned = run_under_churn(config, period=15.0)
+    assert churned["converged"]
+    assert churned["sim_time"] >= calm["sim_time"]
+
+
+def test_table_shape():
+    config = ChurnConfig(num_vertices=6, num_servers=12,
+                         churn_periods=(0.0, 25.0), runs=1)
+    table = churn_table(config)
+    assert len(table) == 2
+    assert all(table.column("all_converged"))

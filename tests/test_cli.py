@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_known_experiments():
+    parser = build_parser()
+    args = parser.parse_args(["survival", "--full"])
+    assert args.experiment == "survival"
+    assert args.full
+
+
+def test_parser_rejects_unknown_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["unknown"])
+
+
+def test_survival_command_prints_table(capsys):
+    assert main(["survival"]) == 0
+    out = capsys.readouterr().out
+    assert "Theorem 1" in out
+    assert "bound_k_frac" in out
+
+
+def test_freshness_command_prints_table(capsys):
+    assert main(["freshness"]) == 0
+    out = capsys.readouterr().out
+    assert "Theorem 4" in out
+    assert "E[Y]" in out
+
+
+def test_messages_command_prints_three_tables(capsys):
+    assert main(["messages"]) == 0
+    out = capsys.readouterr().out
+    assert "high-availability regime" in out
+    assert "optimal-load regime" in out
+    assert "measured" in out
+
+
+def test_output_directory_written(tmp_path, capsys):
+    assert main(["survival", "--output", str(tmp_path / "results")]) == 0
+    produced = sorted(p.name for p in (tmp_path / "results").iterdir())
+    assert produced == ["survival.csv", "survival.txt"]

@@ -1,0 +1,144 @@
+"""Tests for generator-coroutine processes."""
+
+import pytest
+
+from repro.sim.coroutines import CoroutineError, Sleep, spawn
+from repro.sim.futures import Future
+
+
+def test_sleep_advances_time(scheduler):
+    times = []
+
+    def proc():
+        times.append(scheduler.now)
+        yield Sleep(3.0)
+        times.append(scheduler.now)
+
+    spawn(scheduler, proc())
+    scheduler.run()
+    assert times == [0.0, 3.0]
+
+
+def test_return_value_resolves_future(scheduler):
+    def proc():
+        yield Sleep(1.0)
+        return "result"
+
+    done = spawn(scheduler, proc())
+    scheduler.run()
+    assert done.result() == "result"
+
+
+def test_yielded_future_suspends_until_resolved(scheduler):
+    gate = Future("gate")
+    seen = []
+
+    def waiter():
+        value = yield gate
+        seen.append((scheduler.now, value))
+
+    spawn(scheduler, waiter())
+    scheduler.schedule(5.0, gate.resolve, "opened")
+    scheduler.run()
+    assert seen == [(5.0, "opened")]
+
+
+def test_exception_in_coroutine_fails_future(scheduler):
+    def boomer():
+        yield Sleep(1.0)
+        raise ValueError("kaput")
+
+    done = spawn(scheduler, boomer())
+    scheduler.run()
+    assert done.failed
+    with pytest.raises(ValueError, match="kaput"):
+        done.result()
+
+
+def test_failed_future_raises_inside_coroutine(scheduler):
+    gate = Future()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    spawn(scheduler, waiter())
+    scheduler.schedule(1.0, gate.fail, RuntimeError("upstream"))
+    scheduler.run()
+    assert caught == ["upstream"]
+
+
+def test_invalid_yield_fails_with_coroutine_error(scheduler):
+    def bad():
+        yield "not a future"
+
+    done = spawn(scheduler, bad())
+    scheduler.run()
+    assert done.failed
+    with pytest.raises(CoroutineError):
+        done.result()
+
+
+def test_invalid_yield_can_be_caught_by_coroutine(scheduler):
+    outcome = []
+
+    def resilient():
+        try:
+            yield 42
+        except CoroutineError:
+            outcome.append("caught")
+        yield Sleep(1.0)
+        outcome.append("continued")
+
+    spawn(scheduler, resilient())
+    scheduler.run()
+    assert outcome == ["caught", "continued"]
+
+
+def test_two_coroutines_interleave(scheduler):
+    trace = []
+
+    def proc(name, period):
+        for _ in range(3):
+            yield Sleep(period)
+            trace.append((name, scheduler.now))
+
+    spawn(scheduler, proc("fast", 1.0))
+    spawn(scheduler, proc("slow", 2.5))
+    scheduler.run()
+    assert trace == [
+        ("fast", 1.0), ("fast", 2.0), ("slow", 2.5),
+        ("fast", 3.0), ("slow", 5.0), ("slow", 7.5),
+    ]
+
+
+def test_negative_sleep_rejected():
+    with pytest.raises(ValueError):
+        Sleep(-1.0)
+
+
+def test_coroutine_chaining_with_yield_from(scheduler):
+    def inner():
+        yield Sleep(1.0)
+        return 10
+
+    def outer():
+        value = yield from inner()
+        return value + 5
+
+    done = spawn(scheduler, outer())
+    scheduler.run()
+    assert done.result() == 15
+
+
+def test_immediate_return_coroutine(scheduler):
+    def instant():
+        return "now"
+        yield  # pragma: no cover - makes this a generator
+
+    done = spawn(scheduler, instant())
+    scheduler.run()
+    assert done.result() == "now"

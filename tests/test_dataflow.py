@@ -1,0 +1,121 @@
+"""Tests for the reaching-definitions dataflow ACO."""
+
+import pytest
+
+from repro.apps.dataflow import (
+    ControlFlowGraph,
+    ReachingDefinitionsACO,
+    diamond_cfg,
+    loop_cfg,
+)
+from repro.iterative.aco import synchronous_fixed_point
+from repro.iterative.runner import Alg1Runner
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.sim.delays import ExponentialDelay
+
+
+class TestCfg:
+    def test_edges_and_neighbours(self):
+        cfg = ControlFlowGraph(3)
+        cfg.add_edge(0, 1)
+        cfg.add_edge(1, 2)
+        assert cfg.successors(0) == {1}
+        assert cfg.predecessors(2) == {1}
+
+    def test_edge_validation(self):
+        cfg = ControlFlowGraph(2)
+        with pytest.raises(ValueError):
+            cfg.add_edge(0, 2)
+        with pytest.raises(ValueError):
+            ControlFlowGraph(0)
+
+    def test_define_never_kills_itself(self):
+        cfg = ControlFlowGraph(1)
+        cfg.define(0, "x", kills=["x", "y"])
+        assert "x" in cfg.gen[0]
+        assert cfg.kill[0] == {"y"}
+
+    def test_transfer_function(self):
+        cfg = ControlFlowGraph(1)
+        cfg.define(0, "a", kills=["b"])
+        assert cfg.transfer(0, frozenset({"b", "c"})) == frozenset({"a", "c"})
+
+
+class TestWorklistGroundTruth:
+    def test_diamond_join_sees_both_branches(self):
+        cfg = diamond_cfg()
+        out = cfg.reaching_definitions()
+        # The join's OUT: its own def plus both branch definitions (each
+        # branch killed x0, so x0 does not reach the join's exit).
+        assert out[3] == frozenset({"y0", "x1", "x2"})
+
+    def test_diamond_branches_kill_entry_def(self):
+        out = diamond_cfg().reaching_definitions()
+        assert "x0" not in out[1]
+        assert "x0" not in out[2]
+
+    def test_loop_header_accumulates_body_defs(self):
+        cfg = loop_cfg(body_blocks=3)
+        out = cfg.reaching_definitions()
+        # After the back edge, everything defined in the body flows back
+        # through the header to the exit.
+        exit_out = out[cfg.n - 1]
+        assert {"v0", "v1", "v2", "init"} <= set(exit_out)
+
+    def test_loop_cfg_validation(self):
+        with pytest.raises(ValueError):
+            loop_cfg(body_blocks=0)
+
+
+class TestReachingDefinitionsACO:
+    def test_synchronous_fixed_point_matches_worklist(self):
+        for cfg in (diamond_cfg(), loop_cfg(2), loop_cfg(4)):
+            aco = ReachingDefinitionsACO(cfg)
+            assert synchronous_fixed_point(aco) == cfg.reaching_definitions()
+
+    def test_out_sets_only_grow(self):
+        aco = ReachingDefinitionsACO(loop_cfg(3))
+        x = aco.initial()
+        for _ in range(5):
+            next_x = aco.apply_all(x)
+            for old, new in zip(x, next_x):
+                assert old <= new
+            x = next_x
+
+    def test_values_bounded_by_fixed_point(self):
+        aco = ReachingDefinitionsACO(diamond_cfg())
+        fp = aco.fixed_point()
+        x = aco.initial()
+        for _ in range(4):
+            x = aco.apply_all(x)
+            for value, limit in zip(x, fp):
+                assert value <= limit
+
+    def test_distributed_analysis_converges(self):
+        cfg = loop_cfg(body_blocks=4)  # 7 blocks
+        aco = ReachingDefinitionsACO(cfg)
+        result = Alg1Runner(
+            aco,
+            ProbabilisticQuorumSystem(10, 3),
+            num_processes=3,
+            monotone=True,
+            delay_model=ExponentialDelay(1.0),
+            seed=31,
+            max_rounds=300,
+        ).run(check_spec=False)
+        assert result.converged
+
+    def test_distributed_analysis_with_stale_reads_non_monotone(self):
+        # Even the non-monotone register keeps the analysis sound: OUT
+        # values are unioned with the (possibly stale) own row, so facts
+        # never disappear and the fixpoint is still reached.
+        cfg = diamond_cfg()
+        aco = ReachingDefinitionsACO(cfg)
+        result = Alg1Runner(
+            aco,
+            ProbabilisticQuorumSystem(8, 2),
+            monotone=False,
+            seed=32,
+            max_rounds=300,
+        ).run(check_spec=False)
+        assert result.converged

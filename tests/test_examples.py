@@ -1,0 +1,49 @@
+"""Smoke tests: the fast example scripts run to completion.
+
+The heavyweight sweeps (figure2_reproduction, fault_tolerance,
+gridworld_planning, shortest_paths_async) are exercised through their
+underlying experiment modules elsewhere; here the quick ones are run
+end-to-end exactly as a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "constraint_solving.py",
+    "linear_solver.py",
+    "byzantine_masking.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_present():
+    expected = {
+        "quickstart.py",
+        "shortest_paths_async.py",
+        "constraint_solving.py",
+        "linear_solver.py",
+        "fault_tolerance.py",
+        "figure2_reproduction.py",
+        "byzantine_masking.py",
+        "gridworld_planning.py",
+    }
+    actual = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= actual

@@ -1,0 +1,155 @@
+"""Tests for graph type, generators and reference algorithms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.graphs import (
+    Graph,
+    apsp_pseudocycle_bound,
+    chain_graph,
+    complete_graph,
+    grid_graph,
+    random_graph,
+    ring_graph,
+)
+
+INF = math.inf
+
+
+class TestGraph:
+    def test_add_edge_and_weight(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 2.5)
+        assert g.weight(0, 1) == 2.5
+        assert g.weight(1, 0) == INF
+        assert g.successors(0) == {1: 2.5}
+        assert g.predecessors(1) == {0: 2.5}
+
+    def test_edge_validation(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 3)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, weight=0.0)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_undirected_edge_adds_both(self):
+        g = Graph(2)
+        g.add_undirected_edge(0, 1, 3.0)
+        assert g.weight(0, 1) == 3.0 and g.weight(1, 0) == 3.0
+
+    def test_num_edges(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_undirected_edge(0, 2)
+        assert g.num_edges == 4
+
+    def test_adjacency_matrix(self):
+        g = chain_graph(3)
+        matrix = g.adjacency_matrix()
+        assert matrix[0][0] == 0.0
+        assert matrix[1][0] == 1.0
+        assert matrix[0][1] == INF
+
+    def test_floyd_warshall_chain(self):
+        dist = chain_graph(5).floyd_warshall()
+        # Edges point from i+1 to i: distance from 4 to 0 is 4.
+        assert dist[4][0] == 4.0
+        assert dist[0][4] == INF
+        assert dist[2][1] == 1.0
+
+    def test_dijkstra_matches_floyd_warshall(self):
+        rng = np.random.default_rng(1)
+        g = random_graph(12, 0.3, rng, min_weight=1.0, max_weight=5.0)
+        fw = g.floyd_warshall()
+        for source in range(12):
+            assert g.dijkstra(source) == pytest.approx(fw[source])
+
+    def test_bfs_hops(self):
+        g = ring_graph(5)
+        hops = g.bfs_hops(0)
+        assert hops == [0, 1, 2, 3, 4]
+
+    def test_reachable_from(self):
+        g = chain_graph(4)
+        assert g.reachable_from(3) == frozenset({0, 1, 2, 3})
+        assert g.reachable_from(0) == frozenset({0})
+
+    def test_hop_diameter(self):
+        assert chain_graph(34).hop_diameter() == 33
+        assert ring_graph(6).hop_diameter() == 5
+        assert complete_graph(5).hop_diameter() == 1
+
+    def test_at_least_one_vertex(self):
+        with pytest.raises(ValueError):
+            Graph(0)
+
+
+class TestGenerators:
+    def test_chain_structure(self):
+        g = chain_graph(4)
+        assert g.num_edges == 3
+        assert g.weight(3, 2) == 1.0
+        assert g.weight(2, 3) == INF
+
+    def test_ring_structure(self):
+        g = ring_graph(4)
+        assert g.num_edges == 4
+        assert g.weight(3, 0) == 1.0
+        with pytest.raises(ValueError):
+            ring_graph(1)
+
+    def test_grid_structure(self):
+        g = grid_graph(2, 3)
+        assert g.n == 6
+        # Interior connectivity: (0,0)-(0,1) and (0,0)-(1,0).
+        assert g.weight(0, 1) == 1.0
+        assert g.weight(0, 3) == 1.0
+        assert g.weight(0, 4) == INF
+
+    def test_complete_structure(self):
+        g = complete_graph(4)
+        assert g.num_edges == 12
+
+    def test_random_graph_connected_by_default(self):
+        rng = np.random.default_rng(2)
+        g = random_graph(10, 0.1, rng)
+        for v in range(10):
+            assert g.reachable_from(v) == frozenset(range(10))
+
+    def test_random_graph_without_ring(self):
+        rng = np.random.default_rng(3)
+        g = random_graph(10, 0.0, rng, ensure_connected=False)
+        assert g.num_edges == 0
+
+    def test_random_graph_weight_range(self):
+        rng = np.random.default_rng(4)
+        g = random_graph(8, 0.5, rng, min_weight=2.0, max_weight=3.0)
+        assert all(2.0 <= w <= 3.0 for _, _, w in g.edges())
+
+    def test_random_graph_validation(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            random_graph(5, 1.5, rng)
+        with pytest.raises(ValueError):
+            random_graph(5, 0.5, rng, min_weight=0.0)
+
+
+class TestPseudocycleBound:
+    def test_paper_value_for_34_chain(self):
+        assert apsp_pseudocycle_bound(chain_graph(34)) == 6
+
+    def test_diameter_one(self):
+        assert apsp_pseudocycle_bound(complete_graph(4)) == 1
+
+    def test_no_edges(self):
+        assert apsp_pseudocycle_bound(Graph(3)) is None
+
+    def test_power_of_two_boundary(self):
+        # d = 4 -> ceil(log2 4) = 2; d = 5 -> 3.
+        assert apsp_pseudocycle_bound(chain_graph(5)) == 2
+        assert apsp_pseudocycle_bound(chain_graph(6)) == 3

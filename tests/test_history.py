@@ -1,0 +1,138 @@
+"""Tests for register histories and the reads-from relation."""
+
+import pytest
+
+from repro.core.history import HistoryError, RegisterHistory
+from repro.core.timestamps import Timestamp
+
+
+@pytest.fixture
+def history():
+    return RegisterHistory("X", initial_value=0)
+
+
+def test_initial_write_present(history):
+    assert len(history.writes) == 1
+    initial = history.writes[0]
+    assert initial.value == 0
+    assert initial.timestamp == Timestamp.ZERO
+    assert not initial.pending
+
+
+def test_begin_write_records_fields(history):
+    write = history.begin_write(0, 1.0, "v", Timestamp(1, 0))
+    assert write.pending
+    write.respond(2.0)
+    assert write.response_time == 2.0
+    assert history.write_for_timestamp(Timestamp(1, 0)) is write
+
+
+def test_duplicate_write_timestamp_rejected(history):
+    history.begin_write(0, 1.0, "a", Timestamp(1, 0))
+    with pytest.raises(HistoryError):
+        history.begin_write(0, 2.0, "b", Timestamp(1, 0))
+
+
+def test_response_before_invocation_rejected(history):
+    write = history.begin_write(0, 5.0, "v", Timestamp(1, 0))
+    with pytest.raises(HistoryError):
+        write.respond(4.0)
+
+
+def test_double_response_rejected(history):
+    write = history.begin_write(0, 1.0, "v", Timestamp(1, 0))
+    write.respond(2.0)
+    with pytest.raises(HistoryError):
+        write.respond(3.0)
+
+
+def test_reads_from_by_timestamp(history):
+    write = history.begin_write(0, 1.0, "v", Timestamp(1, 0))
+    write.respond(2.0)
+    read = history.begin_read(1, 3.0)
+    read.complete(4.0, "v", Timestamp(1, 0))
+    assert history.reads_from(read) is write
+
+
+def test_reads_from_initial_write(history):
+    read = history.begin_read(1, 0.5)
+    read.complete(1.5, 0, Timestamp.ZERO)
+    assert history.reads_from(read) is history.initial_write
+
+
+def test_reads_from_spec_latest_matching_write(history):
+    # Two writes of the same value; spec-level reads-from picks the later.
+    w1 = history.begin_write(0, 1.0, "same", Timestamp(1, 0))
+    w1.respond(2.0)
+    w2 = history.begin_write(0, 3.0, "same", Timestamp(2, 0))
+    w2.respond(4.0)
+    read = history.begin_read(1, 5.0)
+    read.complete(6.0, "same", Timestamp(1, 0))
+    assert history.reads_from_spec(read) is w2
+    # The implementation-level relation keeps the true source.
+    assert history.reads_from(read) is w1
+
+
+def test_reads_from_spec_requires_write_begun_before_read_ends(history):
+    read = history.begin_read(1, 1.0)
+    read.complete(2.0, "future-value", Timestamp(1, 0))
+    # The only write of that value begins after the read ended.
+    w = history.begin_write(0, 3.0, "future-value", Timestamp(1, 0))
+    w.respond(4.0)
+    # Timestamp(1,0) now maps to that write, but spec-level sees nothing.
+    assert history.reads_from_spec(read) is None
+
+
+def test_staleness_zero_for_fresh_read(history):
+    w = history.begin_write(0, 1.0, "v", Timestamp(1, 0))
+    w.respond(2.0)
+    read = history.begin_read(1, 3.0)
+    read.complete(4.0, "v", Timestamp(1, 0))
+    assert history.staleness(read) == 0
+
+
+def test_staleness_counts_missed_completed_writes(history):
+    for seq in range(1, 4):
+        w = history.begin_write(0, float(seq), seq, Timestamp(seq, 0))
+        w.respond(float(seq) + 0.5)
+    read = history.begin_read(1, 10.0)
+    read.complete(11.0, 1, Timestamp(1, 0))  # read the oldest real write
+    assert history.staleness(read) == 2
+
+
+def test_staleness_ignores_incomplete_writes(history):
+    w1 = history.begin_write(0, 1.0, 1, Timestamp(1, 0))
+    w1.respond(2.0)
+    history.begin_write(0, 3.0, 2, Timestamp(2, 0))  # never responds
+    read = history.begin_read(1, 4.0)
+    read.complete(5.0, 1, Timestamp(1, 0))
+    assert history.staleness(read) == 0
+
+
+def test_operations_in_invocation_order(history):
+    w = history.begin_write(0, 2.0, "v", Timestamp(1, 0))
+    w.respond(3.0)
+    r = history.begin_read(1, 1.0)
+    r.complete(4.0, 0, Timestamp.ZERO)
+    ops = list(history.operations())
+    assert ops[0] is r
+    assert ops[1] is w
+
+
+def test_reads_by_process_filters_and_sorts(history):
+    r2 = history.begin_read(2, 2.0)
+    r1a = history.begin_read(1, 1.0)
+    r1b = history.begin_read(1, 3.0)
+    assert history.reads_by_process(1) == [r1a, r1b]
+    assert history.reads_by_process(2) == [r2]
+    assert history.reads_by_process(9) == []
+
+
+def test_latest_write_before(history):
+    w1 = history.begin_write(0, 1.0, "a", Timestamp(1, 0))
+    w1.respond(2.0)
+    w2 = history.begin_write(0, 3.0, "b", Timestamp(2, 0))
+    w2.respond(4.0)
+    assert history.latest_write_before(1.5) is history.initial_write
+    assert history.latest_write_before(2.5) is w1
+    assert history.latest_write_before(10.0) is w2

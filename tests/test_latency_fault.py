@@ -1,0 +1,152 @@
+"""Tests for latency analysis and the fault-tolerance experiment."""
+
+import pytest
+
+from repro.analysis.latency import (
+    expected_max_of_exponentials,
+    expected_read_latency_synchronous,
+    latency_summary,
+    merged_latencies,
+    operation_latencies,
+    percentile,
+)
+from repro.core.history import RegisterHistory
+from repro.core.timestamps import Timestamp
+from repro.experiments.fault_tolerance import (
+    FaultToleranceConfig,
+    fault_tolerance_table,
+    run_with_crashes,
+)
+from repro.experiments.latency import LatencyConfig, latency_table, measure_latency
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 50) == 5.0
+        assert percentile([0.0, 10.0], 75) == 7.5
+
+    def test_p100_is_max(self):
+        assert percentile([5.0, 1.0, 9.0], 100) == 9.0
+
+    def test_single_sample(self):
+        assert percentile([4.2], 99) == 4.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencyExtraction:
+    def make_history(self):
+        history = RegisterHistory("X", initial_value=0)
+        write = history.begin_write(0, 1.0, "v", Timestamp(1, 0))
+        write.respond(3.5)  # latency 2.5
+        read = history.begin_read(1, 4.0)
+        read.complete(5.0, "v", Timestamp(1, 0))  # latency 1.0
+        history.begin_read(1, 6.0)  # pending: excluded
+        return history
+
+    def test_operation_latencies(self):
+        reads, writes = operation_latencies(self.make_history())
+        assert reads == [1.0]
+        assert writes == [2.5]
+
+    def test_initial_write_excluded(self):
+        history = RegisterHistory("X")
+        _, writes = operation_latencies(history)
+        assert writes == []
+
+    def test_merged(self):
+        reads, writes = merged_latencies(
+            [self.make_history(), self.make_history()]
+        )
+        assert reads == [1.0, 1.0]
+        assert writes == [2.5, 2.5]
+
+    def test_summary_fields(self):
+        summary = latency_summary([1.0, 2.0, 3.0, 4.0])
+        assert summary["count"] == 4
+        assert summary["mean"] == 2.5
+        assert summary["max"] == 4.0
+        with pytest.raises(ValueError):
+            latency_summary([])
+
+
+class TestAnalyticLatency:
+    def test_synchronous_round_trip(self):
+        assert expected_read_latency_synchronous(2.0) == 4.0
+        with pytest.raises(ValueError):
+            expected_read_latency_synchronous(0.0)
+
+    def test_harmonic_growth(self):
+        assert expected_max_of_exponentials(1.0, 1) == 1.0
+        assert expected_max_of_exponentials(1.0, 2) == 1.5
+        assert expected_max_of_exponentials(2.0, 3) == pytest.approx(
+            2.0 * (1 + 0.5 + 1 / 3)
+        )
+        with pytest.raises(ValueError):
+            expected_max_of_exponentials(1.0, 0)
+
+
+class TestLatencyExperiment:
+    def test_latency_grows_with_quorum_size(self):
+        config = LatencyConfig.scaled_down()
+        small = measure_latency(config, 1)
+        large = measure_latency(config, config.num_servers)
+        assert large["read_mean"] > small["read_mean"]
+        # Load (busiest server's share) concentrates as k -> n... share of
+        # total deliveries equalises at k = n; at k = 1 the max share is
+        # higher relative to the uniform 1/n. Check the absolute traffic
+        # instead: full quorums touch every server every op.
+        assert large["busiest_server_share"] <= 1.0
+
+    def test_latency_dominated_by_slowest_member(self):
+        config = LatencyConfig.scaled_down()
+        row = measure_latency(config, 8)
+        # One-way max of 8 exponentials is a floor for the full op.
+        assert row["read_mean"] >= expected_max_of_exponentials(1.0, 8)
+
+    def test_table_has_one_row_per_k(self):
+        config = LatencyConfig(num_servers=9, quorum_sizes=(1, 3),
+                               ops_per_client=30, num_clients=3)
+        table = latency_table(config)
+        assert table.column("k") == [1, 3]
+
+
+class TestFaultToleranceExperiment:
+    def test_probabilistic_survives_crashes_grid_does_not(self):
+        config = FaultToleranceConfig.scaled_down()
+        table = fault_tolerance_table(config)
+        rows = {
+            row[0]: dict(zip(table.columns, row)) for row in table.rows
+        }
+        # No crashes: both converge.
+        assert rows[0]["prob_converged"] and rows[0]["grid_converged"]
+        # Heavy crashes (>= one per grid row): probabilistic still
+        # converges via retry, the grid cannot.
+        heavy = max(rows)
+        assert rows[heavy]["prob_converged"]
+        assert not rows[heavy]["grid_converged"]
+
+    def test_crashes_slow_convergence_down(self):
+        config = FaultToleranceConfig.scaled_down()
+        calm = run_with_crashes(
+            config,
+            ProbabilisticQuorumSystem(config.num_servers, config.quorum_size),
+            crashes=0,
+        )
+        stormy = run_with_crashes(
+            config,
+            ProbabilisticQuorumSystem(config.num_servers, config.quorum_size),
+            crashes=6,
+        )
+        assert calm["converged"] and stormy["converged"]
+        assert stormy["rounds"] >= calm["rounds"]

@@ -1,0 +1,105 @@
+"""Tests for masking-quorum sizing analysis (hypergeometric overlaps)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quorum.analysis import (
+    intersection_size_pmf,
+    masking_intersection_probability,
+    minimum_masking_quorum_size,
+)
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+
+
+class TestIntersectionPmf:
+    def test_sums_to_one(self):
+        for n, k in [(10, 3), (16, 8), (34, 6), (5, 5)]:
+            pmf = intersection_size_pmf(n, k)
+            assert sum(pmf.values()) == pytest.approx(1.0)
+
+    def test_support_bounds(self):
+        pmf = intersection_size_pmf(10, 7)
+        # |Q1 ∩ Q2| >= 2k - n = 4 by pigeonhole.
+        assert min(pmf) == 4
+        assert max(pmf) == 7
+
+    def test_zero_intersection_matches_non_intersection_probability(self):
+        n, k = 20, 4
+        pmf = intersection_size_pmf(n, k)
+        system = ProbabilisticQuorumSystem(n, k)
+        assert pmf[0] == pytest.approx(system.non_intersection_probability())
+
+    def test_full_overlap_when_k_equals_n(self):
+        assert intersection_size_pmf(6, 6) == {6: 1.0}
+
+    def test_matches_monte_carlo(self):
+        n, k = 12, 4
+        pmf = intersection_size_pmf(n, k)
+        rng = np.random.default_rng(0)
+        system = ProbabilisticQuorumSystem(n, k)
+        counts = {}
+        trials = 20_000
+        for _ in range(trials):
+            size = len(system.quorum(rng) & system.quorum(rng))
+            counts[size] = counts.get(size, 0) + 1
+        for size, probability in pmf.items():
+            assert counts.get(size, 0) / trials == pytest.approx(
+                probability, abs=0.015
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            intersection_size_pmf(5, 0)
+        with pytest.raises(ValueError):
+            intersection_size_pmf(5, 6)
+
+
+class TestMaskingProbability:
+    def test_b_zero_reduces_to_plain_intersection(self):
+        n, k = 20, 5
+        assert masking_intersection_probability(n, k, 0) == pytest.approx(
+            ProbabilisticQuorumSystem(n, k).intersection_probability()
+        )
+
+    def test_monotone_in_k(self):
+        values = [
+            masking_intersection_probability(20, k, 1) for k in range(1, 21)
+        ]
+        for smaller, larger in zip(values, values[1:]):
+            assert larger >= smaller - 1e-12
+
+    def test_decreasing_in_b(self):
+        assert masking_intersection_probability(
+            20, 8, 1
+        ) > masking_intersection_probability(20, 8, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            masking_intersection_probability(10, 3, -1)
+
+
+class TestMinimumMaskingQuorumSize:
+    def test_found_size_meets_target(self):
+        n, b, target = 25, 1, 0.95
+        k = minimum_masking_quorum_size(n, b, target)
+        assert masking_intersection_probability(n, k, b) >= target
+        if k > 1:
+            assert masking_intersection_probability(n, k - 1, b) < target
+
+    def test_scales_like_sqrt_n(self):
+        # For fixed b and target, k/√n stays within a narrow band.
+        ratios = []
+        for n in (25, 100, 400):
+            k = minimum_masking_quorum_size(n, 1, 0.99)
+            ratios.append(k / math.sqrt(n))
+        assert max(ratios) / min(ratios) < 2.0
+
+    def test_impossible_target_returns_none(self):
+        # b so large that even k = n cannot produce 2b+1 overlap.
+        assert minimum_masking_quorum_size(5, 3, 0.5) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_masking_quorum_size(10, 1, 0.0)

@@ -1,0 +1,156 @@
+"""Tests for asynchronous dynamic programming (MDP value iteration)."""
+
+import math
+
+import pytest
+
+from repro.apps.mdp import (
+    MarkovDecisionProcess,
+    ValueIterationACO,
+    gridworld,
+)
+from repro.iterative.aco import ACOError
+from repro.iterative.runner import Alg1Runner
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.sim.delays import ExponentialDelay
+
+
+def two_state_mdp(discount=0.5):
+    """State 0 can 'stay' (reward 0) or 'go' (reward 1, to state 1);
+    state 1 is absorbing with reward 2 per step."""
+    mdp = MarkovDecisionProcess(2, 2, discount)
+    mdp.add_transition(0, 0, 1.0, 0, 0.0)
+    mdp.add_transition(0, 1, 1.0, 1, 1.0)
+    mdp.add_transition(1, 0, 1.0, 1, 2.0)
+    mdp.add_transition(1, 1, 1.0, 1, 2.0)
+    return mdp
+
+
+class TestMdp:
+    def test_optimal_values_closed_form(self):
+        mdp = two_state_mdp(discount=0.5)
+        values = mdp.optimal_values()
+        # V(1) = 2 / (1 - 0.5) = 4; V(0) = 1 + 0.5 * 4 = 3.
+        assert values[1] == pytest.approx(4.0)
+        assert values[0] == pytest.approx(3.0)
+
+    def test_greedy_policy(self):
+        mdp = two_state_mdp()
+        policy = mdp.greedy_policy(mdp.optimal_values())
+        assert policy[0] == 1  # "go" dominates "stay"
+
+    def test_bellman_backup_is_max_over_actions(self):
+        mdp = two_state_mdp(discount=0.0)
+        assert mdp.bellman_backup(0, [0.0, 0.0]) == 1.0
+
+    def test_validate_rejects_bad_probabilities(self):
+        mdp = MarkovDecisionProcess(1, 1, 0.9)
+        mdp.add_transition(0, 0, 0.5, 0, 0.0)
+        with pytest.raises(ValueError, match="sum to"):
+            mdp.validate()
+
+    def test_validate_rejects_stateless_state(self):
+        mdp = MarkovDecisionProcess(2, 1, 0.9)
+        mdp.add_transition(0, 0, 1.0, 0, 0.0)
+        with pytest.raises(ValueError, match="no actions"):
+            mdp.validate()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MarkovDecisionProcess(0, 1, 0.9)
+        with pytest.raises(ValueError):
+            MarkovDecisionProcess(1, 1, 1.0)
+        mdp = MarkovDecisionProcess(1, 1, 0.9)
+        with pytest.raises(ValueError):
+            mdp.add_transition(0, 0, 0.0, 0, 0.0)
+        with pytest.raises(ValueError):
+            mdp.add_transition(0, 5, 1.0, 0, 0.0)
+
+
+class TestValueIterationACO:
+    def test_fixed_point_is_optimal_values(self):
+        mdp = two_state_mdp()
+        aco = ValueIterationACO(mdp)
+        assert aco.fixed_point() == pytest.approx(mdp.optimal_values())
+
+    def test_synchronous_iteration_converges(self):
+        mdp = two_state_mdp()
+        aco = ValueIterationACO(mdp, tolerance=1e-9)
+        x = aco.initial()
+        for _ in range(aco.contraction_depth() + 5):
+            x = aco.apply_all(x)
+        assert aco.vector_converged(x)
+
+    def test_contraction_depth_grows_with_precision(self):
+        mdp = two_state_mdp()
+        loose = ValueIterationACO(mdp, tolerance=1e-2).contraction_depth()
+        tight = ValueIterationACO(mdp, tolerance=1e-8).contraction_depth()
+        assert tight > loose
+
+    def test_initial_values_override(self):
+        mdp = two_state_mdp()
+        aco = ValueIterationACO(mdp, initial_values=[3.0, 4.0])
+        assert aco.contraction_depth() == 1
+        with pytest.raises(ACOError):
+            ValueIterationACO(mdp, initial_values=[1.0])
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ACOError):
+            ValueIterationACO(two_state_mdp(), tolerance=0.0)
+
+    def test_distributed_value_iteration_converges(self):
+        mdp = gridworld(3, 3, goal=(2, 2), discount=0.85)
+        aco = ValueIterationACO(mdp, tolerance=1e-4)
+        runner = Alg1Runner(
+            aco,
+            ProbabilisticQuorumSystem(9, 3),
+            num_processes=3,
+            monotone=True,
+            delay_model=ExponentialDelay(1.0),
+            seed=21,
+            max_rounds=1000,
+        )
+        result = runner.run(check_spec=False)
+        assert result.converged
+
+
+class TestGridworld:
+    def test_goal_is_absorbing_with_zero_value(self):
+        mdp = gridworld(3, 3, goal=(0, 0), discount=0.9)
+        values = mdp.optimal_values()
+        assert values[0] == pytest.approx(0.0)
+
+    def test_values_decrease_with_distance_from_goal(self):
+        mdp = gridworld(1, 4, goal=(0, 0), discount=0.9,
+                        slip_probability=0.0)
+        values = mdp.optimal_values()
+        assert values[1] > values[2] > values[3]
+
+    def test_policy_points_toward_goal_on_corridor(self):
+        mdp = gridworld(1, 4, goal=(0, 0), discount=0.9,
+                        slip_probability=0.0)
+        policy = mdp.greedy_policy(mdp.optimal_values())
+        # Action 2 is "left" — every non-goal cell heads left.
+        assert policy[1:] == [2, 2, 2]
+
+    def test_walls_block_movement(self):
+        open_world = gridworld(1, 3, goal=(0, 0), slip_probability=0.0)
+        # A wall in the middle makes the right cell unable to reach the
+        # goal, driving its value to the all-step-penalty fixpoint.
+        walled = gridworld(1, 3, goal=(0, 0), slip_probability=0.0,
+                           walls=[(0, 1)])
+        open_values = open_world.optimal_values()
+        walled_values = walled.optimal_values()
+        assert walled_values[2] < open_values[2]
+
+    def test_probabilities_validated(self):
+        mdp = gridworld(4, 4, goal=(3, 3), slip_probability=0.3)
+        mdp.validate()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            gridworld(2, 2, goal=(5, 5))
+        with pytest.raises(ValueError):
+            gridworld(2, 2, goal=(0, 0), slip_probability=1.0)
+        with pytest.raises(ValueError):
+            gridworld(2, 2, goal=(0, 0), walls=[(0, 0)])

@@ -1,0 +1,102 @@
+"""Tests for MessageStats and FailureInjector."""
+
+from repro.sim.failures import FailureInjector
+from repro.sim.metrics import MessageStats
+
+
+class TestMessageStats:
+    def test_record_send_updates_counters(self):
+        stats = MessageStats()
+        stats.record_send(1, 2, "read_query")
+        stats.record_send(1, 3, "read_query")
+        stats.record_send(2, 3, "write_update")
+        assert stats.sent == 3
+        assert stats.by_sender[1] == 2
+        assert stats.by_kind["read_query"] == 2
+        assert stats.by_kind["write_update"] == 1
+
+    def test_record_delivery_and_receiver_load(self):
+        stats = MessageStats()
+        for _ in range(3):
+            stats.record_send(0, 1, None)
+            stats.record_delivery(0, 1)
+        stats.record_send(0, 2, None)
+        stats.record_delivery(0, 2)
+        assert stats.delivered == 4
+        assert stats.receiver_load(1) == 0.75
+        assert stats.busiest_receiver() == (1, 3)
+
+    def test_receiver_load_zero_when_no_deliveries(self):
+        stats = MessageStats()
+        assert stats.receiver_load(0) == 0.0
+        assert stats.busiest_receiver() == (None, 0)
+
+    def test_marks_measure_deltas(self):
+        stats = MessageStats()
+        stats.record_send(0, 1, None)
+        stats.mark("phase")
+        stats.record_send(0, 1, None)
+        stats.record_send(0, 1, None)
+        assert stats.since_mark("phase") == 2
+        assert stats.since_mark("unknown") == 3
+
+    def test_reset_clears_everything(self):
+        stats = MessageStats()
+        stats.record_send(0, 1, "x")
+        stats.record_drop(0, 1)
+        stats.reset()
+        assert stats.sent == 0
+        assert stats.dropped == 0
+        assert not stats.by_kind
+
+
+class TestFailureInjector:
+    def test_crash_blocks_delivery_both_directions(self):
+        inj = FailureInjector()
+        inj.crash(1)
+        assert not inj.can_deliver(0, 1)
+        assert not inj.can_deliver(1, 0)
+        assert inj.can_deliver(0, 2)
+
+    def test_crash_is_idempotent_and_recoverable(self):
+        inj = FailureInjector()
+        inj.crash(1)
+        inj.crash(1)
+        assert inj.is_crashed(1)
+        inj.recover(1)
+        assert not inj.is_crashed(1)
+        inj.recover(1)  # no-op
+
+    def test_crash_many_and_recover_all(self):
+        inj = FailureInjector()
+        inj.crash_many([1, 2, 3])
+        assert inj.crashed == {1, 2, 3}
+        inj.recover_all()
+        assert inj.crashed == set()
+
+    def test_partition_blocks_cross_group_traffic(self):
+        inj = FailureInjector()
+        inj.partition([{0, 1}, {2, 3}])
+        assert inj.can_deliver(0, 1)
+        assert inj.can_deliver(2, 3)
+        assert not inj.can_deliver(0, 2)
+        assert not inj.can_deliver(3, 1)
+
+    def test_node_outside_partition_reaches_everyone(self):
+        inj = FailureInjector()
+        inj.partition([{0, 1}, {2, 3}])
+        assert inj.can_deliver(9, 0)
+        assert inj.can_deliver(2, 9)
+
+    def test_heal_partition_restores_traffic(self):
+        inj = FailureInjector()
+        inj.partition([{0}, {1}])
+        assert not inj.can_deliver(0, 1)
+        inj.heal_partition()
+        assert inj.can_deliver(0, 1)
+
+    def test_crash_overrides_partition_membership(self):
+        inj = FailureInjector()
+        inj.partition([{0, 1}])
+        inj.crash(0)
+        assert not inj.can_deliver(0, 1)

@@ -1,0 +1,191 @@
+"""Tests for the message-passing network."""
+
+import numpy as np
+import pytest
+
+from repro.sim.delays import ConstantDelay, ExponentialDelay, PerLinkDelay
+from repro.sim.failures import FailureInjector
+from repro.sim.network import Network, Node
+from repro.sim.scheduler import Scheduler
+
+
+class Recorder(Node):
+    """Test node recording (time, src, message) of deliveries."""
+
+    def __init__(self):
+        super().__init__()
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append((self.network.scheduler.now, src, message))
+
+
+def make_network(delay=None, failures=None):
+    scheduler = Scheduler()
+    network = Network(
+        scheduler,
+        delay or ConstantDelay(1.0),
+        np.random.default_rng(0),
+        failures=failures,
+    )
+    return scheduler, network
+
+
+def test_message_delivered_after_delay():
+    scheduler, network = make_network(ConstantDelay(2.0))
+    a, b = Recorder(), Recorder()
+    network.add_node(a)
+    network.add_node(b)
+    network.send(a.node_id, b.node_id, "hello")
+    scheduler.run()
+    assert b.received == [(2.0, a.node_id, "hello")]
+
+
+def test_node_ids_assigned_sequentially():
+    _, network = make_network()
+    nodes = [Recorder() for _ in range(3)]
+    ids = [network.add_node(node) for node in nodes]
+    assert ids == [0, 1, 2]
+    assert network.node_ids == [0, 1, 2]
+
+
+def test_explicit_node_id():
+    _, network = make_network()
+    node = Recorder()
+    assert network.add_node(node, node_id=10) == 10
+    other = Recorder()
+    assert network.add_node(other) == 11
+
+
+def test_duplicate_node_id_rejected():
+    _, network = make_network()
+    network.add_node(Recorder(), node_id=1)
+    with pytest.raises(ValueError):
+        network.add_node(Recorder(), node_id=1)
+
+
+def test_send_to_unknown_node_rejected():
+    _, network = make_network()
+    a = Recorder()
+    network.add_node(a)
+    with pytest.raises(KeyError):
+        network.send(a.node_id, 42, "msg")
+
+
+def test_node_send_helper():
+    scheduler, network = make_network()
+    a, b = Recorder(), Recorder()
+    network.add_node(a)
+    network.add_node(b)
+    a.send(b.node_id, "via helper")
+    scheduler.run()
+    assert b.received[0][2] == "via helper"
+
+
+def test_detached_node_send_raises():
+    node = Recorder()
+    with pytest.raises(RuntimeError):
+        node.send(0, "msg")
+
+
+def test_broadcast_reaches_all():
+    scheduler, network = make_network()
+    nodes = [Recorder() for _ in range(4)]
+    for node in nodes:
+        network.add_node(node)
+    network.broadcast(0, [1, 2, 3], "fanout")
+    scheduler.run()
+    for node in nodes[1:]:
+        assert len(node.received) == 1
+    assert nodes[0].received == []
+
+
+def test_messages_can_reorder_with_variable_delays():
+    # With exponential delays, later sends sometimes arrive earlier.
+    scheduler, network = make_network(ExponentialDelay(1.0))
+    a, b = Recorder(), Recorder()
+    network.add_node(a)
+    network.add_node(b)
+    for i in range(50):
+        network.send(a.node_id, b.node_id, i)
+    scheduler.run()
+    order = [msg for _, _, msg in b.received]
+    assert sorted(order) == list(range(50))
+    assert order != list(range(50))  # at least one reordering at this seed
+
+
+def test_stats_count_sends_and_deliveries():
+    scheduler, network = make_network()
+    a, b = Recorder(), Recorder()
+    network.add_node(a)
+    network.add_node(b)
+    for _ in range(5):
+        network.send(a.node_id, b.node_id, "m")
+    scheduler.run()
+    assert network.stats.sent == 5
+    assert network.stats.delivered == 5
+    assert network.stats.dropped == 0
+
+
+def test_crashed_destination_drops_message():
+    failures = FailureInjector()
+    scheduler, network = make_network(failures=failures)
+    a, b = Recorder(), Recorder()
+    network.add_node(a)
+    network.add_node(b)
+    failures.crash(b.node_id)
+    network.send(a.node_id, b.node_id, "lost")
+    scheduler.run()
+    assert b.received == []
+    assert network.stats.dropped == 1
+
+
+def test_crash_while_in_flight_drops_message():
+    failures = FailureInjector()
+    scheduler, network = make_network(ConstantDelay(5.0), failures=failures)
+    a, b = Recorder(), Recorder()
+    network.add_node(a)
+    network.add_node(b)
+    network.send(a.node_id, b.node_id, "in-flight")
+    scheduler.schedule(1.0, failures.crash, b.node_id)
+    scheduler.run()
+    assert b.received == []
+    assert network.stats.dropped == 1
+
+
+def test_recovered_node_receives_again():
+    failures = FailureInjector()
+    scheduler, network = make_network(failures=failures)
+    a, b = Recorder(), Recorder()
+    network.add_node(a)
+    network.add_node(b)
+    failures.crash(b.node_id)
+    failures.recover(b.node_id)
+    network.send(a.node_id, b.node_id, "back")
+    scheduler.run()
+    assert len(b.received) == 1
+
+
+def test_tap_observes_every_send():
+    scheduler, network = make_network()
+    a, b = Recorder(), Recorder()
+    network.add_node(a)
+    network.add_node(b)
+    taps = []
+    network.add_tap(lambda src, dst, msg: taps.append((src, dst, msg)))
+    network.send(a.node_id, b.node_id, "observed")
+    assert taps == [(a.node_id, b.node_id, "observed")]
+
+
+def test_per_link_delay_routing():
+    scheduler, network = make_network(
+        PerLinkDelay({(0, 1): 10.0}, default=1.0)
+    )
+    a, b, c = Recorder(), Recorder(), Recorder()
+    for node in (a, b, c):
+        network.add_node(node)
+    network.send(0, 1, "slow")
+    network.send(0, 2, "fast")
+    scheduler.run()
+    assert b.received[0][0] == 10.0
+    assert c.received[0][0] == 1.0

@@ -1,0 +1,95 @@
+"""Tests for ASCII chart rendering."""
+
+import math
+
+import pytest
+
+from repro.experiments.figure2 import Figure2Config, Figure2Point
+from repro.experiments.plotting import ascii_chart, figure2_chart
+
+
+def simple_series():
+    return {
+        "up": [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)],
+        "down": [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)],
+    }
+
+
+def test_chart_contains_markers_and_legend():
+    text = ascii_chart(simple_series(), width=30, height=8)
+    assert "o=down" in text
+    assert "x=up" in text
+    assert "o" in text and "x" in text
+
+
+def test_axis_labels_present():
+    text = ascii_chart(
+        simple_series(), width=30, height=8, x_label="k", y_label="rounds"
+    )
+    assert "k" in text
+    assert "rounds" in text
+    assert "1" in text and "3" in text  # range endpoints
+
+
+def test_title_rendered():
+    text = ascii_chart(simple_series(), width=30, height=8, title="My Chart")
+    assert text.startswith("My Chart")
+
+
+def test_log_scale():
+    series = {"s": [(1.0, 1.0), (2.0, 10.0), (3.0, 100.0)]}
+    text = ascii_chart(series, width=30, height=8, log_y=True)
+    assert "100" in text
+    # Log scale spaces the three decades evenly: marker rows 0, mid, last.
+    rows_with_marker = [
+        i for i, line in enumerate(text.splitlines()) if "o" in line and "|" in line
+    ]
+    assert len(rows_with_marker) == 3
+    gaps = [b - a for a, b in zip(rows_with_marker, rows_with_marker[1:])]
+    assert max(gaps) - min(gaps) <= 1
+
+
+def test_log_scale_rejects_non_positive():
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [(1.0, 0.0)]}, log_y=True)
+
+
+def test_non_finite_points_dropped():
+    series = {"s": [(1.0, 1.0), (2.0, math.nan), (3.0, math.inf), (4.0, 4.0)]}
+    text = ascii_chart(series, width=30, height=8)
+    assert text  # renders from the two finite points
+
+
+def test_all_nan_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [(1.0, math.nan)]})
+
+
+def test_too_small_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart(simple_series(), width=5, height=2)
+
+
+def test_too_many_series_rejected():
+    series = {f"s{i}": [(1.0, float(i + 1))] for i in range(9)}
+    with pytest.raises(ValueError):
+        ascii_chart(series)
+
+
+def test_single_point_chart():
+    text = ascii_chart({"only": [(1.0, 5.0)]}, width=20, height=5)
+    assert "o" in text
+
+
+def test_figure2_chart_renders():
+    config = Figure2Config(num_vertices=8, num_servers=8,
+                           quorum_sizes=(1, 2, 4), runs_per_point=1)
+    points = [
+        Figure2Point("monotone/sync", k, rounds=[10 // k + 3],
+                     converged=[True])
+        for k in (1, 2, 4)
+    ]
+    text = figure2_chart(config, points)
+    assert "Figure 2" in text
+    assert "cor7-bound" in text
+    assert "monotone/sync" in text

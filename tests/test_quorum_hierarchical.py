@@ -1,0 +1,95 @@
+"""Tests for hierarchical and wheel quorum systems."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.quorum.analysis import brute_force_availability, empirical_load
+from repro.quorum.base import QuorumSystemError
+from repro.quorum.hierarchical import (
+    HierarchicalQuorumSystem,
+    WheelQuorumSystem,
+)
+
+
+class TestHierarchical:
+    def test_universe_size(self):
+        assert HierarchicalQuorumSystem(2, 3).n == 9
+        assert HierarchicalQuorumSystem(3, 3).n == 27
+
+    def test_quorum_size_formula(self):
+        # 3-way splits: majority of 2 per level.
+        assert HierarchicalQuorumSystem(2, 3).quorum_size == 4
+        assert HierarchicalQuorumSystem(3, 3).quorum_size == 8
+
+    def test_quorum_size_between_sqrt_and_majority(self):
+        system = HierarchicalQuorumSystem(4, 3)  # n = 81, |Q| = 16
+        assert math.sqrt(system.n) < system.quorum_size < system.n // 2 + 1
+
+    def test_sampled_quorums_have_exact_size(self, rng):
+        system = HierarchicalQuorumSystem(3, 3)
+        for _ in range(30):
+            assert len(system.quorum(rng)) == system.quorum_size
+
+    def test_all_quorums_pairwise_intersect(self):
+        system = HierarchicalQuorumSystem(2, 3)
+        quorums = list(system.enumerate_quorums())
+        # 3 group pairs, each contributing 3 x 3 leaf-majority choices.
+        assert len(quorums) == 27
+        for a, b in itertools.combinations(quorums, 2):
+            assert a & b
+
+    def test_sampled_quorum_is_enumerated(self, rng):
+        system = HierarchicalQuorumSystem(2, 3)
+        quorums = set(system.enumerate_quorums())
+        for _ in range(20):
+            assert system.quorum(rng) in quorums
+
+    def test_availability_matches_brute_force(self):
+        system = HierarchicalQuorumSystem(2, 3)
+        assert brute_force_availability(system) == system.availability() == 4
+
+    def test_load_between_grid_and_majority(self, rng):
+        system = HierarchicalQuorumSystem(2, 3)  # n = 9
+        load = empirical_load(system, rng, trials=4000)
+        assert load == pytest.approx(system.analytic_load(), abs=0.08)
+        assert (2 / 3) ** 2 == pytest.approx(system.analytic_load())
+
+    def test_validation(self):
+        with pytest.raises(QuorumSystemError):
+            HierarchicalQuorumSystem(0)
+        with pytest.raises(QuorumSystemError):
+            HierarchicalQuorumSystem(2, branching=1)
+
+
+class TestWheel:
+    def test_quorums_are_hub_spoke_or_rim(self, rng):
+        system = WheelQuorumSystem(6, rim_probability=0.5)
+        quorums = set(system.enumerate_quorums())
+        for _ in range(50):
+            assert system.quorum(rng) in quorums
+
+    def test_all_quorums_pairwise_intersect(self):
+        system = WheelQuorumSystem(7)
+        quorums = list(system.enumerate_quorums())
+        for a, b in itertools.combinations(quorums, 2):
+            assert a & b
+
+    def test_tiny_quorum_size(self):
+        assert WheelQuorumSystem(50).quorum_size == 2
+
+    def test_availability_matches_brute_force(self):
+        system = WheelQuorumSystem(6)
+        assert brute_force_availability(system) == system.availability() == 2
+
+    def test_hub_carries_the_load(self, rng):
+        system = WheelQuorumSystem(10, rim_probability=0.1)
+        load = empirical_load(system, rng, trials=4000)
+        assert load == pytest.approx(0.9, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(QuorumSystemError):
+            WheelQuorumSystem(2)
+        with pytest.raises(QuorumSystemError):
+            WheelQuorumSystem(5, rim_probability=1.0)

@@ -1,0 +1,98 @@
+"""Tests for the probabilistic quorum system."""
+
+import math
+
+import pytest
+
+from repro.quorum.base import QuorumSystemError
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+
+
+def test_quorum_has_exactly_k_members(rng):
+    system = ProbabilisticQuorumSystem(20, 5)
+    for _ in range(50):
+        quorum = system.quorum(rng)
+        assert len(quorum) == 5
+        assert all(0 <= member < 20 for member in quorum)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(QuorumSystemError):
+        ProbabilisticQuorumSystem(0, 1)
+    with pytest.raises(QuorumSystemError):
+        ProbabilisticQuorumSystem(10, 0)
+    with pytest.raises(QuorumSystemError):
+        ProbabilisticQuorumSystem(10, 11)
+
+
+def test_strictness_threshold():
+    assert not ProbabilisticQuorumSystem(10, 5).is_strict
+    assert ProbabilisticQuorumSystem(10, 6).is_strict
+    assert ProbabilisticQuorumSystem(1, 1).is_strict
+
+
+def test_non_intersection_probability_exact():
+    system = ProbabilisticQuorumSystem(4, 2)
+    # C(2,2)/C(4,2) = 1/6.
+    assert system.non_intersection_probability() == pytest.approx(1 / 6)
+    assert system.intersection_probability() == pytest.approx(5 / 6)
+
+
+def test_non_intersection_zero_when_strict():
+    assert ProbabilisticQuorumSystem(10, 6).non_intersection_probability() == 0.0
+
+
+def test_proposition32_bound_holds():
+    for n in (10, 34, 100):
+        for k in range(1, n // 2 + 1):
+            system = ProbabilisticQuorumSystem(n, k)
+            assert (
+                system.non_intersection_probability()
+                <= system.non_intersection_upper_bound() + 1e-12
+            )
+
+
+def test_k_equals_one_probabilities():
+    system = ProbabilisticQuorumSystem(34, 1)
+    assert system.non_intersection_probability() == pytest.approx(33 / 34)
+
+
+def test_empirical_intersection_matches_analytic(rng):
+    system = ProbabilisticQuorumSystem(20, 4)
+    hits = sum(
+        1 for _ in range(5000) if system.quorum(rng) & system.quorum(rng)
+    )
+    assert hits / 5000 == pytest.approx(system.intersection_probability(), abs=0.03)
+
+
+def test_uniformity_of_member_selection(rng):
+    # Each server should appear with probability k/n.
+    system = ProbabilisticQuorumSystem(10, 3)
+    counts = [0] * 10
+    trials = 20_000
+    for _ in range(trials):
+        for member in system.quorum(rng):
+            counts[member] += 1
+    for count in counts:
+        assert count / trials == pytest.approx(0.3, abs=0.02)
+
+
+def test_availability_is_n_minus_k_plus_one():
+    assert ProbabilisticQuorumSystem(34, 6).availability() == 29
+    assert ProbabilisticQuorumSystem(10, 10).availability() == 1
+
+
+def test_analytic_load():
+    assert ProbabilisticQuorumSystem(16, 4).analytic_load() == 0.25
+
+
+def test_optimal_k_is_ceil_sqrt():
+    assert ProbabilisticQuorumSystem.optimal_k(16) == 4
+    assert ProbabilisticQuorumSystem.optimal_k(17) == 5
+    assert ProbabilisticQuorumSystem.optimal_k(1) == 1
+    assert ProbabilisticQuorumSystem.optimal_k(4, c=3.0) == 4  # capped at n
+
+
+def test_optimal_k_rejects_bad_n():
+    with pytest.raises(QuorumSystemError):
+        ProbabilisticQuorumSystem.optimal_k(0)

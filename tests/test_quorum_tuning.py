@@ -1,0 +1,50 @@
+"""Tests for the quorum-tuning experiment (k = c·√n sweep)."""
+
+import math
+
+from repro.experiments.quorum_tuning import (
+    TuningConfig,
+    tuning_rows,
+    tuning_table,
+)
+
+
+def test_rows_deduplicate_collapsed_k():
+    # On a small n several c values map to the same k; rows dedupe.
+    config = TuningConfig(num_vertices=6, num_servers=9,
+                          c_values=(0.3, 0.34, 1.0), runs=1)
+    rows = tuning_rows(config)
+    ks = [row["k"] for row in rows]
+    assert len(ks) == len(set(ks))
+
+
+def test_k_follows_ceil_c_sqrt_n():
+    config = TuningConfig(num_vertices=6, num_servers=36,
+                          c_values=(0.5, 1.0, 2.0), runs=1)
+    rows = tuning_rows(config)
+    for row in rows:
+        assert row["k"] == min(36, max(1, math.ceil(row["c"] * 6)))
+
+
+def test_intersection_probability_grows_with_c():
+    config = TuningConfig.scaled_down()
+    rows = tuning_rows(config)
+    probs = [row["intersection_prob"] for row in rows]
+    for smaller, larger in zip(probs, probs[1:]):
+        assert larger >= smaller - 1e-12
+
+
+def test_all_runs_converge_and_rounds_flatten():
+    config = TuningConfig.scaled_down()
+    rows = tuning_rows(config)
+    rounds = [row["mean_rounds"] for row in rows]
+    assert all(r == r for r in rounds)  # no NaN: everything converged
+    assert rounds[-1] <= rounds[0]
+
+
+def test_table_columns():
+    config = TuningConfig(num_vertices=5, num_servers=9,
+                          c_values=(1.0,), runs=1)
+    table = tuning_table(config)
+    assert table.columns[0] == "c"
+    assert len(table) == 1

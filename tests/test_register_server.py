@@ -1,0 +1,135 @@
+"""Tests for the replica server."""
+
+import numpy as np
+import pytest
+
+from repro.core.timestamps import Timestamp
+from repro.registers.messages import ReadQuery, ReadReply, WriteAck, WriteUpdate
+from repro.registers.server import ReplicaServer
+from repro.registers.space import RegisterSpace
+from repro.sim.delays import ConstantDelay
+from repro.sim.network import Network, Node
+from repro.sim.scheduler import Scheduler
+
+
+class Collector(Node):
+    def __init__(self):
+        super().__init__()
+        self.messages = []
+
+    def on_message(self, src, message):
+        self.messages.append((src, message))
+
+
+@pytest.fixture
+def setup():
+    scheduler = Scheduler()
+    network = Network(scheduler, ConstantDelay(1.0), np.random.default_rng(0))
+    space = RegisterSpace()
+    space.declare("X", writer=0, initial_value="init")
+    server = ReplicaServer(space)
+    client = Collector()
+    network.add_node(server)
+    network.add_node(client)
+    return scheduler, network, space, server, client
+
+
+def test_read_query_returns_initial_value(setup):
+    scheduler, network, space, server, client = setup
+    network.send(client.node_id, server.node_id, ReadQuery("X", op_id=1))
+    scheduler.run()
+    (src, reply), = client.messages
+    assert src == server.node_id
+    assert isinstance(reply, ReadReply)
+    assert reply.value == "init"
+    assert reply.timestamp == Timestamp.ZERO
+    assert reply.op_id == 1
+
+
+def test_write_update_installs_newer_value(setup):
+    scheduler, network, space, server, client = setup
+    update = WriteUpdate("X", op_id=2, value="v1", timestamp=Timestamp(1, 0))
+    network.send(client.node_id, server.node_id, update)
+    scheduler.run()
+    assert server.replica_value("X") == "v1"
+    assert server.replica_timestamp("X") == Timestamp(1, 0)
+    assert isinstance(client.messages[0][1], WriteAck)
+
+
+def test_stale_write_ignored_but_acked(setup):
+    scheduler, network, space, server, client = setup
+    network.send(
+        client.node_id, server.node_id,
+        WriteUpdate("X", 1, "new", Timestamp(5, 0)),
+    )
+    network.send(
+        client.node_id, server.node_id,
+        WriteUpdate("X", 2, "old", Timestamp(3, 0)),
+    )
+    scheduler.run()
+    assert server.replica_value("X") == "new"
+    assert server.stale_updates_ignored == 1
+    assert len(client.messages) == 2  # both acked
+
+
+def test_reordered_updates_converge_to_newest(setup):
+    # Delivery order old-then-new and new-then-old both end at the newest.
+    scheduler, network, space, server, client = setup
+    network.send(
+        client.node_id, server.node_id, WriteUpdate("X", 1, "a", Timestamp(1, 0))
+    )
+    scheduler.run()
+    network.send(
+        client.node_id, server.node_id, WriteUpdate("X", 2, "c", Timestamp(3, 0))
+    )
+    network.send(
+        client.node_id, server.node_id, WriteUpdate("X", 3, "b", Timestamp(2, 0))
+    )
+    scheduler.run()
+    assert server.replica_value("X") == "c"
+
+
+def test_counters(setup):
+    scheduler, network, space, server, client = setup
+    network.send(client.node_id, server.node_id, ReadQuery("X", 1))
+    network.send(
+        client.node_id, server.node_id, WriteUpdate("X", 2, "v", Timestamp(1, 0))
+    )
+    scheduler.run()
+    assert server.reads_served == 1
+    assert server.writes_applied == 1
+
+
+def test_unknown_register_raises(setup):
+    scheduler, network, space, server, client = setup
+    network.send(client.node_id, server.node_id, ReadQuery("Y", 1))
+    with pytest.raises(KeyError):
+        scheduler.run()
+
+
+def test_unknown_message_kind_ignored(setup):
+    scheduler, network, space, server, client = setup
+    network.send(client.node_id, server.node_id, "garbage")
+    scheduler.run()
+    assert client.messages == []
+
+
+class TestRegisterSpace:
+    def test_declare_and_lookup(self):
+        space = RegisterSpace()
+        info = space.declare("R", writer=2, initial_value=9)
+        assert space.info("R") is info
+        assert space.history("R").initial_write.value == 9
+        assert "R" in space
+        assert len(space) == 1
+        assert space.names == ["R"]
+
+    def test_duplicate_declaration_rejected(self):
+        space = RegisterSpace()
+        space.declare("R")
+        with pytest.raises(ValueError):
+            space.declare("R")
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(KeyError):
+            RegisterSpace().info("missing")

@@ -1,0 +1,95 @@
+"""Tests for the experiment result tables."""
+
+import pytest
+
+from repro.experiments.results import ResultTable, full_scale
+
+
+def test_add_row_positional_and_named():
+    table = ResultTable("t", ["a", "b"])
+    table.add_row(1, 2)
+    table.add_row(a=3, b=4)
+    assert table.rows == [[1, 2], [3, 4]]
+    assert len(table) == 2
+
+
+def test_mixed_positional_named_rejected():
+    table = ResultTable("t", ["a"])
+    with pytest.raises(ValueError):
+        table.add_row(1, a=2)
+
+
+def test_wrong_arity_rejected():
+    table = ResultTable("t", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+    with pytest.raises(ValueError):
+        table.add_row(a=1)
+
+
+def test_column_extraction():
+    table = ResultTable("t", ["x", "y"])
+    table.add_row(1, "p")
+    table.add_row(2, "q")
+    assert table.column("x") == [1, 2]
+    assert table.column("y") == ["p", "q"]
+
+
+def test_add_dict_rows():
+    table = ResultTable("t", ["x"])
+    table.add_dict_rows([{"x": 1, "extra": "ignored"}, {"x": 2}])
+    assert table.column("x") == [1, 2]
+
+
+def test_text_rendering_alignment():
+    table = ResultTable("My Title", ["name", "value"])
+    table.add_row("alpha", 1.25)
+    text = table.to_text()
+    assert text.startswith("My Title")
+    lines = text.splitlines()
+    assert "name" in lines[2] and "value" in lines[2]
+    assert "alpha" in lines[4]
+
+
+def test_float_formatting():
+    table = ResultTable("t", ["v"])
+    table.add_row(0.000012)
+    table.add_row(123456.0)
+    table.add_row(float("nan"))
+    table.add_row(True)
+    text = table.to_text()
+    assert "1.200e-05" in text
+    assert "1.235e+05" in text
+    assert "-" in text
+    assert "yes" in text
+
+
+def test_csv_rendering():
+    table = ResultTable("t", ["a", "b"])
+    table.add_row(1, 2.5)
+    assert table.to_csv() == "a,b\n1,2.5"
+
+
+def test_save_text_and_csv(tmp_path):
+    table = ResultTable("t", ["a"])
+    table.add_row(7)
+    csv_path = tmp_path / "out.csv"
+    txt_path = tmp_path / "out.txt"
+    table.save(str(csv_path))
+    table.save(str(txt_path))
+    assert csv_path.read_text().startswith("a\n7")
+    assert "t" in txt_path.read_text()
+
+
+def test_empty_columns_rejected():
+    with pytest.raises(ValueError):
+        ResultTable("t", [])
+
+
+def test_full_scale_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    assert not full_scale()
+    monkeypatch.setenv("REPRO_FULL", "1")
+    assert full_scale()
+    monkeypatch.setenv("REPRO_FULL", "0")
+    assert not full_scale()

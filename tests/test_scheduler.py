@@ -1,0 +1,160 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.scheduler import Scheduler, SchedulerError
+
+
+def test_starts_at_time_zero(scheduler):
+    assert scheduler.now == 0.0
+
+
+def test_runs_event_at_scheduled_time(scheduler):
+    fired = []
+    scheduler.schedule(2.5, lambda: fired.append(scheduler.now))
+    scheduler.run()
+    assert fired == [2.5]
+
+
+def test_events_run_in_time_order(scheduler):
+    order = []
+    scheduler.schedule(3.0, order.append, "c")
+    scheduler.schedule(1.0, order.append, "a")
+    scheduler.schedule(2.0, order.append, "b")
+    scheduler.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_broken_by_scheduling_order(scheduler):
+    order = []
+    scheduler.schedule(1.0, order.append, "first")
+    scheduler.schedule(1.0, order.append, "second")
+    scheduler.schedule(1.0, order.append, "third")
+    scheduler.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_callback_args_passed(scheduler):
+    received = []
+    scheduler.schedule(1.0, lambda a, b: received.append((a, b)), 1, "x")
+    scheduler.run()
+    assert received == [(1, "x")]
+
+
+def test_negative_delay_rejected(scheduler):
+    with pytest.raises(SchedulerError):
+        scheduler.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected(scheduler):
+    scheduler.schedule(5.0, lambda: None)
+    scheduler.run()
+    assert scheduler.now == 5.0
+    with pytest.raises(SchedulerError):
+        scheduler.schedule_at(3.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(scheduler):
+    fired = []
+    handle = scheduler.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    scheduler.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent(scheduler):
+    handle = scheduler.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    scheduler.run()
+
+
+def test_events_scheduled_during_events_run(scheduler):
+    order = []
+
+    def outer():
+        order.append("outer")
+        scheduler.schedule(1.0, lambda: order.append("inner"))
+
+    scheduler.schedule(1.0, outer)
+    scheduler.run()
+    assert order == ["outer", "inner"]
+    assert scheduler.now == 2.0
+
+
+def test_call_soon_runs_at_current_time(scheduler):
+    times = []
+    scheduler.schedule(4.0, lambda: scheduler.call_soon(
+        lambda: times.append(scheduler.now)))
+    scheduler.run()
+    assert times == [4.0]
+
+
+def test_run_until_stops_clock(scheduler):
+    fired = []
+    scheduler.schedule(1.0, fired.append, "early")
+    scheduler.schedule(10.0, fired.append, "late")
+    end = scheduler.run(until=5.0)
+    assert fired == ["early"]
+    assert end == 5.0
+    # Continuing the run executes the remaining event.
+    scheduler.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_max_events(scheduler):
+    fired = []
+    for i in range(5):
+        scheduler.schedule(float(i + 1), fired.append, i)
+    scheduler.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_run_stop_when_predicate(scheduler):
+    fired = []
+    for i in range(5):
+        scheduler.schedule(float(i + 1), fired.append, i)
+    scheduler.run(stop_when=lambda: len(fired) >= 3)
+    assert fired == [0, 1, 2]
+
+
+def test_stop_inside_event(scheduler):
+    fired = []
+
+    def first():
+        fired.append("a")
+        scheduler.stop()
+
+    scheduler.schedule(1.0, first)
+    scheduler.schedule(2.0, fired.append, "b")
+    scheduler.run()
+    assert fired == ["a"]
+    # The second event remains queued.
+    assert scheduler.pending == 1
+
+
+def test_events_processed_counter(scheduler):
+    for i in range(3):
+        scheduler.schedule(1.0, lambda: None)
+    scheduler.run()
+    assert scheduler.events_processed == 3
+
+
+def test_pending_excludes_cancelled(scheduler):
+    handle = scheduler.schedule(1.0, lambda: None)
+    scheduler.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert scheduler.pending == 1
+
+
+def test_step_returns_false_when_empty(scheduler):
+    assert scheduler.step() is False
+
+
+def test_clock_never_goes_backwards(scheduler):
+    times = []
+    scheduler.schedule(5.0, lambda: times.append(scheduler.now))
+    scheduler.schedule(1.0, lambda: times.append(scheduler.now))
+    scheduler.schedule(3.0, lambda: times.append(scheduler.now))
+    scheduler.run()
+    assert times == sorted(times)

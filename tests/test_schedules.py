@@ -1,0 +1,127 @@
+"""Tests for the standard change/view schedules."""
+
+import numpy as np
+import pytest
+
+from repro.apps.apsp import ApspACO
+from repro.apps.graphs import chain_graph
+from repro.iterative.schedules import (
+    block_cyclic_change,
+    bounded_delay_view,
+    process_local_view,
+    random_subset_change,
+)
+from repro.iterative.update_sequence import (
+    check_a1_views_from_past,
+    check_a2_all_components_update,
+    extract_pseudocycles,
+    iterate_update_sequence,
+)
+
+
+class TestBlockCyclic:
+    def test_blocks_take_turns(self):
+        change = block_cyclic_change(6, 3)
+        assert change(1) == {0, 1}
+        assert change(2) == {2, 3}
+        assert change(3) == {4, 5}
+        assert change(4) == {0, 1}
+
+    def test_satisfies_a2(self):
+        change = block_cyclic_change(7, 3)
+        check_a2_all_components_update(7, change, steps=30, window=3)
+
+    def test_more_processes_than_components(self):
+        change = block_cyclic_change(2, 5)
+        assert change(1) == {0}
+        assert change(2) == {1}
+
+    def test_apsp_converges_under_block_cyclic(self):
+        aco = ApspACO(chain_graph(6))
+        change = block_cyclic_change(aco.m, 3)
+        history = iterate_update_sequence(aco, steps=12 * 3, change=change)
+        assert history[-1] == aco.fixed_point()
+
+
+class TestRandomSubset:
+    def test_deterministic_across_calls(self):
+        rng = np.random.default_rng(5)
+        change = random_subset_change(5, rng)
+        first = [change(k) for k in range(1, 11)]
+        second = [change(k) for k in range(1, 11)]
+        assert first == second
+
+    def test_fairness_guarantees_a2(self):
+        # Even with near-zero inclusion probability the forced round-robin
+        # component keeps every component updating.
+        rng = np.random.default_rng(6)
+        change = random_subset_change(
+            4, rng, include_probability=0.01, fairness_period=1
+        )
+        check_a2_all_components_update(4, change, steps=40, window=8)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_subset_change(3, rng, include_probability=0.0)
+        with pytest.raises(ValueError):
+            random_subset_change(3, rng, fairness_period=0)
+
+    def test_apsp_converges_under_random_schedule(self):
+        rng = np.random.default_rng(7)
+        aco = ApspACO(chain_graph(5))
+        change = random_subset_change(aco.m, rng, include_probability=0.4)
+        history = iterate_update_sequence(aco, steps=120, change=change)
+        assert history[-1] == aco.fixed_point()
+
+
+class TestBoundedDelayView:
+    def test_exact_lag(self):
+        view = bounded_delay_view([0, 2, 5])
+        assert view(0, 10) == 9
+        assert view(1, 10) == 7
+        assert view(2, 10) == 4
+        assert view(2, 3) == 0  # clamped at the initial vector
+
+    def test_satisfies_a1(self):
+        view = bounded_delay_view([1, 1, 1])
+        check_a1_views_from_past(3, view, steps=20)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bounded_delay_view([0, -1])
+
+    def test_larger_delays_give_fewer_pseudocycles(self):
+        from repro.iterative.schedules import synchronous_change
+
+        m, steps = 3, 40
+        fresh = extract_pseudocycles(
+            m, synchronous_change(m), bounded_delay_view([0] * m), steps
+        )
+        laggy = extract_pseudocycles(
+            m, synchronous_change(m), bounded_delay_view([4] * m), steps
+        )
+        assert len(laggy) < len(fresh)
+
+
+class TestProcessLocalView:
+    def test_own_block_fresh_others_lagged(self):
+        view = process_local_view(4, 2, lag_between_processes=3)
+        # Step 1 updates block {0, 1}: they see fresh views.
+        assert view(0, 1) == 0
+        assert view(1, 1) == 0
+        assert view(2, 1) == 0  # clamped
+        assert view(2, 5) == 1  # lagged by 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            process_local_view(4, 2, lag_between_processes=-1)
+
+    def test_apsp_converges(self):
+        aco = ApspACO(chain_graph(6))
+        change = block_cyclic_change(aco.m, 2)
+        view = process_local_view(aco.m, 2, lag_between_processes=2)
+        history = iterate_update_sequence(
+            aco, steps=30 * 2, change=change, view=view
+        )
+        assert history[-1] == aco.fixed_point()

@@ -1,0 +1,118 @@
+"""Tests for simulation event tracing."""
+
+import pytest
+
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.registers.deployment import RegisterDeployment
+from repro.sim.coroutines import spawn
+from repro.sim.delays import ConstantDelay
+from repro.sim.trace import TraceLog
+
+
+@pytest.fixture
+def traced_deployment():
+    deployment = RegisterDeployment(
+        ProbabilisticQuorumSystem(6, 2), num_clients=2,
+        delay_model=ConstantDelay(1.0), seed=0,
+    )
+    deployment.declare_register("X", writer=0, initial_value=0)
+    trace = TraceLog(deployment.network, keep_payloads=True)
+    return deployment, trace
+
+
+def run_one_write_one_read(deployment):
+    def proc():
+        yield deployment.handle(0, "X").write("v")
+        yield deployment.handle(1, "X").read()
+
+    spawn(deployment.scheduler, proc())
+    deployment.run()
+
+
+def test_records_every_send(traced_deployment):
+    deployment, trace = traced_deployment
+    run_one_write_one_read(deployment)
+    # write: 2 updates + 2 acks; read: 2 queries + 2 replies.
+    assert len(trace) == 8
+    assert trace.count_by_kind() == {
+        "write_update": 2, "write_ack": 2,
+        "read_query": 2, "read_reply": 2,
+    }
+
+
+def test_events_in_time_order_with_clock_times(traced_deployment):
+    deployment, trace = traced_deployment
+    run_one_write_one_read(deployment)
+    times = [e.time for e in trace.events]
+    assert times == sorted(times)
+    assert times[0] == 0.0        # write updates leave at t=0
+    # The read is issued once the write ack lands at t=2; its queries
+    # reach the servers at t=3, when the replies are sent.
+    assert times[-1] == 3.0
+
+
+def test_query_by_window_node_kind(traced_deployment):
+    deployment, trace = traced_deployment
+    run_one_write_one_read(deployment)
+    early = trace.between(0.0, 1.0)
+    assert all(e.kind == "write_update" for e in early)
+    client1 = deployment.clients[1].node_id
+    assert all(
+        client1 in (e.src, e.dst) for e in trace.involving(client1)
+    )
+    assert len(trace.of_kind("read_query")) == 2
+    assert len(trace.matching(lambda e: e.dst == client1)) == 2
+    with pytest.raises(ValueError):
+        trace.between(2.0, 1.0)
+
+
+def test_payloads_kept_when_requested(traced_deployment):
+    deployment, trace = traced_deployment
+    run_one_write_one_read(deployment)
+    update = trace.of_kind("write_update")[0]
+    assert update.payload.value == "v"
+
+
+def test_payloads_dropped_by_default():
+    deployment = RegisterDeployment(
+        ProbabilisticQuorumSystem(4, 1), num_clients=1,
+        delay_model=ConstantDelay(1.0), seed=1,
+    )
+    deployment.declare_register("X", writer=0, initial_value=0)
+    trace = TraceLog(deployment.network)
+    run_one_write_one_read_single(deployment)
+    assert all(e.payload is None for e in trace.events)
+
+
+def run_one_write_one_read_single(deployment):
+    def proc():
+        yield deployment.handle(0, "X").write("v")
+        yield deployment.handle(0, "X").read()
+
+    spawn(deployment.scheduler, proc())
+    deployment.run()
+
+
+def test_event_cap_counts_drops():
+    deployment = RegisterDeployment(
+        ProbabilisticQuorumSystem(6, 3), num_clients=1,
+        delay_model=ConstantDelay(1.0), seed=2,
+    )
+    deployment.declare_register("X", writer=0, initial_value=0)
+    trace = TraceLog(deployment.network, max_events=3)
+    run_one_write_one_read_single(deployment)
+    assert len(trace) == 3
+    assert trace.dropped_events > 0
+    with pytest.raises(ValueError):
+        TraceLog(deployment.network, max_events=0)
+
+
+def test_timeline_rendering(traced_deployment):
+    deployment, trace = traced_deployment
+    run_one_write_one_read(deployment)
+    text = trace.render_timeline(limit=5)
+    assert "timeline: 8 events" in text
+    assert "write_update" in text
+    assert text.count("\n") == 5  # header + 5 events
+    with pytest.raises(ValueError):
+        trace.render_timeline(limit=0)

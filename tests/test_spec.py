@@ -1,0 +1,208 @@
+"""Tests for the [R1]-[R5] specification checkers."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.history import RegisterHistory
+from repro.core.spec import (
+    SpecViolation,
+    check_r1_every_invocation_responded,
+    check_r2_reads_from_some_write,
+    check_r4_monotone_reads,
+    estimate_r5_geometric_parameter,
+    expected_wait_upper_bound,
+    freshness_wait_samples,
+    geometric_tail_dominates,
+    staleness_distribution,
+    staleness_tail_is_light,
+    write_survival_counts,
+)
+from repro.core.timestamps import Timestamp
+
+
+def make_history_with_writes(count):
+    history = RegisterHistory("X", initial_value=0)
+    for seq in range(1, count + 1):
+        write = history.begin_write(0, float(seq), seq, Timestamp(seq, 0))
+        write.respond(seq + 0.5)
+    return history
+
+
+class TestR1:
+    def test_passes_when_all_respond(self):
+        history = make_history_with_writes(2)
+        read = history.begin_read(1, 5.0)
+        read.complete(6.0, 2, Timestamp(2, 0))
+        check_r1_every_invocation_responded(history)
+
+    def test_fails_on_pending_write(self):
+        history = RegisterHistory("X")
+        history.begin_write(0, 1.0, "v", Timestamp(1, 0))
+        with pytest.raises(SpecViolation, match=r"\[R1\]"):
+            check_r1_every_invocation_responded(history)
+
+    def test_fails_on_pending_read(self):
+        history = RegisterHistory("X")
+        history.begin_read(1, 1.0)
+        with pytest.raises(SpecViolation, match=r"\[R1\]"):
+            check_r1_every_invocation_responded(history)
+
+
+class TestR2:
+    def test_passes_for_written_values(self):
+        history = make_history_with_writes(3)
+        read = history.begin_read(1, 5.0)
+        read.complete(6.0, 2, Timestamp(2, 0))
+        check_r2_reads_from_some_write(history)
+
+    def test_initial_value_is_legitimate(self):
+        history = RegisterHistory("X", initial_value="init")
+        read = history.begin_read(1, 1.0)
+        read.complete(2.0, "init", Timestamp.ZERO)
+        check_r2_reads_from_some_write(history)
+
+    def test_fails_on_invented_value(self):
+        history = make_history_with_writes(2)
+        read = history.begin_read(1, 5.0)
+        read.complete(6.0, 999, Timestamp(1, 0))
+        with pytest.raises(SpecViolation, match=r"\[R2\]"):
+            check_r2_reads_from_some_write(history)
+
+    def test_pending_reads_skipped(self):
+        history = make_history_with_writes(1)
+        history.begin_read(1, 5.0)  # never completes
+        check_r2_reads_from_some_write(history)
+
+
+class TestR4:
+    def test_passes_for_monotone_reads(self):
+        history = make_history_with_writes(3)
+        for seq in (1, 1, 2, 3, 3):
+            read = history.begin_read(1, 10.0 + seq)
+            read.complete(10.5 + seq, seq, Timestamp(seq, 0))
+        check_r4_monotone_reads(history)
+
+    def test_fails_on_regression(self):
+        history = make_history_with_writes(3)
+        r1 = history.begin_read(1, 10.0)
+        r1.complete(10.5, 3, Timestamp(3, 0))
+        r2 = history.begin_read(1, 11.0)
+        r2.complete(11.5, 1, Timestamp(1, 0))
+        with pytest.raises(SpecViolation, match=r"\[R4\]"):
+            check_r4_monotone_reads(history)
+
+    def test_regression_across_processes_is_allowed(self):
+        # [R4] is per process: different processes may see different orders.
+        history = make_history_with_writes(3)
+        r1 = history.begin_read(1, 10.0)
+        r1.complete(10.5, 3, Timestamp(3, 0))
+        r2 = history.begin_read(2, 11.0)
+        r2.complete(11.5, 1, Timestamp(1, 0))
+        check_r4_monotone_reads(history)
+
+
+class TestStalenessDistribution:
+    def test_counts_by_staleness(self):
+        history = make_history_with_writes(3)
+        fresh = history.begin_read(1, 10.0)
+        fresh.complete(10.5, 3, Timestamp(3, 0))
+        stale = history.begin_read(1, 11.0)
+        stale.complete(11.5, 3, Timestamp(3, 0))
+        very_stale = history.begin_read(2, 12.0)
+        very_stale.complete(12.5, 1, Timestamp(1, 0))
+        dist = staleness_distribution(history)
+        assert dist[0] == 2
+        assert dist[2] == 1
+
+    def test_light_tail_accepts_geometric_like(self):
+        dist = Counter({0: 800, 1: 150, 2: 40, 3: 9, 4: 1})
+        assert staleness_tail_is_light(dist)
+
+    def test_light_tail_rejects_pinned_value(self):
+        # Mass concentrated far out: a register stuck on one stale value.
+        dist = Counter({0: 100, 50: 900})
+        assert not staleness_tail_is_light(dist)
+
+    def test_empty_distribution_is_fine(self):
+        assert staleness_tail_is_light(Counter())
+
+
+class TestSurvivalCounts:
+    def test_all_fresh_reads_survive_only_lag_zero(self):
+        history = make_history_with_writes(3)
+        read = history.begin_read(1, 10.0)
+        read.complete(10.5, 3, Timestamp(3, 0))
+        counts = write_survival_counts(history)
+        assert counts[0] == (1, 1)
+
+    def test_stale_read_contributes_to_all_smaller_lags(self):
+        history = make_history_with_writes(3)
+        read = history.begin_read(1, 10.0)
+        read.complete(10.5, 1, Timestamp(1, 0))  # lag 2
+        counts = write_survival_counts(history)
+        assert counts[2] == (1, 1)
+        assert counts[1] == (1, 1)
+        assert counts[0] == (1, 1)
+
+    def test_max_ell_caps_lag(self):
+        history = make_history_with_writes(5)
+        read = history.begin_read(1, 10.0)
+        read.complete(10.5, 1, Timestamp(1, 0))  # lag 4, capped to 2
+        counts = write_survival_counts(history, max_ell=2)
+        assert max(counts) == 2
+
+
+class TestFreshnessWaits:
+    def test_immediate_freshness_gives_y_of_one(self):
+        history = make_history_with_writes(1)
+        read = history.begin_read(1, 5.0)
+        read.complete(5.5, 1, Timestamp(1, 0))
+        assert freshness_wait_samples(history) == [1]
+
+    def test_waiting_reads_counted(self):
+        history = make_history_with_writes(1)
+        stale1 = history.begin_read(1, 5.0)
+        stale1.complete(5.5, 0, Timestamp.ZERO)
+        stale2 = history.begin_read(1, 6.0)
+        stale2.complete(6.5, 0, Timestamp.ZERO)
+        fresh = history.begin_read(1, 7.0)
+        fresh.complete(7.5, 1, Timestamp(1, 0))
+        # For the (only real) write: 3 reads until fresh.  The virtual
+        # initial write contributes no sample.
+        assert freshness_wait_samples(history) == [3]
+
+    def test_incomplete_wait_not_counted(self):
+        history = make_history_with_writes(1)
+        stale = history.begin_read(1, 5.0)
+        stale.complete(5.5, 0, Timestamp.ZERO)
+        # The real write is never seen within the history -> no sample.
+        assert freshness_wait_samples(history) == []
+
+
+class TestGeometricEstimators:
+    def test_q_estimate_is_inverse_mean(self):
+        assert estimate_r5_geometric_parameter([1, 1, 1, 1]) == 1.0
+        assert estimate_r5_geometric_parameter([2, 2]) == 0.5
+
+    def test_q_estimate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            estimate_r5_geometric_parameter([])
+
+    def test_tail_domination_accepts_exact_geometric(self):
+        # Y identically 1 is dominated by any geometric.
+        assert geometric_tail_dominates([1] * 100, q=0.5)
+
+    def test_tail_domination_rejects_heavy_tail(self):
+        assert not geometric_tail_dominates([10] * 100, q=0.9)
+
+    def test_tail_domination_validates_q(self):
+        with pytest.raises(ValueError):
+            geometric_tail_dominates([1], q=0.0)
+        with pytest.raises(ValueError):
+            geometric_tail_dominates([1], q=1.5)
+
+    def test_expected_wait_bound(self):
+        assert expected_wait_upper_bound(0.25) == 4.0
+        with pytest.raises(ValueError):
+            expected_wait_upper_bound(0.0)

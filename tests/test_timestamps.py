@@ -1,0 +1,45 @@
+"""Tests for timestamps."""
+
+import pytest
+
+from repro.core.timestamps import Timestamp
+
+
+def test_ordering_by_sequence():
+    assert Timestamp(1) < Timestamp(2)
+    assert Timestamp(2) > Timestamp(1)
+    assert Timestamp(3) >= Timestamp(3)
+
+
+def test_writer_breaks_sequence_ties():
+    assert Timestamp(1, writer=0) < Timestamp(1, writer=1)
+
+
+def test_equality_and_hash():
+    assert Timestamp(2, 1) == Timestamp(2, 1)
+    assert Timestamp(2, 1) != Timestamp(2, 2)
+    assert hash(Timestamp(2, 1)) == hash(Timestamp(2, 1))
+    assert len({Timestamp(1), Timestamp(1), Timestamp(2)}) == 2
+
+
+def test_zero_is_minimal():
+    assert Timestamp.ZERO <= Timestamp(0, 0)
+    assert Timestamp.ZERO < Timestamp(1, 0)
+
+
+def test_next_increments_sequence():
+    ts = Timestamp(4, writer=2)
+    successor = ts.next()
+    assert successor.seq == 5
+    assert successor.writer == 2
+
+
+def test_next_can_rebind_writer():
+    successor = Timestamp(4, writer=2).next(writer=7)
+    assert successor == Timestamp(5, 7)
+
+
+def test_comparison_with_non_timestamp():
+    assert Timestamp(1) != "not a timestamp"
+    with pytest.raises(TypeError):
+        _ = Timestamp(1) < 5

@@ -1,0 +1,105 @@
+"""Tests for empirical pseudocycle measurement (Theorem 5 / Corollary 7
+validation against real executions)."""
+
+import pytest
+
+from repro.analysis.theory import corollary7_rounds_per_pseudocycle_bound
+from repro.apps.apsp import ApspACO
+from repro.apps.graphs import chain_graph
+from repro.iterative.runner import Alg1Runner
+from repro.iterative.trace import (
+    TraceError,
+    measure_pseudocycles,
+    reconstruct_update_sequence,
+    rounds_per_pseudocycle,
+)
+from repro.quorum.majority import MajorityQuorumSystem
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.sim.delays import ConstantDelay, ExponentialDelay
+
+
+def run(system, monotone=True, seed=0, n=8, delay=None, max_rounds=300):
+    aco = ApspACO(chain_graph(n))
+    runner = Alg1Runner(
+        aco, system, monotone=monotone, seed=seed,
+        delay_model=delay or ConstantDelay(1.0), max_rounds=max_rounds,
+    )
+    result = runner.run(check_spec=False)
+    assert result.converged
+    return runner, result, aco
+
+
+def test_reconstruction_shape():
+    runner, result, aco = run(MajorityQuorumSystem(8))
+    changes, views = reconstruct_update_sequence(runner)
+    assert len(changes) == len(views)
+    # One update per register write.
+    total_writes = sum(
+        len(runner.deployment.space.history(name).writes) - 1
+        for name in runner.register_names
+    )
+    assert len(changes) == total_writes
+    m = len(runner.register_names)
+    for change, view in zip(changes, views):
+        assert len(change) == 1
+        assert len(view) == m
+
+
+def test_views_point_into_the_past():
+    runner, _, _ = run(ProbabilisticQuorumSystem(8, 2), seed=3,
+                       delay=ExponentialDelay(1.0))
+    changes, views = reconstruct_update_sequence(runner)
+    for k, view in enumerate(views, start=1):
+        assert all(v < k for v in view), f"[A1] broken at update {k}"
+
+
+def test_strict_system_one_round_per_pseudocycle():
+    runner, result, aco = run(MajorityQuorumSystem(8))
+    pseudocycles = measure_pseudocycles(runner)
+    # Strict quorums: every round is a pseudocycle, so the count is close
+    # to the number of rounds (within the startup/shutdown slop).
+    assert pseudocycles >= result.rounds - 2
+    ratio = rounds_per_pseudocycle(runner, result.rounds)
+    assert ratio <= 1.5
+
+
+def test_enough_pseudocycles_to_explain_convergence():
+    # Theorem 2: convergence needs M pseudocycles; an execution that
+    # converged must therefore have completed at least M of them... minus
+    # the final partially-recorded one.
+    runner, result, aco = run(ProbabilisticQuorumSystem(8, 3), seed=7)
+    assert measure_pseudocycles(runner) >= aco.contraction_depth() - 1
+
+
+def test_measured_ratio_below_corollary7_bound():
+    n, k = 10, 2
+    ratios = []
+    for seed in range(3):
+        runner, result, aco = run(
+            ProbabilisticQuorumSystem(n, k), seed=seed, n=10,
+        )
+        ratios.append(rounds_per_pseudocycle(runner, result.rounds))
+    bound = corollary7_rounds_per_pseudocycle_bound(n, k)
+    assert sum(ratios) / len(ratios) <= bound
+
+
+def test_smaller_quorums_stretch_pseudocycles():
+    slow = []
+    fast = []
+    for seed in range(3):
+        runner_slow, result_slow, _ = run(
+            ProbabilisticQuorumSystem(10, 1), seed=seed, n=10,
+        )
+        slow.append(rounds_per_pseudocycle(runner_slow, result_slow.rounds))
+        runner_fast, result_fast, _ = run(
+            ProbabilisticQuorumSystem(10, 5), seed=seed, n=10,
+        )
+        fast.append(rounds_per_pseudocycle(runner_fast, result_fast.rounds))
+    assert sum(slow) > sum(fast)
+
+
+def test_rounds_per_pseudocycle_errors_on_empty():
+    aco = ApspACO(chain_graph(4))
+    runner = Alg1Runner(aco, MajorityQuorumSystem(4), seed=0)
+    with pytest.raises(TraceError):
+        rounds_per_pseudocycle(runner, 10)  # never ran

@@ -1,0 +1,187 @@
+"""Tests for update sequences, [A1]-[A3] checkers and pseudocycle
+extraction — the pure Üresin-Dubois machinery (Theorem 2 territory)."""
+
+import pytest
+
+from repro.apps.apsp import ApspACO
+from repro.apps.graphs import chain_graph
+from repro.iterative.update_sequence import (
+    UpdateSequenceError,
+    check_a1_views_from_past,
+    check_a2_all_components_update,
+    check_a3_views_finitely_used,
+    current_view,
+    extract_pseudocycles,
+    iterate_update_sequence,
+    make_bounded_stale_view,
+    round_robin_change,
+    synchronous_change,
+)
+
+
+@pytest.fixture
+def aco():
+    return ApspACO(chain_graph(6))
+
+
+class TestIteration:
+    def test_synchronous_schedule_reaches_fixed_point(self, aco):
+        history = iterate_update_sequence(
+            aco, steps=10, change=synchronous_change(aco.m)
+        )
+        assert history[0] == aco.initial()
+        assert history[-1] == aco.fixed_point()
+
+    def test_round_robin_schedule_reaches_fixed_point(self, aco):
+        history = iterate_update_sequence(
+            aco, steps=10 * aco.m, change=round_robin_change(aco.m)
+        )
+        assert history[-1] == aco.fixed_point()
+
+    def test_unchanged_components_carry_over(self, aco):
+        history = iterate_update_sequence(
+            aco, steps=1, change=round_robin_change(aco.m)
+        )
+        # Update 1 changes component 0 only.
+        assert history[1][0] == aco.apply(0, aco.initial())
+        assert history[1][1:] == aco.initial()[1:]
+
+    def test_stale_views_still_converge(self, aco):
+        # Theorem 2 with bounded staleness: always read 2 updates back.
+        steps = 15 * aco.m
+        staleness = [[2] * aco.m for _ in range(steps)]
+        history = iterate_update_sequence(
+            aco,
+            steps=steps,
+            change=synchronous_change(aco.m),
+            view=make_bounded_stale_view(staleness),
+        )
+        assert history[-1] == aco.fixed_point()
+
+    def test_view_violating_a1_rejected(self, aco):
+        with pytest.raises(UpdateSequenceError, match=r"\[A1\]"):
+            iterate_update_sequence(
+                aco, steps=3, change=synchronous_change(aco.m),
+                view=lambda i, k: k,  # views the future
+            )
+
+    def test_negative_view_rejected(self, aco):
+        with pytest.raises(UpdateSequenceError):
+            iterate_update_sequence(
+                aco, steps=3, change=synchronous_change(aco.m),
+                view=lambda i, k: -1,
+            )
+
+    def test_change_escaping_components_rejected(self, aco):
+        with pytest.raises(UpdateSequenceError):
+            iterate_update_sequence(
+                aco, steps=1, change=lambda k: {aco.m + 3},
+            )
+
+    def test_negative_steps_rejected(self, aco):
+        with pytest.raises(UpdateSequenceError):
+            iterate_update_sequence(aco, steps=-1, change=synchronous_change(aco.m))
+
+
+class TestCheckers:
+    def test_a1_passes_for_current_view(self):
+        check_a1_views_from_past(3, current_view, steps=10)
+
+    def test_a1_fails_for_future_view(self):
+        with pytest.raises(UpdateSequenceError, match=r"\[A1\]"):
+            check_a1_views_from_past(3, lambda i, k: k + 1, steps=5)
+
+    def test_a2_passes_for_synchronous(self):
+        check_a2_all_components_update(4, synchronous_change(4), steps=10)
+
+    def test_a2_passes_for_round_robin_with_window(self):
+        check_a2_all_components_update(
+            4, round_robin_change(4), steps=20, window=4
+        )
+
+    def test_a2_fails_when_component_starves(self):
+        def starving(k):
+            return {0}  # component 1 never updates
+
+        with pytest.raises(UpdateSequenceError, match=r"\[A2\]"):
+            check_a2_all_components_update(2, starving, steps=10)
+
+    def test_a2_fails_with_tight_window(self):
+        with pytest.raises(UpdateSequenceError, match=r"\[A2\]"):
+            check_a2_all_components_update(
+                4, round_robin_change(4), steps=20, window=3
+            )
+
+    def test_a2_window_validation(self):
+        with pytest.raises(UpdateSequenceError):
+            check_a2_all_components_update(2, synchronous_change(2), 5, window=0)
+
+    def test_a3_passes_for_fresh_views(self):
+        check_a3_views_finitely_used(3, current_view, steps=20, max_uses=3)
+
+    def test_a3_fails_for_pinned_view(self):
+        with pytest.raises(UpdateSequenceError, match=r"\[A3\]"):
+            check_a3_views_finitely_used(
+                2, lambda i, k: 0, steps=10, max_uses=5
+            )
+
+
+class TestPseudocycles:
+    def test_synchronous_fresh_views_one_pseudocycle_per_step(self):
+        boundaries = extract_pseudocycles(
+            3, synchronous_change(3), current_view, steps=6
+        )
+        assert boundaries == [2, 3, 4, 5, 6, 7]
+
+    def test_round_robin_one_pseudocycle_per_m_steps(self):
+        boundaries = extract_pseudocycles(
+            3, round_robin_change(3), current_view, steps=9
+        )
+        assert boundaries == [4, 7, 10]
+
+    def test_stale_views_stretch_pseudocycles(self):
+        # Views always 3 updates old force longer pseudocycles than the
+        # fresh-view schedule.
+        steps = 30
+        staleness = [[3] * 2 for _ in range(steps)]
+        stale_boundaries = extract_pseudocycles(
+            2, synchronous_change(2), make_bounded_stale_view(staleness), steps
+        )
+        fresh_boundaries = extract_pseudocycles(
+            2, synchronous_change(2), current_view, steps
+        )
+        assert len(stale_boundaries) < len(fresh_boundaries)
+
+    def test_incomplete_tail_not_counted(self):
+        # Only 2 of 3 components ever update: no pseudocycle completes.
+        def partial(k):
+            return {k % 2}
+
+        boundaries = extract_pseudocycles(3, partial, current_view, steps=10)
+        assert boundaries == []
+
+    def test_zero_components(self):
+        assert extract_pseudocycles(0, lambda k: set(), current_view, 5) == []
+
+    def test_boundaries_strictly_increasing(self):
+        boundaries = extract_pseudocycles(
+            4, round_robin_change(4), current_view, steps=40
+        )
+        assert all(b2 > b1 for b1, b2 in zip(boundaries, boundaries[1:]))
+
+    def test_theorem2_convergence_within_m_pseudocycles(self, aco):
+        # Theorem 2: after M complete pseudocycles the vector is the fixed
+        # point.  Build a stale schedule, extract its pseudocycles, and
+        # check convergence at the boundary of pseudocycle M.
+        steps = 40 * aco.m
+        staleness = [
+            [(i + k) % 3 for i in range(aco.m)] for k in range(steps)
+        ]
+        view = make_bounded_stale_view(staleness)
+        change = synchronous_change(aco.m)
+        history = iterate_update_sequence(aco, steps, change, view)
+        boundaries = extract_pseudocycles(aco.m, change, view, steps)
+        depth = aco.contraction_depth()
+        assert len(boundaries) >= depth
+        convergence_update = boundaries[depth - 1] - 1
+        assert history[convergence_update] == aco.fixed_point()

@@ -1,0 +1,130 @@
+"""Tests for the reusable experiment workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import (
+    check_r1_every_invocation_responded,
+    check_r2_reads_from_some_write,
+    staleness_distribution,
+)
+from repro.experiments.workloads import (
+    bursty_gaps,
+    periodic_gaps,
+    poisson_gaps,
+    reader_loop,
+    single_register_workload,
+    writer_loop,
+)
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.registers.deployment import RegisterDeployment
+from repro.sim.coroutines import spawn
+from repro.sim.delays import ConstantDelay
+
+
+def make_deployment(num_clients=3, seed=0):
+    deployment = RegisterDeployment(
+        ProbabilisticQuorumSystem(8, 3), num_clients=num_clients,
+        delay_model=ConstantDelay(1.0), seed=seed, monotone=True,
+    )
+    deployment.declare_register("X", writer=0, initial_value=0)
+    return deployment
+
+
+class TestGapSamplers:
+    def test_periodic_constant(self):
+        gaps = periodic_gaps(2.5)
+        assert [gaps() for _ in range(3)] == [2.5, 2.5, 2.5]
+        with pytest.raises(ValueError):
+            periodic_gaps(-1.0)
+
+    def test_poisson_mean(self):
+        rng = np.random.default_rng(0)
+        gaps = poisson_gaps(2.0, rng)
+        samples = [gaps() for _ in range(20_000)]
+        assert abs(np.mean(samples) - 2.0) < 0.1
+        with pytest.raises(ValueError):
+            poisson_gaps(0.0, rng)
+
+    def test_bursty_pattern(self):
+        gaps = bursty_gaps(burst_length=3, burst_gap=0.1, idle_gap=5.0)
+        produced = [gaps() for _ in range(6)]
+        assert produced == [0.1, 0.1, 5.0, 0.1, 0.1, 5.0]
+        with pytest.raises(ValueError):
+            bursty_gaps(0, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            bursty_gaps(2, -0.1, 1.0)
+
+
+class TestLoops:
+    def test_writer_loop_writes_sequence(self):
+        deployment = make_deployment()
+        done = spawn(
+            deployment.scheduler,
+            writer_loop(deployment, 0, "X", 5, periodic_gaps(1.0)),
+        )
+        deployment.run()
+        assert done.done
+        history = deployment.space.history("X")
+        assert [w.value for w in history.writes[1:]] == [1, 2, 3, 4, 5]
+
+    def test_writer_loop_custom_values(self):
+        deployment = make_deployment()
+        spawn(
+            deployment.scheduler,
+            writer_loop(deployment, 0, "X", 3, periodic_gaps(0.5),
+                        values=iter("abc")),
+        )
+        deployment.run()
+        history = deployment.space.history("X")
+        assert [w.value for w in history.writes[1:]] == ["a", "b", "c"]
+
+    def test_reader_loop_returns_values(self):
+        deployment = make_deployment()
+        done = spawn(
+            deployment.scheduler,
+            reader_loop(deployment, 1, "X", 4, periodic_gaps(1.0)),
+        )
+        deployment.run()
+        assert done.result() == [0, 0, 0, 0]
+
+
+class TestStandardWorkload:
+    def test_all_operations_complete_and_audit_clean(self):
+        deployment = make_deployment(num_clients=4, seed=3)
+        futures = single_register_workload(
+            deployment, num_writes=20, reads_per_reader=30,
+        )
+        deployment.run()
+        assert len(futures) == 3
+        assert all(f.done for f in futures)
+        history = deployment.space.history("X")
+        check_r1_every_invocation_responded(history)
+        check_r2_reads_from_some_write(history)
+        assert len(history.reads) == 90
+
+    def test_bursty_writers_increase_staleness(self):
+        # Single-replica quorums (k=1) amplify staleness so the burst
+        # shape shows: a burst deposits many writes between reader visits.
+        def max_staleness(writer_gaps):
+            deployment = RegisterDeployment(
+                ProbabilisticQuorumSystem(8, 1), num_clients=2,
+                delay_model=ConstantDelay(1.0), seed=7, monotone=True,
+            )
+            deployment.declare_register("X", writer=0, initial_value=0)
+            single_register_workload(
+                deployment, num_writes=40, reads_per_reader=40,
+                writer_gaps=writer_gaps, reader_gaps=periodic_gaps(3.0),
+            )
+            deployment.run()
+            dist = staleness_distribution(deployment.space.history("X"))
+            return max(dist) if dist else 0
+
+        steady = max_staleness(periodic_gaps(3.0))
+        bursty = max_staleness(bursty_gaps(10, 0.2, 30.0))
+        assert bursty > steady
+
+    def test_unknown_register_rejected(self):
+        deployment = make_deployment()
+        with pytest.raises(KeyError):
+            single_register_workload(deployment, register="missing")
