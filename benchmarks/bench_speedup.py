@@ -1,0 +1,74 @@
+"""Perf record for the parallel run engine: serial vs fan-out wall clock.
+
+Runs the Figure 2 sweep twice — ``jobs=1`` and ``jobs=default_jobs()`` —
+with the cache disabled, checks the results are bit-identical (the
+engine's core guarantee), and writes the measured wall-clock record to
+``benchmarks/output/BENCH_parallel.json``.
+
+The speedup assertion only applies on machines with >= 4 CPUs: on a
+1-2 core box process fan-out cannot beat serial execution and the run
+records the (expected) overhead instead.
+"""
+
+import json
+import os
+import time
+
+from repro.exec.engine import default_jobs
+from repro.experiments.figure2 import Figure2Config, run_figure2
+from repro.experiments.results import full_scale
+
+MIN_CPUS_FOR_SPEEDUP = 4
+MIN_SPEEDUP = 2.5
+
+
+def _config():
+    if full_scale():
+        return Figure2Config()
+    return Figure2Config.scaled_down()
+
+
+def _points_fingerprint(points):
+    return [(p.variant, p.quorum_size, p.rounds, p.converged) for p in points]
+
+
+def test_parallel_speedup(output_dir):
+    config = _config()
+    jobs = default_jobs()
+
+    start = time.perf_counter()
+    serial = run_figure2(config, jobs=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_figure2(config, jobs=jobs)
+    parallel_seconds = time.perf_counter() - start
+
+    assert _points_fingerprint(serial) == _points_fingerprint(parallel)
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    record = {
+        "benchmark": "figure2 sweep, serial vs ProcessPoolExecutor fan-out",
+        "full_scale": full_scale(),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "tasks": len(config.variants)
+        * len(config.quorum_sizes)
+        * config.runs_per_point,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(speedup, 3),
+        "results_identical": True,
+    }
+    path = output_dir / "BENCH_parallel.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    if (os.cpu_count() or 1) >= MIN_CPUS_FOR_SPEEDUP and jobs >= MIN_CPUS_FOR_SPEEDUP:
+        assert speedup >= MIN_SPEEDUP, (
+            f"expected >= {MIN_SPEEDUP}x speedup with {jobs} jobs on "
+            f"{os.cpu_count()} CPUs, measured {speedup:.2f}x"
+        )

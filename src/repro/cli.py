@@ -2,13 +2,19 @@
 
 Usage::
 
-    python -m repro.cli figure2 [--full] [--output DIR]
+    python -m repro.cli figure2 [--full] [--output DIR] [--jobs N]
     python -m repro.cli survival | freshness | messages | load | ablations
     python -m repro.cli pseudocycles | fault | latency | tuning | churn
-    python -m repro.cli all [--full] [--output DIR]
+    python -m repro.cli all [--full] [--output DIR] [--jobs N]
 
 Each subcommand prints the reproduced table(s) and, with ``--output``,
 also writes text and CSV copies.
+
+Simulation runs fan out over ``--jobs`` worker processes (default: the
+CPU count, capped; also settable via the ``REPRO_JOBS`` environment
+variable) and are memoised in an on-disk run cache under
+``benchmarks/output/.cache/``.  ``--no-cache`` bypasses the cache;
+``--clear-cache`` wipes it before running.
 """
 
 import argparse
@@ -22,6 +28,8 @@ from repro.experiments.ablations import (
     monotone_ablation,
     topology_ablation,
 )
+from repro.exec.cache import RunCache
+from repro.exec.engine import default_jobs, resolve_jobs
 from repro.experiments.figure2 import Figure2Config, figure2_table, run_figure2
 from repro.experiments.freshness import FreshnessConfig, freshness_table
 from repro.experiments.load_availability import (
@@ -60,32 +68,34 @@ def _emit(tables: List[ResultTable], output: Optional[str], stem: str) -> None:
             table.save(base + ".csv", fmt="csv")
 
 
-def _cmd_figure2(full: bool, output: Optional[str]) -> None:
+def _cmd_figure2(full, output, jobs=None, cache=None) -> None:
     config = Figure2Config() if full else Figure2Config.scaled_down()
-    points = run_figure2(config)
+    points = run_figure2(config, jobs=jobs, cache=cache)
     _emit([figure2_table(config, points)], output, "figure2")
 
 
-def _cmd_survival(full: bool, output: Optional[str]) -> None:
+def _cmd_survival(full, output, jobs=None, cache=None) -> None:
     config = (
         SurvivalConfig(num_servers=34, quorum_size=6, max_lag=15,
                        trials=100_000)
         if full
         else SurvivalConfig.scaled_down()
     )
-    _emit([survival_table(config)], output, "survival")
+    _emit([survival_table(config, jobs=jobs, cache=cache)], output,
+          "survival")
 
 
-def _cmd_freshness(full: bool, output: Optional[str]) -> None:
+def _cmd_freshness(full, output, jobs=None, cache=None) -> None:
     config = (
         FreshnessConfig(num_servers=34, quorum_size=4, trials=100_000)
         if full
         else FreshnessConfig.scaled_down()
     )
-    _emit([freshness_table(config)], output, "freshness")
+    _emit([freshness_table(config, jobs=jobs, cache=cache)], output,
+          "freshness")
 
 
-def _cmd_messages(full: bool, output: Optional[str]) -> None:
+def _cmd_messages(full, output, jobs=None, cache=None) -> None:
     n_values = [16, 64, 256, 1024] if full else [16, 64, 256]
     tables = analytic_tables(n_values, m=34, p=34)
     config = (
@@ -93,11 +103,12 @@ def _cmd_messages(full: bool, output: Optional[str]) -> None:
         if full
         else MessageComplexityConfig.scaled_down()
     )
-    tables.append(measured_table(config))
+    tables.append(measured_table(config, jobs=jobs, cache=cache))
     _emit(tables, output, "messages")
 
 
-def _cmd_load(full: bool, output: Optional[str]) -> None:
+def _cmd_load(full, output, jobs=None, cache=None) -> None:
+    # Analytic + in-process Monte Carlo only; no engine fan-out.
     config = (
         LoadAvailabilityConfig(num_servers=63, trials=20_000)
         if full
@@ -108,7 +119,7 @@ def _cmd_load(full: bool, output: Optional[str]) -> None:
     _emit(tables, output, "load_availability")
 
 
-def _cmd_ablations(full: bool, output: Optional[str]) -> None:
+def _cmd_ablations(full, output, jobs=None, cache=None) -> None:
     config = (
         AblationConfig(num_vertices=34, num_servers=34, runs=5)
         if full
@@ -116,55 +127,59 @@ def _cmd_ablations(full: bool, output: Optional[str]) -> None:
     )
     _emit(
         [
-            monotone_ablation(config),
-            delay_ablation(config),
-            topology_ablation(config),
+            monotone_ablation(config, jobs=jobs, cache=cache),
+            delay_ablation(config, jobs=jobs, cache=cache),
+            topology_ablation(config, jobs=jobs, cache=cache),
         ],
         output,
         "ablations",
     )
 
 
-def _cmd_pseudocycles(full: bool, output: Optional[str]) -> None:
+def _cmd_pseudocycles(full, output, jobs=None, cache=None) -> None:
     config = (
         PseudocycleConfig(num_vertices=34, num_servers=34,
                           quorum_sizes=(1, 2, 3, 4, 6, 8, 12), runs=5)
         if full
         else PseudocycleConfig.scaled_down()
     )
-    _emit([pseudocycle_table(config)], output, "pseudocycles")
+    _emit([pseudocycle_table(config, jobs=jobs, cache=cache)], output,
+          "pseudocycles")
 
 
-def _cmd_fault(full: bool, output: Optional[str]) -> None:
+def _cmd_fault(full, output, jobs=None, cache=None) -> None:
     config = (
         FaultToleranceConfig(num_vertices=16, num_servers=16,
                              crash_counts=(0, 2, 4, 8, 11))
         if full
         else FaultToleranceConfig.scaled_down()
     )
-    _emit([fault_tolerance_table(config)], output, "fault_tolerance")
+    _emit([fault_tolerance_table(config, jobs=jobs, cache=cache)], output,
+          "fault_tolerance")
 
 
-def _cmd_latency(full: bool, output: Optional[str]) -> None:
+def _cmd_latency(full, output, jobs=None, cache=None) -> None:
     config = LatencyConfig() if full else LatencyConfig.scaled_down()
-    _emit([latency_table(config)], output, "latency")
+    _emit([latency_table(config, jobs=jobs, cache=cache)], output,
+          "latency")
 
 
-def _cmd_tuning(full: bool, output: Optional[str]) -> None:
+def _cmd_tuning(full, output, jobs=None, cache=None) -> None:
     config = (
         TuningConfig(num_vertices=34, num_servers=64, runs=5)
         if full
         else TuningConfig.scaled_down()
     )
-    _emit([tuning_table(config)], output, "quorum_tuning")
+    _emit([tuning_table(config, jobs=jobs, cache=cache)], output,
+          "quorum_tuning")
 
 
-def _cmd_churn(full: bool, output: Optional[str]) -> None:
+def _cmd_churn(full, output, jobs=None, cache=None) -> None:
     config = ChurnConfig() if full else ChurnConfig.scaled_down()
-    _emit([churn_table(config)], output, "churn")
+    _emit([churn_table(config, jobs=jobs, cache=cache)], output, "churn")
 
 
-COMMANDS: Dict[str, Callable[[bool, Optional[str]], None]] = {
+COMMANDS: Dict[str, Callable[..., None]] = {
     "figure2": _cmd_figure2,
     "survival": _cmd_survival,
     "freshness": _cmd_freshness,
@@ -199,6 +214,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also save text and CSV copies into DIR",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="worker processes for simulation fan-out "
+             "(default: CPU count capped at 8; env REPRO_JOBS)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk run cache",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="wipe the run cache before running",
+    )
     return parser
 
 
@@ -206,9 +239,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.output:
         os.makedirs(args.output, exist_ok=True)
+    try:
+        jobs = resolve_jobs(args.jobs, default=default_jobs())
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else RunCache()
+    if args.clear_cache and cache is not None:
+        cache.clear()
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        COMMANDS[name](args.full, args.output)
+        COMMANDS[name](args.full, args.output, jobs=jobs, cache=cache)
     return 0
 
 

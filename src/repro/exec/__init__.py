@@ -1,0 +1,32 @@
+"""repro.exec — the parallel experiment execution engine.
+
+Turns every experiment sweep into a list of self-contained, picklable
+:class:`~repro.exec.task.RunTask` descriptors executed by
+:func:`~repro.exec.engine.run_many` — serially or over a process pool,
+with bit-identical results either way — optionally backed by the on-disk
+:class:`~repro.exec.cache.RunCache`.
+"""
+
+from repro.exec.cache import DEFAULT_CACHE_DIR, MISS, RunCache
+from repro.exec.engine import default_jobs, resolve_jobs, run_many
+from repro.exec.task import (
+    RunTask,
+    UnknownTaskKind,
+    WORKER_REGISTRY,
+    execute_task,
+    task_key,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "MISS",
+    "RunCache",
+    "RunTask",
+    "UnknownTaskKind",
+    "WORKER_REGISTRY",
+    "default_jobs",
+    "execute_task",
+    "resolve_jobs",
+    "run_many",
+    "task_key",
+]

@@ -1,0 +1,102 @@
+"""On-disk run cache: skip simulations whose results are already known.
+
+Results are stored one JSON file per task under
+``benchmarks/output/.cache/<kind>/<key>.json``, keyed by a content hash of
+the task descriptor (:func:`repro.exec.task.task_key`).  Re-running a
+sweep therefore only executes the missing points; everything else is an
+O(1) file read.
+
+The key covers *only* the task descriptor (kind, params, seed) — not the
+code.  After changing simulator behaviour, clear the cache
+(:meth:`RunCache.clear`, ``python -m repro.cli <exp> --clear-cache``, or
+``rm -rf benchmarks/output/.cache``).
+"""
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.exec.task import RunTask, task_key
+
+#: Bump when the stored payload layout changes.
+CACHE_FORMAT = 1
+
+#: Default location, relative to the current working directory (the repo
+#: root in normal use).
+DEFAULT_CACHE_DIR = os.path.join("benchmarks", "output", ".cache")
+
+#: Sentinel distinguishing "not cached" from a cached ``None`` result.
+MISS = object()
+
+
+class RunCache:
+    """A directory of cached task results with hit/miss accounting."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root if root is not None else DEFAULT_CACHE_DIR)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, task: RunTask) -> Path:
+        return self.root / task.kind / f"{task_key(task)}.json"
+
+    def get(self, task: RunTask) -> Any:
+        """The cached result for ``task``, or :data:`MISS`."""
+        path = self._path(task)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return MISS
+        if (
+            payload.get("format") != CACHE_FORMAT
+            or payload.get("task") != task.descriptor()
+        ):
+            # Format drift or a (vanishingly unlikely) key collision:
+            # treat as a miss so the entry gets rewritten.
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return payload["result"]
+
+    def put(self, task: RunTask, result: Any) -> None:
+        """Store ``result`` for ``task`` (atomic rename, crash-safe)."""
+        path = self._path(task)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT,
+            "task": task.descriptor(),
+            "result": result,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> None:
+        """Delete every cached entry (and the cache directory itself)."""
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"RunCache({str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,109 @@
+"""The parallel run engine: fan independent tasks out over processes.
+
+Every experiment in this reproduction is an embarrassingly parallel sweep
+of self-contained simulations — each task carries its own derived seed, so
+execution order and placement cannot change any number.  ``run_many``
+exploits that: it executes a task list serially (``jobs=1``) or over a
+``ProcessPoolExecutor`` with chunking, returns results **in task order**,
+and is bit-identical either way.
+
+Job-count resolution, in priority order: the explicit ``jobs`` argument,
+the ``REPRO_JOBS`` environment variable, then the caller's default
+(library calls default to serial; the CLI defaults to
+:func:`default_jobs`).
+"""
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from repro.exec.cache import MISS, RunCache
+from repro.exec.task import RunTask, execute_task
+
+#: Ceiling for the automatic CLI default — beyond this, per-process
+#: startup and result pickling dominate for the scaled-down sweeps.
+MAX_DEFAULT_JOBS = 8
+
+ProgressFn = Callable[[int, RunTask, Any], None]
+
+
+def default_jobs(cap: int = MAX_DEFAULT_JOBS) -> int:
+    """``os.cpu_count()`` capped — the CLI's default worker count."""
+    return max(1, min(os.cpu_count() or 1, cap))
+
+
+def resolve_jobs(jobs: Optional[int] = None, default: int = 1) -> int:
+    """Resolve a job count from the argument, ``REPRO_JOBS``, or default."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+    return max(1, int(default))
+
+
+def _chunksize(pending: int, jobs: int) -> int:
+    """Amortise IPC overhead while keeping the pool load-balanced: about
+    four waves of chunks per worker."""
+    return max(1, math.ceil(pending / (jobs * 4)))
+
+
+def run_many(
+    tasks: Iterable[RunTask],
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[Any]:
+    """Execute ``tasks`` and return their results in task order.
+
+    :param jobs: worker processes; ``None`` consults ``REPRO_JOBS`` and
+        falls back to serial in-process execution.  Results are identical
+        for every value — parallelism is purely a wall-clock optimisation.
+    :param cache: optional :class:`RunCache`; hits skip execution entirely
+        and fresh results are written back.
+    :param progress: called as ``progress(index, task, result)`` once per
+        task, in task order.
+    """
+    task_list: Sequence[RunTask] = list(tasks)
+    results: List[Any] = [None] * len(task_list)
+    pending_indices: List[int] = []
+    for index, task in enumerate(task_list):
+        if cache is not None:
+            hit = cache.get(task)
+            if hit is not MISS:
+                results[index] = hit
+                continue
+        pending_indices.append(index)
+
+    jobs_resolved = resolve_jobs(jobs)
+    if pending_indices:
+        pending_tasks = [task_list[i] for i in pending_indices]
+        if jobs_resolved <= 1 or len(pending_tasks) == 1:
+            fresh: Iterable[Any] = map(execute_task, pending_tasks)
+        else:
+            workers = min(jobs_resolved, len(pending_tasks))
+            executor = ProcessPoolExecutor(max_workers=workers)
+            try:
+                fresh = executor.map(
+                    execute_task,
+                    pending_tasks,
+                    chunksize=_chunksize(len(pending_tasks), workers),
+                )
+                fresh = list(fresh)
+            finally:
+                executor.shutdown(wait=True)
+        for index, result in zip(pending_indices, fresh):
+            results[index] = result
+            if cache is not None:
+                cache.put(task_list[index], result)
+
+    if progress is not None:
+        for index, task in enumerate(task_list):
+            progress(index, task, results[index])
+    return results

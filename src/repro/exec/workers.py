@@ -1,0 +1,193 @@
+"""Worker functions executed by the engine, plus the spec vocabulary.
+
+Most experiments run the same shape of work — Alg. 1 on an APSP instance
+over some quorum system with some delay model, possibly under fault
+injection — so they share one generic worker, :func:`run_alg1_task`,
+parameterised by small JSON "spec" dicts::
+
+    graph:  {"kind": "chain", "n": 12}
+            {"kind": "ring" | "complete", "n": ...}
+            {"kind": "grid", "rows": r, "cols": c}
+            {"kind": "random", "n": ..., "p": ..., "seed": ...}
+    quorum: {"kind": "probabilistic", "n": ..., "k": ...}
+            {"kind": "majority", "n": ...}
+            {"kind": "grid", "rows": r, "cols": c}
+            {"kind": "grid_square", "n": ...}
+    delay:  {"kind": "constant" | "exponential", "mean": ...}
+            {"kind": "uniform", "low": ..., "high": ...}
+            {"kind": "lognormal", "mean": ..., "sigma": ...}
+    faults: {"kind": "crash_batch", "time": t, "count": c, "side": s}
+            {"kind": "churn", "period": p, "batch": b, "outage": d}
+
+Specs are plain data so tasks stay picklable and cache-keyable; workers
+return plain dicts for the same reason.
+"""
+
+from typing import Any, Dict, List, Optional
+
+from repro.apps.apsp import ApspACO
+from repro.apps.graphs import (
+    Graph,
+    chain_graph,
+    complete_graph,
+    grid_graph,
+    random_graph,
+    ring_graph,
+)
+from repro.exec.task import RunTask
+from repro.iterative.runner import Alg1Runner
+from repro.quorum.base import QuorumSystem
+from repro.quorum.grid import GridQuorumSystem
+from repro.quorum.majority import MajorityQuorumSystem
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.sim.delays import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    LogNormalDelay,
+    UniformDelay,
+)
+from repro.sim.rng import RngRegistry
+
+
+class SpecError(ValueError):
+    """Raised on a malformed or unknown spec dict."""
+
+
+def _kind(spec: Dict[str, Any], what: str) -> str:
+    try:
+        return spec["kind"]
+    except (TypeError, KeyError):
+        raise SpecError(f"{what} spec must be a dict with a 'kind': {spec!r}")
+
+
+def build_graph(spec: Dict[str, Any]) -> Graph:
+    """Instantiate a graph from its spec."""
+    kind = _kind(spec, "graph")
+    if kind == "chain":
+        return chain_graph(spec["n"])
+    if kind == "ring":
+        return ring_graph(spec["n"])
+    if kind == "complete":
+        return complete_graph(spec["n"])
+    if kind == "grid":
+        return grid_graph(spec["rows"], spec["cols"])
+    if kind == "random":
+        rng = RngRegistry(spec["seed"]).stream("random-graph")
+        return random_graph(spec["n"], spec["p"], rng)
+    raise SpecError(f"unknown graph kind {kind!r}")
+
+
+def build_quorum(spec: Dict[str, Any]) -> QuorumSystem:
+    """Instantiate a quorum system from its spec."""
+    kind = _kind(spec, "quorum")
+    if kind == "probabilistic":
+        return ProbabilisticQuorumSystem(spec["n"], spec["k"])
+    if kind == "majority":
+        return MajorityQuorumSystem(spec["n"])
+    if kind == "grid":
+        return GridQuorumSystem(spec["rows"], spec["cols"])
+    if kind == "grid_square":
+        return GridQuorumSystem.square(spec["n"])
+    raise SpecError(f"unknown quorum kind {kind!r}")
+
+
+def build_delay(spec: Dict[str, Any]) -> DelayModel:
+    """Instantiate a delay model from its spec."""
+    kind = _kind(spec, "delay")
+    if kind == "constant":
+        return ConstantDelay(spec["mean"])
+    if kind == "exponential":
+        return ExponentialDelay(spec["mean"])
+    if kind == "uniform":
+        return UniformDelay(spec["low"], spec["high"])
+    if kind == "lognormal":
+        return LogNormalDelay(spec["mean"], sigma=spec["sigma"])
+    raise SpecError(f"unknown delay kind {kind!r}")
+
+
+def install_faults(runner: Alg1Runner, spec: Optional[Dict[str, Any]]) -> None:
+    """Attach a fault-injection schedule to a runner before it starts."""
+    if spec is None:
+        return
+    kind = _kind(spec, "faults")
+    deployment = runner.deployment
+    scheduler = deployment.scheduler
+    num_servers = deployment.num_servers
+
+    if kind == "crash_batch":
+        # One batch at a fixed time, one-per-grid-row first (the strict
+        # grid's worst case) — the E-FAULT schedule.
+        side = spec["side"]
+
+        def crash_batch() -> None:
+            for index in range(spec["count"]):
+                server = (index % side) * side + index // side
+                deployment.crash_server(server % num_servers)
+
+        scheduler.schedule(spec["time"], crash_batch)
+        return
+
+    if kind == "churn":
+        # A rotating window of ``batch`` servers goes down every
+        # ``period`` for ``outage`` time units — the E-EXT-CHURN schedule.
+        batch = spec["batch"]
+        state = {"cycle": 0}
+
+        def crash_cycle() -> None:
+            start = (state["cycle"] * batch) % num_servers
+            window = [(start + offset) % num_servers for offset in range(batch)]
+            for index in window:
+                deployment.crash_server(index)
+            scheduler.schedule(spec["outage"], recover_cycle, window)
+            state["cycle"] += 1
+            scheduler.schedule(spec["period"], crash_cycle)
+
+        def recover_cycle(window: List[int]) -> None:
+            for index in window:
+                deployment.recover_server(index)
+
+        if spec["period"] > 0:
+            scheduler.schedule(spec["period"], crash_cycle)
+        return
+
+    raise SpecError(f"unknown faults kind {kind!r}")
+
+
+def run_alg1_task(task: RunTask) -> Dict[str, Any]:
+    """Execute one Alg. 1 run described by ``task.params``.
+
+    Recognised params: ``graph``, ``quorum``, ``delay`` (specs, above),
+    ``monotone``, ``max_rounds``, and optionally ``retry_interval``,
+    ``max_sim_time``, ``faults``, and ``measure_pseudocycles`` (which
+    forces history recording to reconstruct the update sequence).
+    """
+    params = task.params
+    measure_pcs = bool(params.get("measure_pseudocycles", False))
+    runner = Alg1Runner(
+        ApspACO(build_graph(params["graph"])),
+        build_quorum(params["quorum"]),
+        monotone=params["monotone"],
+        delay_model=build_delay(params["delay"]),
+        seed=task.seed,
+        max_rounds=params["max_rounds"],
+        retry_interval=params.get("retry_interval"),
+        max_sim_time=params.get("max_sim_time"),
+        record_history=measure_pcs,
+    )
+    install_faults(runner, params.get("faults"))
+    result = runner.run(check_spec=False)
+    out: Dict[str, Any] = {
+        "converged": result.converged,
+        "rounds": result.rounds,
+        "total_iterations": result.total_iterations,
+        "sim_time": result.sim_time,
+        "messages": result.messages,
+        "regressions": result.regressions,
+        "cache_hits": result.cache_hits,
+    }
+    if measure_pcs:
+        from repro.iterative.trace import measure_pseudocycles
+
+        out["pseudocycles"] = measure_pseudocycles(runner)
+    return out

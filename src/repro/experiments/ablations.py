@@ -12,28 +12,15 @@
 """
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.apps.apsp import ApspACO
-from repro.apps.graphs import (
-    Graph,
-    chain_graph,
-    complete_graph,
-    grid_graph,
-    random_graph,
-    ring_graph,
-)
+from repro.exec.cache import RunCache
+from repro.exec.engine import run_many
+from repro.exec.task import RunTask
+from repro.exec.workers import build_graph
 from repro.experiments.results import ResultTable
-from repro.iterative.runner import Alg1Runner
-from repro.quorum.probabilistic import ProbabilisticQuorumSystem
-from repro.sim.delays import (
-    ConstantDelay,
-    DelayModel,
-    ExponentialDelay,
-    LogNormalDelay,
-    UniformDelay,
-)
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import derive_seed
 
 
 @dataclass
@@ -52,98 +39,157 @@ class AblationConfig:
         return cls(num_vertices=10, num_servers=10, runs=2, max_rounds=150)
 
 
-def _mean_rounds(
-    aco: ApspACO,
+def _ablation_tasks(
     config: AblationConfig,
-    monotone: bool,
-    delay_model: DelayModel,
-    quorum_size: int,
-) -> Tuple[float, bool]:
-    """Mean rounds over config.runs; second value flags any non-convergence."""
-    rounds: List[int] = []
-    all_converged = True
-    for run in range(config.runs):
-        runner = Alg1Runner(
-            aco,
-            ProbabilisticQuorumSystem(config.num_servers, quorum_size),
-            monotone=monotone,
-            delay_model=delay_model,
-            seed=config.seed + 6151 * run,
-            max_rounds=config.max_rounds,
-        )
-        result = runner.run(check_spec=False)
-        rounds.append(result.rounds)
-        all_converged = all_converged and result.converged
-    return sum(rounds) / len(rounds), all_converged
+    stream: str,
+    cells: List[Tuple[Any, Dict[str, Any], bool, int]],
+) -> List[RunTask]:
+    """Expand (cell_id, graph_spec, monotone, k) cells × delay × runs into
+    tasks for one ablation table.  ``cells`` entries may override the
+    delay spec via a 5th element."""
+    tasks: List[RunTask] = []
+    for cell in cells:
+        cell_id, graph_spec, monotone, k = cell[:4]
+        delay_spec = cell[4] if len(cell) > 4 else {"kind": "constant", "mean": 1.0}
+        for run in range(config.runs):
+            tasks.append(
+                RunTask(
+                    kind="alg1",
+                    params={
+                        "graph": graph_spec,
+                        "quorum": {
+                            "kind": "probabilistic",
+                            "n": config.num_servers,
+                            "k": k,
+                        },
+                        "delay": delay_spec,
+                        "monotone": monotone,
+                        "max_rounds": config.max_rounds,
+                    },
+                    seed=derive_seed(config.seed, stream, str(cell_id), run),
+                )
+            )
+    return tasks
 
 
-def monotone_ablation(config: AblationConfig) -> ResultTable:
+def _collect_means(
+    results: List[dict], runs: int
+) -> List[Tuple[float, bool]]:
+    """Fold a flat result list (runs-per-cell contiguous) into per-cell
+    (mean rounds, all converged) pairs."""
+    cells = []
+    for start in range(0, len(results), runs):
+        group = results[start : start + runs]
+        mean = sum(r["rounds"] for r in group) / len(group)
+        cells.append((mean, all(r["converged"] for r in group)))
+    return cells
+
+
+def monotone_ablation(
+    config: AblationConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> ResultTable:
     """E-ABL-MONO: cache on vs off across quorum sizes."""
-    aco = ApspACO(chain_graph(config.num_vertices))
+    chain_spec = {"kind": "chain", "n": config.num_vertices}
+    sizes = [
+        k
+        for k in sorted({1, 2, config.quorum_size, config.num_servers // 2})
+        if k >= 1
+    ]
+    cells = []
+    for k in sizes:
+        cells.append((f"mono-k{k}", chain_spec, True, k))
+        cells.append((f"plain-k{k}", chain_spec, False, k))
+    results = run_many(
+        _ablation_tasks(config, "ablation-mono", cells), jobs=jobs, cache=cache
+    )
+    means = _collect_means(results, config.runs)
     table = ResultTable(
         f"Ablation — monotone cache (chain {config.num_vertices}, "
         f"n={config.num_servers})",
         ["k", "monotone_rounds", "plain_rounds", "plain_over_monotone"],
     )
-    for k in sorted({1, 2, config.quorum_size, config.num_servers // 2}):
-        if k < 1:
-            continue
-        mono, _ = _mean_rounds(aco, config, True, ConstantDelay(1.0), k)
-        plain, converged = _mean_rounds(aco, config, False, ConstantDelay(1.0), k)
+    for index, k in enumerate(sizes):
+        mono, _ = means[2 * index]
+        plain, converged = means[2 * index + 1]
         ratio = plain / mono if mono else float("nan")
         table.add_row(k, mono, f"{plain}" if converged else f">={plain}", ratio)
     return table
 
 
-def delay_ablation(config: AblationConfig) -> ResultTable:
+def delay_ablation(
+    config: AblationConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> ResultTable:
     """E-ABL-DELAY: delay distribution sweep (monotone registers)."""
-    aco = ApspACO(chain_graph(config.num_vertices))
-    models: List[Tuple[str, DelayModel]] = [
-        ("constant (sync)", ConstantDelay(1.0)),
-        ("exponential", ExponentialDelay(1.0)),
-        ("uniform [0.5, 1.5]", UniformDelay(0.5, 1.5)),
-        ("lognormal (heavy tail)", LogNormalDelay(1.0, sigma=1.2)),
+    chain_spec = {"kind": "chain", "n": config.num_vertices}
+    models: List[Tuple[str, Dict[str, Any]]] = [
+        ("constant (sync)", {"kind": "constant", "mean": 1.0}),
+        ("exponential", {"kind": "exponential", "mean": 1.0}),
+        ("uniform [0.5, 1.5]", {"kind": "uniform", "low": 0.5, "high": 1.5}),
+        ("lognormal (heavy tail)", {"kind": "lognormal", "mean": 1.0, "sigma": 1.2}),
     ]
+    cells = [
+        (label, chain_spec, True, config.quorum_size, spec)
+        for label, spec in models
+    ]
+    results = run_many(
+        _ablation_tasks(config, "ablation-delay", cells), jobs=jobs, cache=cache
+    )
+    means = _collect_means(results, config.runs)
     table = ResultTable(
         f"Ablation — delay distribution (chain {config.num_vertices}, "
         f"n={config.num_servers}, k={config.quorum_size}, monotone)",
         ["delay_model", "mean_rounds", "all_converged"],
     )
-    for label, model in models:
-        mean, converged = _mean_rounds(
-            aco, config, True, model, config.quorum_size
-        )
+    for (label, _), (mean, converged) in zip(models, means):
         table.add_row(label, mean, converged)
     return table
 
 
-def topology_ablation(config: AblationConfig) -> ResultTable:
+def topology_ablation(
+    config: AblationConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> ResultTable:
     """E-ABL-TOPO: rounds vs the pseudocycle bound M = ⌈log₂ d⌉."""
-    rng = RngRegistry(config.seed).stream("topology")
     n = config.num_vertices
-    topologies: Dict[str, Callable[[], Graph]] = {
-        "chain": lambda: chain_graph(n),
-        "ring": lambda: ring_graph(n),
-        "grid": lambda: grid_graph(max(2, n // 4), 4),
-        "random p=0.2": lambda: random_graph(n, 0.2, rng),
-        "complete": lambda: complete_graph(n),
-    }
+    topologies: List[Tuple[str, Dict[str, Any]]] = [
+        ("chain", {"kind": "chain", "n": n}),
+        ("ring", {"kind": "ring", "n": n}),
+        ("grid", {"kind": "grid", "rows": max(2, n // 4), "cols": 4}),
+        (
+            "random p=0.2",
+            {
+                "kind": "random",
+                "n": n,
+                "p": 0.2,
+                "seed": derive_seed(config.seed, "ablation-topology-graph"),
+            },
+        ),
+        ("complete", {"kind": "complete", "n": n}),
+    ]
+    cells = [
+        (label, spec, True, config.quorum_size) for label, spec in topologies
+    ]
+    results = run_many(
+        _ablation_tasks(config, "ablation-topo", cells), jobs=jobs, cache=cache
+    )
+    means = _collect_means(results, config.runs)
     table = ResultTable(
         f"Ablation — input topology (~{n} vertices, n={config.num_servers} "
         f"servers, k={config.quorum_size}, monotone)",
         ["topology", "vertices", "diameter_d", "M_bound", "mean_rounds"],
     )
-    for label, builder in topologies.items():
-        graph = builder()
-        aco = ApspACO(graph)
-        mean, converged = _mean_rounds(
-            aco, config, True, ConstantDelay(1.0), config.quorum_size
-        )
+    for (label, spec), (mean, converged) in zip(topologies, means):
+        graph = build_graph(spec)
         table.add_row(
             label,
             graph.n,
             graph.hop_diameter(),
-            aco.contraction_depth(),
+            ApspACO(graph).contraction_depth(),
             mean if converged else float("nan"),
         )
     return table

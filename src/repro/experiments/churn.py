@@ -13,14 +13,13 @@ cycles a fraction of the replicas down and up, sweeping the churn rate.
 """
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Optional, Tuple
 
-from repro.apps.apsp import ApspACO
-from repro.apps.graphs import chain_graph
+from repro.exec.cache import RunCache
+from repro.exec.engine import run_many
+from repro.exec.task import RunTask, execute_task
 from repro.experiments.results import ResultTable
-from repro.iterative.runner import Alg1Runner
-from repro.quorum.probabilistic import ProbabilisticQuorumSystem
-from repro.sim.delays import ExponentialDelay
+from repro.sim.rng import derive_seed
 
 
 @dataclass
@@ -44,58 +43,56 @@ class ChurnConfig:
         return cls(num_vertices=8, churn_periods=(0.0, 20.0), runs=1)
 
 
-def run_under_churn(
-    config: ChurnConfig, period: float, seed_offset: int = 0
-) -> dict:
+def churn_task(config: ChurnConfig, period: float, run: int = 0) -> RunTask:
     """One APSP run with a churn cycle every ``period`` time units.
 
     ``period`` 0 disables churn.  Each cycle crashes a rotating window of
     ``down_fraction``·n servers for ``outage_duration``, then recovers
-    them.
+    them (the engine worker installs the schedule).
     """
-    aco = ApspACO(chain_graph(config.num_vertices))
-    runner = Alg1Runner(
-        aco,
-        ProbabilisticQuorumSystem(config.num_servers, config.quorum_size),
-        monotone=True,
-        delay_model=ExponentialDelay(1.0),
-        seed=config.seed + seed_offset,
-        max_rounds=config.max_rounds,
-        retry_interval=config.retry_interval,
-        max_sim_time=config.max_sim_time,
-    )
     batch = max(1, int(config.down_fraction * config.num_servers))
-    scheduler = runner.deployment.scheduler
-    state = {"cycle": 0}
+    return RunTask(
+        kind="alg1",
+        params={
+            "graph": {"kind": "chain", "n": config.num_vertices},
+            "quorum": {
+                "kind": "probabilistic",
+                "n": config.num_servers,
+                "k": config.quorum_size,
+            },
+            "delay": {"kind": "exponential", "mean": 1.0},
+            "monotone": True,
+            "max_rounds": config.max_rounds,
+            "retry_interval": config.retry_interval,
+            "max_sim_time": config.max_sim_time,
+            "faults": {
+                "kind": "churn",
+                "period": period,
+                "batch": batch,
+                "outage": config.outage_duration,
+            },
+        },
+        seed=derive_seed(config.seed, "churn", period, run),
+    )
 
-    def crash_cycle() -> None:
-        start = (state["cycle"] * batch) % config.num_servers
-        window = [
-            (start + offset) % config.num_servers for offset in range(batch)
-        ]
-        for index in window:
-            runner.deployment.crash_server(index)
-        scheduler.schedule(config.outage_duration, recover_cycle, window)
-        state["cycle"] += 1
-        scheduler.schedule(period, crash_cycle)
 
-    def recover_cycle(window: List[int]) -> None:
-        for index in window:
-            runner.deployment.recover_server(index)
-
-    if period > 0:
-        scheduler.schedule(period, crash_cycle)
-    result = runner.run(check_spec=False)
+def run_under_churn(config: ChurnConfig, period: float, run: int = 0) -> dict:
+    """Execute one churn run in-process and return its outcome dict."""
+    result = execute_task(churn_task(config, period, run))
     return {
         "churn_period": period,
-        "converged": result.converged,
-        "rounds": result.rounds,
-        "sim_time": result.sim_time,
-        "messages": result.messages,
+        "converged": result["converged"],
+        "rounds": result["rounds"],
+        "sim_time": result["sim_time"],
+        "messages": result["messages"],
     }
 
 
-def churn_table(config: ChurnConfig) -> ResultTable:
+def churn_table(
+    config: ChurnConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> ResultTable:
     """Rounds and wall-clock (simulated) vs churn rate."""
     table = ResultTable(
         f"Replica churn — APSP chain {config.num_vertices}, "
@@ -104,17 +101,18 @@ def churn_table(config: ChurnConfig) -> ResultTable:
         f"{config.outage_duration} per cycle",
         ["churn_period", "all_converged", "mean_rounds", "mean_sim_time"],
     )
-    for period in config.churn_periods:
-        rounds, times, converged = [], [], True
-        for run in range(config.runs):
-            outcome = run_under_churn(config, period, seed_offset=131 * run)
-            converged = converged and outcome["converged"]
-            rounds.append(outcome["rounds"])
-            times.append(outcome["sim_time"])
+    tasks = [
+        churn_task(config, period, run)
+        for period in config.churn_periods
+        for run in range(config.runs)
+    ]
+    results = run_many(tasks, jobs=jobs, cache=cache)
+    for index, period in enumerate(config.churn_periods):
+        group = results[index * config.runs : (index + 1) * config.runs]
         table.add_row(
             period if period > 0 else float("inf"),
-            converged,
-            sum(rounds) / len(rounds),
-            sum(times) / len(times),
+            all(r["converged"] for r in group),
+            sum(r["rounds"] for r in group) / len(group),
+            sum(r["sim_time"] for r in group) / len(group),
         )
     return table

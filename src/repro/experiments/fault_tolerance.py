@@ -9,16 +9,16 @@ once every row is hit (its quorums are fixed).
 """
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, Optional
 
-from repro.apps.apsp import ApspACO
-from repro.apps.graphs import chain_graph
+from repro.exec.cache import RunCache
+from repro.exec.engine import run_many
+from repro.exec.task import RunTask, execute_task
 from repro.experiments.results import ResultTable
-from repro.iterative.runner import Alg1Runner
 from repro.quorum.base import QuorumSystem
 from repro.quorum.grid import GridQuorumSystem
 from repro.quorum.probabilistic import ProbabilisticQuorumSystem
-from repro.sim.delays import ExponentialDelay
+from repro.sim.rng import derive_seed
 
 
 @dataclass
@@ -42,46 +42,69 @@ class FaultToleranceConfig:
         return cls(num_vertices=8, crash_counts=(0, 2, 6), max_rounds=250)
 
 
-def run_with_crashes(
+def _quorum_spec(system: QuorumSystem) -> Dict[str, Any]:
+    """A data spec for the quorum systems this experiment compares."""
+    if isinstance(system, ProbabilisticQuorumSystem):
+        return {"kind": "probabilistic", "n": system.n, "k": system.quorum_size}
+    if isinstance(system, GridQuorumSystem):
+        return {"kind": "grid", "rows": system.rows, "cols": system.cols}
+    raise TypeError(f"no spec mapping for {type(system).__name__}")
+
+
+def crash_task(
     config: FaultToleranceConfig,
     system: QuorumSystem,
     crashes: int,
-    seed_offset: int = 0,
-) -> dict:
-    """One run: crash ``crashes`` servers at ``crash_time``; report outcome.
+    label: str = "prob",
+) -> RunTask:
+    """One run: crash ``crashes`` servers at ``crash_time``.
 
     Servers are crashed one-per-grid-row first (the strict grid's worst
     case) so the comparison is fair against its availability bound.
     """
-    aco = ApspACO(chain_graph(config.num_vertices))
-    runner = Alg1Runner(
-        aco,
-        system,
-        monotone=True,
-        delay_model=ExponentialDelay(1.0),
-        seed=config.seed + seed_offset,
-        max_rounds=config.max_rounds,
-        retry_interval=config.retry_interval,
-        max_sim_time=config.max_sim_time,
-    )
     side = max(1, int(config.num_servers ** 0.5))
+    return RunTask(
+        kind="alg1",
+        params={
+            "graph": {"kind": "chain", "n": config.num_vertices},
+            "quorum": _quorum_spec(system),
+            "delay": {"kind": "exponential", "mean": 1.0},
+            "monotone": True,
+            "max_rounds": config.max_rounds,
+            "retry_interval": config.retry_interval,
+            "max_sim_time": config.max_sim_time,
+            "faults": {
+                "kind": "crash_batch",
+                "time": config.crash_time,
+                "count": crashes,
+                "side": side,
+            },
+        },
+        seed=derive_seed(config.seed, "fault", label, crashes),
+    )
 
-    def crash_batch() -> None:
-        for index in range(crashes):
-            server = (index % side) * side + index // side
-            runner.deployment.crash_server(server % config.num_servers)
 
-    runner.deployment.scheduler.schedule(config.crash_time, crash_batch)
-    result = runner.run(check_spec=False)
+def run_with_crashes(
+    config: FaultToleranceConfig,
+    system: QuorumSystem,
+    crashes: int,
+    label: str = "prob",
+) -> dict:
+    """Execute one crash run in-process and return its outcome dict."""
+    result = execute_task(crash_task(config, system, crashes, label))
     return {
         "crashes": crashes,
-        "converged": result.converged,
-        "rounds": result.rounds,
-        "messages": result.messages,
+        "converged": result["converged"],
+        "rounds": result["rounds"],
+        "messages": result["messages"],
     }
 
 
-def fault_tolerance_table(config: FaultToleranceConfig) -> ResultTable:
+def fault_tolerance_table(
+    config: FaultToleranceConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> ResultTable:
     """Probabilistic (with retry) vs strict grid under growing crash sets."""
     side = max(1, int(config.num_servers ** 0.5))
     table = ResultTable(
@@ -97,15 +120,26 @@ def fault_tolerance_table(config: FaultToleranceConfig) -> ResultTable:
             "grid_rounds",
         ],
     )
+    tasks = []
     for crashes in config.crash_counts:
-        prob = run_with_crashes(
-            config,
-            ProbabilisticQuorumSystem(config.num_servers, config.quorum_size),
-            crashes,
+        tasks.append(
+            crash_task(
+                config,
+                ProbabilisticQuorumSystem(
+                    config.num_servers, config.quorum_size
+                ),
+                crashes,
+                label="prob",
+            )
         )
-        grid = run_with_crashes(
-            config, GridQuorumSystem(side, side), crashes, seed_offset=1
+        tasks.append(
+            crash_task(
+                config, GridQuorumSystem(side, side), crashes, label="grid"
+            )
         )
+    results = run_many(tasks, jobs=jobs, cache=cache)
+    for index, crashes in enumerate(config.crash_counts):
+        prob, grid = results[2 * index], results[2 * index + 1]
         table.add_row(
             crashes,
             prob["converged"],

@@ -14,15 +14,16 @@ and are flagged in the output.
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.theory import corollary6_rounds_bound, q_lower_bound
 from repro.apps.apsp import ApspACO
 from repro.apps.graphs import chain_graph
+from repro.exec.cache import RunCache
+from repro.exec.engine import run_many
+from repro.exec.task import RunTask
 from repro.experiments.results import ResultTable
-from repro.iterative.runner import Alg1Runner
-from repro.quorum.probabilistic import ProbabilisticQuorumSystem
-from repro.sim.delays import ConstantDelay, ExponentialDelay
+from repro.sim.rng import derive_seed
 
 VARIANTS: Tuple[Tuple[str, bool, bool], ...] = (
     # (label, monotone, synchronous)
@@ -92,38 +93,66 @@ def corollary7_curve(config: Figure2Config, pseudocycles: int) -> Dict[int, floa
     }
 
 
-def run_figure2(config: Figure2Config, progress=None) -> List[Figure2Point]:
-    """Run the full sweep; returns one point per (variant, quorum size)."""
-    graph = chain_graph(config.num_vertices)
-    aco = ApspACO(graph)
-    points: List[Figure2Point] = []
+def figure2_tasks(config: Figure2Config) -> List[RunTask]:
+    """The sweep as a flat task list: one task per (variant, k, run).
+
+    Seeds are hash-derived from the base seed and the cell's coordinates
+    (:func:`repro.sim.rng.derive_seed`), replacing the old prime-multiple
+    arithmetic, so every run's randomness is independent of execution
+    order and of the other cells.
+    """
+    tasks: List[RunTask] = []
     for label, monotone, synchronous in config.variants:
+        for k in config.quorum_sizes:
+            for run in range(config.runs_per_point):
+                tasks.append(
+                    RunTask(
+                        kind="alg1",
+                        params={
+                            "graph": {"kind": "chain", "n": config.num_vertices},
+                            "quorum": {
+                                "kind": "probabilistic",
+                                "n": config.num_servers,
+                                "k": k,
+                            },
+                            "delay": {
+                                "kind": "constant" if synchronous else "exponential",
+                                "mean": config.mean_delay,
+                            },
+                            "monotone": monotone,
+                            "max_rounds": config.max_rounds,
+                        },
+                        seed=derive_seed(
+                            config.base_seed, "figure2", label, k, run
+                        ),
+                    )
+                )
+    return tasks
+
+
+def run_figure2(
+    config: Figure2Config,
+    progress=None,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> List[Figure2Point]:
+    """Run the full sweep; returns one point per (variant, quorum size).
+
+    ``jobs``/``cache`` are forwarded to :func:`repro.exec.engine.run_many`;
+    results are bit-identical for every job count.
+    """
+    tasks = figure2_tasks(config)
+    results = run_many(tasks, jobs=jobs, cache=cache)
+    points: List[Figure2Point] = []
+    index = 0
+    for label, _, _ in config.variants:
         for k in config.quorum_sizes:
             point = Figure2Point(label, k)
             for run in range(config.runs_per_point):
-                seed = (
-                    config.base_seed
-                    + 7919 * k
-                    + 104729 * run
-                    + 1299709 * int(monotone)
-                    + 15485863 * int(synchronous)
-                )
-                delay = (
-                    ConstantDelay(config.mean_delay)
-                    if synchronous
-                    else ExponentialDelay(config.mean_delay)
-                )
-                runner = Alg1Runner(
-                    aco,
-                    ProbabilisticQuorumSystem(config.num_servers, k),
-                    monotone=monotone,
-                    delay_model=delay,
-                    seed=seed,
-                    max_rounds=config.max_rounds,
-                )
-                result = runner.run(check_spec=False)
-                point.rounds.append(result.rounds)
-                point.converged.append(result.converged)
+                result = results[index]
+                index += 1
+                point.rounds.append(result["rounds"])
+                point.converged.append(result["converged"])
                 if progress is not None:
                     progress(label, k, run, result)
             points.append(point)

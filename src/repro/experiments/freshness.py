@@ -16,18 +16,22 @@ blames for the gap between the Figure 2 bound and measurements).
 """
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.analysis.theory import q_exact
 from repro.core.spec import estimate_r5_geometric_parameter, freshness_wait_samples
+from repro.exec.cache import RunCache
+from repro.exec.engine import run_many
+from repro.exec.task import RunTask
 from repro.experiments.results import ResultTable
+from repro.experiments.survival import _mc_shards
 from repro.quorum.probabilistic import ProbabilisticQuorumSystem
 from repro.registers.deployment import RegisterDeployment
 from repro.sim.coroutines import Sleep, spawn
 from repro.sim.delays import ExponentialDelay
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, derive_seed
 
 
 @dataclass
@@ -44,13 +48,33 @@ class FreshnessConfig:
         return cls(trials=2_000)
 
 
-def quorum_level_wait_samples(config: FreshnessConfig) -> List[int]:
-    """Monte Carlo samples of Y: draws until a quorum overlaps the write's."""
-    system = ProbabilisticQuorumSystem(config.num_servers, config.quorum_size)
-    rng = RngRegistry(config.seed).stream("freshness")
+def freshness_mc_tasks(config: FreshnessConfig) -> List[RunTask]:
+    """The Monte Carlo as independently seeded fixed-size shards."""
+    return [
+        RunTask(
+            kind="freshness_mc",
+            params={
+                "num_servers": config.num_servers,
+                "quorum_size": config.quorum_size,
+                "trials": trials,
+                "shard": shard,
+            },
+            seed=derive_seed(config.seed, "freshness-mc", shard),
+        )
+        for shard, trials in enumerate(_mc_shards(config.trials))
+    ]
+
+
+def run_freshness_mc_task(task: RunTask) -> List[int]:
+    """One Monte Carlo shard; returns its Y samples in draw order."""
+    params = task.params
+    system = ProbabilisticQuorumSystem(
+        params["num_servers"], params["quorum_size"]
+    )
+    rng = RngRegistry(task.seed).stream("freshness")
     samples = []
-    cap = 100 * config.num_servers  # safety net; never hit in practice
-    for _ in range(config.trials):
+    cap = 100 * params["num_servers"]  # safety net; never hit in practice
+    for _ in range(params["trials"]):
         write_quorum = system.quorum(rng)
         count = 1
         while not (system.quorum(rng) & write_quorum) and count < cap:
@@ -59,17 +83,44 @@ def quorum_level_wait_samples(config: FreshnessConfig) -> List[int]:
     return samples
 
 
-def register_level_wait_samples(
-    config: FreshnessConfig, num_writes: int = 120
+def quorum_level_wait_samples(
+    config: FreshnessConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
 ) -> List[int]:
-    """Y samples from a real monotone register deployment."""
-    system = ProbabilisticQuorumSystem(config.num_servers, config.quorum_size)
+    """Monte Carlo samples of Y: draws until a quorum overlaps the write's."""
+    shards = run_many(freshness_mc_tasks(config), jobs=jobs, cache=cache)
+    return [y for shard in shards for y in shard]
+
+
+def freshness_register_task(
+    config: FreshnessConfig, num_writes: int = 120
+) -> RunTask:
+    """The register-level measurement as a single engine task."""
+    return RunTask(
+        kind="freshness_register",
+        params={
+            "num_servers": config.num_servers,
+            "quorum_size": config.quorum_size,
+            "num_writes": num_writes,
+        },
+        seed=derive_seed(config.seed, "freshness-register"),
+    )
+
+
+def run_freshness_register_task(task: RunTask) -> List[int]:
+    """Worker: Y samples from a real monotone register deployment."""
+    params = task.params
+    num_writes = params["num_writes"]
+    system = ProbabilisticQuorumSystem(
+        params["num_servers"], params["quorum_size"]
+    )
     deployment = RegisterDeployment(
         system,
         num_clients=2,
         delay_model=ExponentialDelay(1.0),
         monotone=True,
-        seed=config.seed,
+        seed=task.seed,
     )
     deployment.declare_register("X", writer=0, initial_value=0)
 
@@ -89,11 +140,31 @@ def register_level_wait_samples(
     return freshness_wait_samples(deployment.space.history("X"))
 
 
-def freshness_table(config: FreshnessConfig) -> ResultTable:
+def register_level_wait_samples(
+    config: FreshnessConfig,
+    num_writes: int = 120,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> List[int]:
+    """Y samples from a real monotone register deployment."""
+    task = freshness_register_task(config, num_writes)
+    (samples,) = run_many([task], jobs=jobs, cache=cache)
+    return samples
+
+
+def freshness_table(
+    config: FreshnessConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> ResultTable:
     """E-THM4 summary: analytic q vs the two empirical estimates."""
     q = q_exact(config.num_servers, config.quorum_size)
-    mc_samples = quorum_level_wait_samples(config)
-    reg_samples = register_level_wait_samples(config)
+    mc_tasks = freshness_mc_tasks(config)
+    results = run_many(
+        mc_tasks + [freshness_register_task(config)], jobs=jobs, cache=cache
+    )
+    mc_samples = [y for shard in results[: len(mc_tasks)] for y in shard]
+    reg_samples = results[-1]
     table = ResultTable(
         f"Theorem 4 — freshness waits "
         f"(n={config.num_servers}, k={config.quorum_size})",

@@ -9,18 +9,22 @@ even before the message-count argument of Section 6.4.
 """
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.latency import (
     expected_max_of_exponentials,
     latency_summary,
     merged_latencies,
 )
+from repro.exec.cache import RunCache
+from repro.exec.engine import run_many
+from repro.exec.task import RunTask, execute_task
 from repro.experiments.results import ResultTable
 from repro.quorum.probabilistic import ProbabilisticQuorumSystem
 from repro.registers.deployment import RegisterDeployment
 from repro.sim.coroutines import Sleep, spawn
 from repro.sim.delays import ExponentialDelay
+from repro.sim.rng import derive_seed
 
 
 @dataclass
@@ -40,29 +44,49 @@ class LatencyConfig:
                    ops_per_client=60)
 
 
-def measure_latency(config: LatencyConfig, k: int) -> dict:
-    """Run a read/write workload at quorum size k; summarise latencies."""
+def latency_task(config: LatencyConfig, k: int) -> RunTask:
+    """The k-sized-quorum workload as an engine task."""
+    return RunTask(
+        kind="latency",
+        params={
+            "num_servers": config.num_servers,
+            "k": k,
+            "num_clients": config.num_clients,
+            "ops_per_client": config.ops_per_client,
+            "mean_delay": config.mean_delay,
+        },
+        seed=derive_seed(config.seed, "latency", k),
+    )
+
+
+def run_latency_task(task: RunTask) -> dict:
+    """Worker: run a read/write workload at quorum size k; summarise
+    latencies (needs the recorded history, so it runs where the
+    deployment lives)."""
+    params = task.params
+    k = params["k"]
+    mean_delay = params["mean_delay"]
     deployment = RegisterDeployment(
-        ProbabilisticQuorumSystem(config.num_servers, k),
-        num_clients=config.num_clients,
-        delay_model=ExponentialDelay(config.mean_delay),
+        ProbabilisticQuorumSystem(params["num_servers"], k),
+        num_clients=params["num_clients"],
+        delay_model=ExponentialDelay(mean_delay),
         monotone=True,
-        seed=config.seed + k,
+        seed=task.seed,
     )
     deployment.declare_register("X", writer=0, initial_value=0)
 
     def writer():
-        for value in range(config.ops_per_client):
+        for value in range(params["ops_per_client"]):
             yield deployment.handle(0, "X").write(value)
             yield Sleep(1.0)
 
     def reader(cid):
-        for _ in range(config.ops_per_client):
+        for _ in range(params["ops_per_client"]):
             yield deployment.handle(cid, "X").read()
             yield Sleep(1.0)
 
     spawn(deployment.scheduler, writer())
-    for cid in range(1, config.num_clients):
+    for cid in range(1, params["num_clients"]):
         spawn(deployment.scheduler, reader(cid))
     deployment.run()
 
@@ -85,15 +109,24 @@ def measure_latency(config: LatencyConfig, k: int) -> dict:
         "read_mean": read_stats["mean"],
         "read_p95": read_stats["p95"],
         "write_mean": write_stats["mean"],
-        "analytic_floor": 2.0 * config.mean_delay if k == 1
-        else expected_max_of_exponentials(config.mean_delay, k),
+        "analytic_floor": 2.0 * mean_delay if k == 1
+        else expected_max_of_exponentials(mean_delay, k),
         "busiest_server_share": (
             busiest / server_deliveries if server_deliveries else 0.0
         ),
     }
 
 
-def latency_table(config: LatencyConfig) -> ResultTable:
+def measure_latency(config: LatencyConfig, k: int) -> dict:
+    """Run the quorum-size-k workload in-process; returns its table row."""
+    return execute_task(latency_task(config, k))
+
+
+def latency_table(
+    config: LatencyConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> ResultTable:
     """The latency/load trade-off table across quorum sizes."""
     table = ResultTable(
         f"Latency vs load across quorum sizes "
@@ -108,6 +141,7 @@ def latency_table(config: LatencyConfig) -> ResultTable:
             "busiest_server_share",
         ],
     )
-    rows: List[dict] = [measure_latency(config, k) for k in config.quorum_sizes]
+    tasks = [latency_task(config, k) for k in config.quorum_sizes]
+    rows: List[dict] = run_many(tasks, jobs=jobs, cache=cache)
     table.add_dict_rows(rows)
     return table

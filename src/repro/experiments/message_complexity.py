@@ -13,7 +13,7 @@ Two regimes, each compared analytically (Eqns 1-3) *and* by measurement
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.messages import (
     high_availability_comparison,
@@ -21,13 +21,14 @@ from repro.analysis.messages import (
 )
 from repro.apps.apsp import ApspACO
 from repro.apps.graphs import chain_graph
+from repro.exec.cache import RunCache
+from repro.exec.engine import run_many
+from repro.exec.task import RunTask
 from repro.experiments.results import ResultTable
-from repro.iterative.runner import Alg1Runner
-from repro.quorum.base import QuorumSystem
 from repro.quorum.grid import GridQuorumSystem
 from repro.quorum.majority import MajorityQuorumSystem
 from repro.quorum.probabilistic import ProbabilisticQuorumSystem
-from repro.sim.delays import ConstantDelay
+from repro.sim.rng import derive_seed
 
 
 @dataclass
@@ -44,30 +45,23 @@ class MessageComplexityConfig:
         return cls(num_vertices=9, num_servers=9, max_rounds=150)
 
 
-def _measure(
+def _measure_task(
     config: MessageComplexityConfig,
-    system: QuorumSystem,
+    label: str,
+    quorum_spec: Dict[str, Any],
     monotone: bool,
-) -> Dict[str, float]:
-    graph = chain_graph(config.num_vertices)
-    aco = ApspACO(graph)
-    runner = Alg1Runner(
-        aco,
-        system,
-        monotone=monotone,
-        delay_model=ConstantDelay(1.0),
-        seed=config.seed,
-        max_rounds=config.max_rounds,
+) -> RunTask:
+    return RunTask(
+        kind="alg1",
+        params={
+            "graph": {"kind": "chain", "n": config.num_vertices},
+            "quorum": quorum_spec,
+            "delay": {"kind": "constant", "mean": 1.0},
+            "monotone": monotone,
+            "max_rounds": config.max_rounds,
+        },
+        seed=derive_seed(config.seed, "messages", label),
     )
-    result = runner.run(check_spec=False)
-    pseudocycles = aco.contraction_depth() or 1
-    return {
-        "converged": result.converged,
-        "rounds": result.rounds,
-        "messages": result.messages,
-        "messages_per_round": result.messages_per_round(),
-        "messages_per_pseudocycle": result.messages / pseudocycles,
-    }
 
 
 def analytic_tables(n_values: List[int], m: int, p: int) -> List[ResultTable]:
@@ -121,7 +115,11 @@ def analytic_tables(n_values: List[int], m: int, p: int) -> List[ResultTable]:
     return [availability, load]
 
 
-def measured_table(config: MessageComplexityConfig) -> ResultTable:
+def measured_table(
+    config: MessageComplexityConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> ResultTable:
     """Measured Alg. 1 message counts for the three implementations.
 
     Uses the monotone client for the probabilistic system (the paper's
@@ -131,9 +129,24 @@ def measured_table(config: MessageComplexityConfig) -> ResultTable:
     n = config.num_servers
     k_prob = max(1, math.ceil(math.sqrt(n)))
     systems = [
-        ("probabilistic k=sqrt(n)", ProbabilisticQuorumSystem(n, k_prob), True),
-        ("strict majority", MajorityQuorumSystem(n), False),
-        ("strict grid", GridQuorumSystem.square(n), False),
+        (
+            "probabilistic k=sqrt(n)",
+            ProbabilisticQuorumSystem(n, k_prob),
+            {"kind": "probabilistic", "n": n, "k": k_prob},
+            True,
+        ),
+        (
+            "strict majority",
+            MajorityQuorumSystem(n),
+            {"kind": "majority", "n": n},
+            False,
+        ),
+        (
+            "strict grid",
+            GridQuorumSystem.square(n),
+            {"kind": "grid_square", "n": n},
+            False,
+        ),
     ]
     table = ResultTable(
         f"Section 6.4 (measured) — APSP chain m=p={config.num_vertices}, "
@@ -149,16 +162,22 @@ def measured_table(config: MessageComplexityConfig) -> ResultTable:
             "messages_per_pseudocycle",
         ],
     )
-    for label, system, monotone in systems:
-        measurement = _measure(config, system, monotone)
+    tasks = [
+        _measure_task(config, label, spec, monotone)
+        for label, _, spec, monotone in systems
+    ]
+    results = run_many(tasks, jobs=jobs, cache=cache)
+    pseudocycles = ApspACO(chain_graph(config.num_vertices)).contraction_depth() or 1
+    for (label, system, _, _), result in zip(systems, results):
+        rounds = result["rounds"]
         table.add_row(
             label,
             system.quorum_size,
             system.availability(),
-            measurement["converged"],
-            measurement["rounds"],
-            measurement["messages"],
-            measurement["messages_per_round"],
-            measurement["messages_per_pseudocycle"],
+            result["converged"],
+            rounds,
+            result["messages"],
+            result["messages"] / rounds if rounds else 0.0,
+            result["messages"] / pseudocycles,
         )
     return table

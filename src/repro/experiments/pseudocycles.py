@@ -15,20 +15,18 @@ how loose.
 """
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.theory import (
     corollary7_rounds_per_pseudocycle_bound,
     expected_rounds_upper_bound,
     q_exact,
 )
-from repro.apps.apsp import ApspACO
-from repro.apps.graphs import chain_graph
+from repro.exec.cache import RunCache
+from repro.exec.engine import run_many
+from repro.exec.task import RunTask
 from repro.experiments.results import ResultTable
-from repro.iterative.runner import Alg1Runner
-from repro.iterative.trace import measure_pseudocycles
-from repro.quorum.probabilistic import ProbabilisticQuorumSystem
-from repro.sim.delays import ConstantDelay
+from repro.sim.rng import derive_seed
 
 
 @dataclass
@@ -48,27 +46,47 @@ class PseudocycleConfig:
                    quorum_sizes=(1, 2, 4), runs=2)
 
 
-def measure(config: PseudocycleConfig) -> List[dict]:
+def pseudocycle_tasks(config: PseudocycleConfig) -> List[RunTask]:
+    """One task per (quorum size, run), with in-worker pseudocycle
+    measurement (the trace reconstruction needs the register histories,
+    so it must happen where the run executed)."""
+    return [
+        RunTask(
+            kind="alg1",
+            params={
+                "graph": {"kind": "chain", "n": config.num_vertices},
+                "quorum": {
+                    "kind": "probabilistic",
+                    "n": config.num_servers,
+                    "k": k,
+                },
+                "delay": {"kind": "constant", "mean": 1.0},
+                "monotone": True,
+                "max_rounds": config.max_rounds,
+                "measure_pseudocycles": True,
+            },
+            seed=derive_seed(config.seed, "pseudocycles", k, run),
+        )
+        for k in config.quorum_sizes
+        for run in range(config.runs)
+    ]
+
+
+def measure(
+    config: PseudocycleConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> List[dict]:
     """One row per quorum size: measured ratio and the two bounds."""
-    aco = ApspACO(chain_graph(config.num_vertices))
+    results = run_many(pseudocycle_tasks(config), jobs=jobs, cache=cache)
     rows = []
-    for k in config.quorum_sizes:
+    for index, k in enumerate(config.quorum_sizes):
         ratios = []
-        for run in range(config.runs):
-            runner = Alg1Runner(
-                aco,
-                ProbabilisticQuorumSystem(config.num_servers, k),
-                monotone=True,
-                delay_model=ConstantDelay(1.0),
-                seed=config.seed + 9973 * run + 127 * k,
-                max_rounds=config.max_rounds,
-            )
-            result = runner.run(check_spec=False)
-            if not result.converged:
+        for result in results[index * config.runs : (index + 1) * config.runs]:
+            if not result["converged"]:
                 continue
-            pseudocycles = measure_pseudocycles(runner)
-            if pseudocycles > 0:
-                ratios.append(result.rounds / pseudocycles)
+            if result["pseudocycles"] > 0:
+                ratios.append(result["rounds"] / result["pseudocycles"])
         q = q_exact(config.num_servers, k)
         rows.append(
             {
@@ -85,12 +103,16 @@ def measure(config: PseudocycleConfig) -> List[dict]:
     return rows
 
 
-def pseudocycle_table(config: PseudocycleConfig) -> ResultTable:
+def pseudocycle_table(
+    config: PseudocycleConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> ResultTable:
     """The E-COR7 table."""
     table = ResultTable(
         f"Corollary 7 — measured rounds per pseudocycle vs bounds "
         f"(chain {config.num_vertices}, n={config.num_servers}, monotone)",
         ["k", "measured_rounds_per_pc", "theorem5_bound", "corollary7_bound"],
     )
-    table.add_dict_rows(measure(config))
+    table.add_dict_rows(measure(config, jobs=jobs, cache=cache))
     return table

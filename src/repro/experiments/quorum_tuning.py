@@ -10,18 +10,18 @@ where extra replicas stop buying convergence speed (the knee near c ≈ 1).
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.theory import (
     corollary7_rounds_per_pseudocycle_bound,
     q_exact,
 )
-from repro.apps.apsp import ApspACO
-from repro.apps.graphs import chain_graph
+from repro.exec.cache import RunCache
+from repro.exec.engine import run_many
+from repro.exec.task import RunTask
 from repro.experiments.results import ResultTable
-from repro.iterative.runner import Alg1Runner
 from repro.quorum.probabilistic import ProbabilisticQuorumSystem
-from repro.sim.delays import ConstantDelay
+from repro.sim.rng import derive_seed
 
 
 @dataclass
@@ -41,29 +41,56 @@ class TuningConfig:
                    c_values=(0.25, 0.5, 1.0, 2.0), runs=2)
 
 
-def tuning_rows(config: TuningConfig) -> List[dict]:
-    """One row per c: analytic properties plus measured rounds."""
-    aco = ApspACO(chain_graph(config.num_vertices))
+def _distinct_cells(config: TuningConfig) -> List[Tuple[float, int]]:
+    """(c, k) pairs with duplicate k dropped (distinct c can collapse)."""
     n = config.num_servers
-    rows = []
+    cells = []
     seen_k = set()
     for c in config.c_values:
         k = min(n, max(1, math.ceil(c * math.sqrt(n))))
         if k in seen_k:
-            continue  # distinct c values can collapse to the same k
+            continue
         seen_k.add(k)
-        rounds = []
-        for run in range(config.runs):
-            result = Alg1Runner(
-                aco,
-                ProbabilisticQuorumSystem(n, k),
-                monotone=True,
-                delay_model=ConstantDelay(1.0),
-                seed=config.seed + 31 * run + 7 * k,
-                max_rounds=config.max_rounds,
-            ).run(check_spec=False)
-            if result.converged:
-                rounds.append(result.rounds)
+        cells.append((c, k))
+    return cells
+
+
+def tuning_tasks(config: TuningConfig) -> List[RunTask]:
+    """One task per (distinct k, run)."""
+    return [
+        RunTask(
+            kind="alg1",
+            params={
+                "graph": {"kind": "chain", "n": config.num_vertices},
+                "quorum": {
+                    "kind": "probabilistic",
+                    "n": config.num_servers,
+                    "k": k,
+                },
+                "delay": {"kind": "constant", "mean": 1.0},
+                "monotone": True,
+                "max_rounds": config.max_rounds,
+            },
+            seed=derive_seed(config.seed, "tuning", k, run),
+        )
+        for _, k in _distinct_cells(config)
+        for run in range(config.runs)
+    ]
+
+
+def tuning_rows(
+    config: TuningConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> List[dict]:
+    """One row per c: analytic properties plus measured rounds."""
+    n = config.num_servers
+    cells = _distinct_cells(config)
+    results = run_many(tuning_tasks(config), jobs=jobs, cache=cache)
+    rows = []
+    for index, (c, k) in enumerate(cells):
+        group = results[index * config.runs : (index + 1) * config.runs]
+        rounds = [r["rounds"] for r in group if r["converged"]]
         rows.append(
             {
                 "c": c,
@@ -81,7 +108,11 @@ def tuning_rows(config: TuningConfig) -> List[dict]:
     return rows
 
 
-def tuning_table(config: TuningConfig) -> ResultTable:
+def tuning_table(
+    config: TuningConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> ResultTable:
     """The E-EXT-TUNE table."""
     table = ResultTable(
         f"Tuning k = c·sqrt(n): convergence vs load "
@@ -89,5 +120,5 @@ def tuning_table(config: TuningConfig) -> ResultTable:
         ["c", "k", "intersection_prob", "q", "cor7_bound", "mean_rounds",
          "load"],
     )
-    table.add_dict_rows(tuning_rows(config))
+    table.add_dict_rows(tuning_rows(config, jobs=jobs, cache=cache))
     return table

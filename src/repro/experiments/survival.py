@@ -13,18 +13,24 @@ at most k·((n-k)/n)^ℓ.  Two estimators:
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.theory import theorem1_survival_bound
 from repro.core.spec import write_survival_counts
+from repro.exec.cache import RunCache
+from repro.exec.engine import run_many
+from repro.exec.task import RunTask
 from repro.experiments.results import ResultTable
 from repro.quorum.probabilistic import ProbabilisticQuorumSystem
 from repro.registers.deployment import RegisterDeployment
 from repro.sim.coroutines import Sleep, spawn
 from repro.sim.delays import ExponentialDelay
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, derive_seed
+
+#: Monte Carlo trials per engine task.  Fixed (never derived from the job
+#: count) so the shard boundaries — and therefore every number — are the
+#: same no matter how many workers execute them.
+MC_SHARD_TRIALS = 5_000
 
 
 @dataclass
@@ -44,34 +50,97 @@ class SurvivalConfig:
         return cls(num_servers=16, quorum_size=4, max_lag=10, trials=2_000)
 
 
-def quorum_level_survival(config: SurvivalConfig) -> Dict[int, float]:
-    """Monte Carlo Pr[some replica of W's quorum survives ℓ later writes]."""
-    system = ProbabilisticQuorumSystem(config.num_servers, config.quorum_size)
-    rng = RngRegistry(config.seed).stream("survival")
-    survivals = {ell: 0 for ell in range(config.max_lag + 1)}
-    for _ in range(config.trials):
+def _mc_shards(trials: int, shard_trials: int = MC_SHARD_TRIALS) -> List[int]:
+    """Split a trial budget into fixed-size shards (last one may be short)."""
+    shards = []
+    remaining = trials
+    while remaining > 0:
+        take = min(shard_trials, remaining)
+        shards.append(take)
+        remaining -= take
+    return shards
+
+
+def survival_mc_tasks(config: SurvivalConfig) -> List[RunTask]:
+    """The quorum-level Monte Carlo as independently seeded shards."""
+    return [
+        RunTask(
+            kind="survival_mc",
+            params={
+                "num_servers": config.num_servers,
+                "quorum_size": config.quorum_size,
+                "max_lag": config.max_lag,
+                "trials": trials,
+                "shard": shard,
+            },
+            seed=derive_seed(config.seed, "survival-mc", shard),
+        )
+        for shard, trials in enumerate(_mc_shards(config.trials))
+    ]
+
+
+def run_survival_mc_task(task: RunTask) -> List[int]:
+    """One Monte Carlo shard; returns survival counts per lag 0..max_lag."""
+    params = task.params
+    system = ProbabilisticQuorumSystem(
+        params["num_servers"], params["quorum_size"]
+    )
+    rng = RngRegistry(task.seed).stream("survival")
+    max_lag = params["max_lag"]
+    survivals = [0] * (max_lag + 1)
+    for _ in range(params["trials"]):
         write_quorum = system.quorum(rng)
         overwritten: set = set()
-        for ell in range(config.max_lag + 1):
+        for ell in range(max_lag + 1):
             if write_quorum - overwritten:
                 survivals[ell] += 1
             overwritten |= system.quorum(rng)
-    return {ell: count / config.trials for ell, count in survivals.items()}
+    return survivals
 
 
-def register_level_survival(
+def quorum_level_survival(
     config: SurvivalConfig,
-    num_readers: int = 4,
-    num_writes: int = 200,
-) -> Dict[int, Tuple[int, int]]:
-    """Per-lag (survivals, trials) from a real register deployment run."""
-    system = ProbabilisticQuorumSystem(config.num_servers, config.quorum_size)
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> Dict[int, float]:
+    """Monte Carlo Pr[some replica of W's quorum survives ℓ later writes]."""
+    shard_counts = run_many(survival_mc_tasks(config), jobs=jobs, cache=cache)
+    totals = [sum(shard[ell] for shard in shard_counts)
+              for ell in range(config.max_lag + 1)]
+    return {ell: count / config.trials for ell, count in enumerate(totals)}
+
+
+def survival_register_task(
+    config: SurvivalConfig, num_readers: int = 4, num_writes: int = 200
+) -> RunTask:
+    """The register-level measurement as a single engine task."""
+    return RunTask(
+        kind="survival_register",
+        params={
+            "num_servers": config.num_servers,
+            "quorum_size": config.quorum_size,
+            "max_lag": config.max_lag,
+            "num_readers": num_readers,
+            "num_writes": num_writes,
+        },
+        seed=derive_seed(config.seed, "survival-register"),
+    )
+
+
+def run_survival_register_task(task: RunTask) -> List[List[int]]:
+    """Worker: run the deployment; returns [lag, survivals, trials] rows."""
+    params = task.params
+    num_writes = params["num_writes"]
+    num_readers = params["num_readers"]
+    system = ProbabilisticQuorumSystem(
+        params["num_servers"], params["quorum_size"]
+    )
     deployment = RegisterDeployment(
         system,
         num_clients=1 + num_readers,
         delay_model=ExponentialDelay(1.0),
         monotone=False,
-        seed=config.seed,
+        seed=task.seed,
     )
     deployment.declare_register("X", writer=0, initial_value=0)
 
@@ -89,15 +158,42 @@ def register_level_survival(
     for r in range(1, num_readers + 1):
         spawn(deployment.scheduler, reader(r), label=f"reader-{r}")
     deployment.run()
-    return write_survival_counts(
-        deployment.space.history("X"), max_ell=config.max_lag
+    counts = write_survival_counts(
+        deployment.space.history("X"), max_ell=params["max_lag"]
     )
+    return [[ell, s, t] for ell, (s, t) in sorted(counts.items())]
 
 
-def survival_table(config: SurvivalConfig) -> ResultTable:
+def register_level_survival(
+    config: SurvivalConfig,
+    num_readers: int = 4,
+    num_writes: int = 200,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> Dict[int, Tuple[int, int]]:
+    """Per-lag (survivals, trials) from a real register deployment run."""
+    task = survival_register_task(config, num_readers, num_writes)
+    (rows,) = run_many([task], jobs=jobs, cache=cache)
+    return {ell: (s, t) for ell, s, t in rows}
+
+
+def survival_table(
+    config: SurvivalConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> ResultTable:
     """The E-THM1 comparison table: measured vs bound per lag ℓ."""
-    monte_carlo = quorum_level_survival(config)
-    register = register_level_survival(config)
+    # One engine invocation for everything: the MC shards and the
+    # register-level run execute side by side.
+    mc_tasks = survival_mc_tasks(config)
+    tasks = mc_tasks + [survival_register_task(config)]
+    results = run_many(tasks, jobs=jobs, cache=cache)
+    shard_counts = results[: len(mc_tasks)]
+    monte_carlo = {
+        ell: sum(shard[ell] for shard in shard_counts) / config.trials
+        for ell in range(config.max_lag + 1)
+    }
+    register = {ell: (s, t) for ell, s, t in results[-1]}
     table = ResultTable(
         f"Theorem 1 — write survival probability "
         f"(n={config.num_servers}, k={config.quorum_size})",

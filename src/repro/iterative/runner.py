@@ -79,6 +79,7 @@ class Alg1Runner:
         register_prefix: str = "X",
         retry_interval: Optional[float] = None,
         max_sim_time: Optional[float] = None,
+        record_history: bool = True,
     ) -> None:
         if max_rounds < 1:
             raise ValueError(f"max_rounds must be positive, got {max_rounds}")
@@ -105,6 +106,7 @@ class Alg1Runner:
             monotone=monotone,
             seed=seed,
             retry_interval=retry_interval,
+            record_history=record_history,
         )
         self.register_names = [f"{register_prefix}{j}" for j in range(aco.m)]
         initial = aco.initial()
@@ -165,6 +167,11 @@ class Alg1Runner:
         monotone) are verified on every register history after the run —
         every experiment therefore doubles as a specification audit.
         """
+        if check_spec and not self.deployment.record_history:
+            raise ValueError(
+                "check_spec=True requires record_history=True: the spec "
+                "audit reads the register histories after the run"
+            )
         scheduler = self.deployment.scheduler
         for process in range(len(self.blocks)):
             spawn(scheduler, self._process_loop(process), label=f"proc-{process}")

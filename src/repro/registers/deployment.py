@@ -34,11 +34,13 @@ class RegisterDeployment:
         scheduler: Optional[Scheduler] = None,
         rng_registry: Optional[RngRegistry] = None,
         client_class: type = QuorumRegisterClient,
+        record_history: bool = True,
     ) -> None:
         if num_clients < 1:
             raise ValueError(f"need at least one client, got {num_clients}")
         self.quorum_system = quorum_system
         self.monotone = monotone
+        self.record_history = record_history
         self.scheduler = scheduler or Scheduler()
         self.rng = rng_registry or RngRegistry(seed)
         self.delay_model = delay_model or ConstantDelay(1.0)
@@ -49,7 +51,7 @@ class RegisterDeployment:
             self.rng.stream("delays"),
             failures=self.failures,
         )
-        self.space = RegisterSpace()
+        self.space = RegisterSpace(record_history=record_history)
 
         self.servers: List[ReplicaServer] = []
         for _ in range(quorum_system.n):

@@ -2,7 +2,7 @@
 
 from typing import Any, Dict, Optional
 
-from repro.core.history import RegisterHistory
+from repro.core.history import NullRegisterHistory, RegisterHistory
 
 
 class RegisterInfo:
@@ -10,9 +10,16 @@ class RegisterInfo:
 
     __slots__ = ("name", "history", "writer", "initial_value")
 
-    def __init__(self, name: str, writer: Optional[int], initial_value: Any) -> None:
+    def __init__(
+        self,
+        name: str,
+        writer: Optional[int],
+        initial_value: Any,
+        record_history: bool = True,
+    ) -> None:
         self.name = name
-        self.history = RegisterHistory(name, initial_value)
+        history_class = RegisterHistory if record_history else NullRegisterHistory
+        self.history = history_class(name, initial_value)
         self.writer = writer
         self.initial_value = initial_value
 
@@ -28,8 +35,9 @@ class RegisterSpace:
     :mod:`repro.core.spec` audit these histories after a run.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, record_history: bool = True) -> None:
         self._registers: Dict[str, RegisterInfo] = {}
+        self.record_history = record_history
 
     def declare(
         self, name: str, writer: Optional[int] = None, initial_value: Any = None
@@ -38,7 +46,7 @@ class RegisterSpace:
         write it (None disables the check, for tests)."""
         if name in self._registers:
             raise ValueError(f"register {name!r} already declared")
-        info = RegisterInfo(name, writer, initial_value)
+        info = RegisterInfo(name, writer, initial_value, self.record_history)
         self._registers[name] = info
         return info
 

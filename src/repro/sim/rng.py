@@ -11,6 +11,7 @@ triggers but "cannot influence what random number is received in the next
 step": the random tuple is fixed up front, independently of scheduling.
 """
 
+import hashlib
 import zlib
 from typing import Dict
 
@@ -20,6 +21,35 @@ import numpy as np
 def _stable_key(name: str) -> int:
     """A stable 32-bit key for a stream name (Python's hash() is salted)."""
     return zlib.crc32(name.encode("utf-8"))
+
+
+def derive_seed(base: int, *components) -> int:
+    """Derive an independent 63-bit seed from a base seed and components.
+
+    Replaces ad-hoc ``base + prime_1*a + prime_2*b`` seed arithmetic, which
+    collides whenever two component combinations land on the same linear
+    sum.  Here the base and every component are fed through a keyed hash
+    (BLAKE2b), so distinct component tuples give statistically independent
+    seeds and the mapping is stable across processes and Python versions
+    (``hash()`` is salted; this is not).
+
+    Components may be ints, bools, floats, strings, bytes, or None.  The
+    component's type participates in the hash, so ``derive_seed(s, 1)``,
+    ``derive_seed(s, True)`` and ``derive_seed(s, "1")`` all differ.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(repr(int(base)).encode("utf-8"))
+    for component in components:
+        if not isinstance(component, (int, bool, float, str, bytes, type(None))):
+            raise TypeError(
+                f"unhashable seed component type: {type(component).__name__}"
+            )
+        digest.update(b"\x1f")
+        digest.update(type(component).__name__.encode("utf-8"))
+        digest.update(b":")
+        raw = component if isinstance(component, bytes) else repr(component).encode("utf-8")
+        digest.update(raw)
+    return int.from_bytes(digest.digest(), "big") >> 1
 
 
 class RngRegistry:

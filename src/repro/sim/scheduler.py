@@ -22,18 +22,33 @@ class EventHandle:
     when popped.  This keeps :meth:`Scheduler.cancel` O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_owner", "_dequeued")
 
-    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable,
+        args: tuple,
+        owner: Optional["Scheduler"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._owner = owner
+        self._dequeued = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # Keep the owner's live-event counter exact: a handle leaves the
+        # live count exactly once — here, or when it is popped and run.
+        if self._owner is not None and not self._dequeued:
+            self._owner._live -= 1
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -60,6 +75,7 @@ class Scheduler:
         self._seq: int = 0
         self._events_processed: int = 0
         self._stopped: bool = False
+        self._live: int = 0
 
     @property
     def now(self) -> float:
@@ -73,8 +89,13 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of non-cancelled events still queued.
+
+        Maintained as a live counter (incremented on schedule, decremented
+        on first cancel or on execution), so reading it is O(1) instead of
+        an O(n) scan of the queue — it is polled on hot paths.
+        """
+        return self._live
 
     def schedule(self, delay: float, callback: Callable, *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
@@ -88,8 +109,9 @@ class Scheduler:
             raise SchedulerError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        handle = EventHandle(time, self._seq, callback, args)
+        handle = EventHandle(time, self._seq, callback, args, owner=self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._queue, handle)
         return handle
 
@@ -106,7 +128,10 @@ class Scheduler:
         while self._queue:
             handle = heapq.heappop(self._queue)
             if handle.cancelled:
+                handle._dequeued = True
                 continue
+            handle._dequeued = True
+            self._live -= 1
             self._now = handle.time
             self._events_processed += 1
             handle.callback(*handle.args)
@@ -133,6 +158,7 @@ class Scheduler:
                 break
             head = self._queue[0]
             if head.cancelled:
+                head._dequeued = True
                 heapq.heappop(self._queue)
                 continue
             if until is not None and head.time > until:

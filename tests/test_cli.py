@@ -44,3 +44,50 @@ def test_output_directory_written(tmp_path, capsys):
     assert main(["survival", "--output", str(tmp_path / "results")]) == 0
     produced = sorted(p.name for p in (tmp_path / "results").iterdir())
     assert produced == ["survival.csv", "survival.txt"]
+
+
+def test_parser_accepts_jobs_on_every_subcommand():
+    from repro.cli import COMMANDS
+    parser = build_parser()
+    for name in sorted(COMMANDS) + ["all"]:
+        args = parser.parse_args([name, "--jobs", "2"])
+        assert args.experiment == name
+        assert args.jobs == 2
+
+
+def test_parser_jobs_defaults_to_none():
+    args = build_parser().parse_args(["figure2"])
+    assert args.jobs is None
+    assert not args.no_cache
+    assert not args.clear_cache
+
+
+def test_parser_accepts_cache_flags():
+    args = build_parser().parse_args(
+        ["survival", "--no-cache", "--clear-cache"]
+    )
+    assert args.no_cache
+    assert args.clear_cache
+
+
+def test_main_with_explicit_jobs(capsys):
+    assert main(["survival", "--jobs", "2", "--no-cache"]) == 0
+    assert "Theorem 1" in capsys.readouterr().out
+
+
+def test_main_respects_repro_jobs_env(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    assert main(["survival", "--no-cache"]) == 0
+    assert "Theorem 1" in capsys.readouterr().out
+
+
+def test_main_uses_run_cache(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["survival"]) == 0
+    cache_dir = tmp_path / "benchmarks" / "output" / ".cache"
+    assert cache_dir.is_dir()
+    entries = list(cache_dir.rglob("*.json"))
+    assert entries
+    # --clear-cache wipes it before the (re-)run repopulates it.
+    assert main(["survival", "--clear-cache"]) == 0
+    capsys.readouterr()

@@ -70,3 +70,53 @@ def test_non_integer_seed_rejected():
 
 def test_seed_property():
     assert RngRegistry(77).seed == 77
+
+
+# --- derive_seed -----------------------------------------------------------
+
+from repro.sim.rng import derive_seed  # noqa: E402
+
+
+def test_derive_seed_deterministic():
+    assert derive_seed(42, "figure2", 3, 0) == derive_seed(42, "figure2", 3, 0)
+
+
+def test_derive_seed_component_sensitivity():
+    base = derive_seed(42, "figure2", 3, 0)
+    assert derive_seed(43, "figure2", 3, 0) != base
+    assert derive_seed(42, "survival", 3, 0) != base
+    assert derive_seed(42, "figure2", 4, 0) != base
+    assert derive_seed(42, "figure2", 3, 1) != base
+
+
+def test_derive_seed_order_sensitive():
+    assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+
+def test_derive_seed_type_tagged():
+    # int 1 and str "1" must not collide (repr alone would not separate
+    # "1" from '"1"'-ish ambiguities across types).
+    assert derive_seed(0, 1) != derive_seed(0, "1")
+    assert derive_seed(0, 1) != derive_seed(0, 1.0)
+
+
+def test_derive_seed_no_concatenation_collisions():
+    # ("ab", "c") vs ("a", "bc") would collide under naive joining.
+    assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+
+def test_derive_seed_range_and_collisions():
+    # Non-negative, fits in 63 bits (numpy SeedSequence-safe), and a
+    # burst of related (stream, k, run) tuples never collides.
+    seen = set()
+    for k in range(20):
+        for run in range(50):
+            seed = derive_seed(7, "stream", k, run)
+            assert 0 <= seed < 2 ** 63
+            seen.add(seed)
+    assert len(seen) == 20 * 50
+
+
+def test_derive_seed_rejects_unhashable_components():
+    with pytest.raises(TypeError):
+        derive_seed(0, ["list"])  # type: ignore[arg-type]

@@ -158,3 +158,44 @@ def test_clock_never_goes_backwards(scheduler):
     scheduler.schedule(3.0, lambda: times.append(scheduler.now))
     scheduler.run()
     assert times == sorted(times)
+
+
+# --- pending counter (O(1) live count) -------------------------------------
+
+
+def test_pending_counts_down_as_events_run(scheduler):
+    for i in range(5):
+        scheduler.schedule(float(i + 1), lambda: None)
+    assert scheduler.pending == 5
+    scheduler.step()
+    assert scheduler.pending == 4
+    scheduler.run()
+    assert scheduler.pending == 0
+
+
+def test_cancel_is_idempotent_for_pending(scheduler):
+    handle = scheduler.schedule(1.0, lambda: None)
+    scheduler.schedule(2.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert scheduler.pending == 1
+
+
+def test_cancel_after_execution_does_not_corrupt_pending(scheduler):
+    handle = scheduler.schedule(1.0, lambda: None)
+    scheduler.schedule(2.0, lambda: None)
+    scheduler.step()  # executes the first event
+    handle.cancel()   # stale cancel of an already-run event: no-op
+    assert scheduler.pending == 1
+    scheduler.run()
+    assert scheduler.pending == 0
+
+
+def test_pending_matches_queue_scan(scheduler):
+    # The live counter must agree with an explicit scan of the heap.
+    handles = [scheduler.schedule(float(i + 1), lambda: None)
+               for i in range(10)]
+    for handle in handles[::3]:
+        handle.cancel()
+    scan = sum(1 for event in scheduler._queue if not event.cancelled)
+    assert scheduler.pending == scan
