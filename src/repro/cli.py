@@ -15,9 +15,15 @@ CPU count, capped; also settable via the ``REPRO_JOBS`` environment
 variable) and are memoised in an on-disk run cache under
 ``benchmarks/output/.cache/``.  ``--no-cache`` bypasses the cache;
 ``--clear-cache`` wipes it before running.
+
+The fault-model subcommands (``fault``, ``churn``) additionally accept
+``--loss-rate P`` (probabilistic message loss on every link) and
+``--op-deadline T`` (per-operation timeout before a client rejects with
+``OperationTimeout``); other subcommands ignore both.
 """
 
 import argparse
+import dataclasses
 import os
 import sys
 from typing import Callable, Dict, List, Optional
@@ -45,6 +51,7 @@ from repro.experiments.message_complexity import (
 from repro.experiments.churn import ChurnConfig, churn_table
 from repro.experiments.fault_tolerance import (
     FaultToleranceConfig,
+    degradation_table,
     fault_tolerance_table,
 )
 from repro.experiments.latency import LatencyConfig, latency_table
@@ -68,13 +75,13 @@ def _emit(tables: List[ResultTable], output: Optional[str], stem: str) -> None:
             table.save(base + ".csv", fmt="csv")
 
 
-def _cmd_figure2(full, output, jobs=None, cache=None) -> None:
+def _cmd_figure2(full, output, jobs=None, cache=None, **overrides) -> None:
     config = Figure2Config() if full else Figure2Config.scaled_down()
     points = run_figure2(config, jobs=jobs, cache=cache)
     _emit([figure2_table(config, points)], output, "figure2")
 
 
-def _cmd_survival(full, output, jobs=None, cache=None) -> None:
+def _cmd_survival(full, output, jobs=None, cache=None, **overrides) -> None:
     config = (
         SurvivalConfig(num_servers=34, quorum_size=6, max_lag=15,
                        trials=100_000)
@@ -85,7 +92,7 @@ def _cmd_survival(full, output, jobs=None, cache=None) -> None:
           "survival")
 
 
-def _cmd_freshness(full, output, jobs=None, cache=None) -> None:
+def _cmd_freshness(full, output, jobs=None, cache=None, **overrides) -> None:
     config = (
         FreshnessConfig(num_servers=34, quorum_size=4, trials=100_000)
         if full
@@ -95,7 +102,7 @@ def _cmd_freshness(full, output, jobs=None, cache=None) -> None:
           "freshness")
 
 
-def _cmd_messages(full, output, jobs=None, cache=None) -> None:
+def _cmd_messages(full, output, jobs=None, cache=None, **overrides) -> None:
     n_values = [16, 64, 256, 1024] if full else [16, 64, 256]
     tables = analytic_tables(n_values, m=34, p=34)
     config = (
@@ -107,7 +114,7 @@ def _cmd_messages(full, output, jobs=None, cache=None) -> None:
     _emit(tables, output, "messages")
 
 
-def _cmd_load(full, output, jobs=None, cache=None) -> None:
+def _cmd_load(full, output, jobs=None, cache=None, **overrides) -> None:
     # Analytic + in-process Monte Carlo only; no engine fan-out.
     config = (
         LoadAvailabilityConfig(num_servers=63, trials=20_000)
@@ -119,7 +126,7 @@ def _cmd_load(full, output, jobs=None, cache=None) -> None:
     _emit(tables, output, "load_availability")
 
 
-def _cmd_ablations(full, output, jobs=None, cache=None) -> None:
+def _cmd_ablations(full, output, jobs=None, cache=None, **overrides) -> None:
     config = (
         AblationConfig(num_vertices=34, num_servers=34, runs=5)
         if full
@@ -136,7 +143,7 @@ def _cmd_ablations(full, output, jobs=None, cache=None) -> None:
     )
 
 
-def _cmd_pseudocycles(full, output, jobs=None, cache=None) -> None:
+def _cmd_pseudocycles(full, output, jobs=None, cache=None, **overrides) -> None:
     config = (
         PseudocycleConfig(num_vertices=34, num_servers=34,
                           quorum_sizes=(1, 2, 3, 4, 6, 8, 12), runs=5)
@@ -147,24 +154,36 @@ def _cmd_pseudocycles(full, output, jobs=None, cache=None) -> None:
           "pseudocycles")
 
 
-def _cmd_fault(full, output, jobs=None, cache=None) -> None:
+def _fault_overrides(overrides: dict) -> dict:
+    """Config overrides from the fault-model CLI flags (None = keep default)."""
+    mapped = {
+        "loss_rate": overrides.get("loss_rate"),
+        "operation_deadline": overrides.get("op_deadline"),
+    }
+    return {key: value for key, value in mapped.items() if value is not None}
+
+
+def _cmd_fault(full, output, jobs=None, cache=None, **overrides) -> None:
     config = (
         FaultToleranceConfig(num_vertices=16, num_servers=16,
                              crash_counts=(0, 2, 4, 8, 11))
         if full
         else FaultToleranceConfig.scaled_down()
     )
+    config = dataclasses.replace(config, **_fault_overrides(overrides))
     _emit([fault_tolerance_table(config, jobs=jobs, cache=cache)], output,
           "fault_tolerance")
+    _emit([degradation_table(config, jobs=jobs, cache=cache)], output,
+          "fault_degradation")
 
 
-def _cmd_latency(full, output, jobs=None, cache=None) -> None:
+def _cmd_latency(full, output, jobs=None, cache=None, **overrides) -> None:
     config = LatencyConfig() if full else LatencyConfig.scaled_down()
     _emit([latency_table(config, jobs=jobs, cache=cache)], output,
           "latency")
 
 
-def _cmd_tuning(full, output, jobs=None, cache=None) -> None:
+def _cmd_tuning(full, output, jobs=None, cache=None, **overrides) -> None:
     config = (
         TuningConfig(num_vertices=34, num_servers=64, runs=5)
         if full
@@ -174,8 +193,9 @@ def _cmd_tuning(full, output, jobs=None, cache=None) -> None:
           "quorum_tuning")
 
 
-def _cmd_churn(full, output, jobs=None, cache=None) -> None:
+def _cmd_churn(full, output, jobs=None, cache=None, **overrides) -> None:
     config = ChurnConfig() if full else ChurnConfig.scaled_down()
+    config = dataclasses.replace(config, **_fault_overrides(overrides))
     _emit([churn_table(config, jobs=jobs, cache=cache)], output, "churn")
 
 
@@ -223,6 +243,22 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: CPU count capped at 8; env REPRO_JOBS)",
     )
     parser.add_argument(
+        "--loss-rate",
+        type=float,
+        metavar="P",
+        default=None,
+        help="drop each message with probability P "
+             "(fault/churn experiments only)",
+    )
+    parser.add_argument(
+        "--op-deadline",
+        type=float,
+        metavar="T",
+        default=None,
+        help="per-operation timeout before rejecting with OperationTimeout "
+             "(fault/churn experiments only)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the on-disk run cache",
@@ -247,9 +283,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     cache = None if args.no_cache else RunCache()
     if args.clear_cache and cache is not None:
         cache.clear()
+    if args.loss_rate is not None and not 0.0 <= args.loss_rate < 1.0:
+        print(
+            f"repro: error: --loss-rate must be in [0, 1), "
+            f"got {args.loss_rate}",
+            file=sys.stderr,
+        )
+        return 2
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        COMMANDS[name](args.full, args.output, jobs=jobs, cache=cache)
+        COMMANDS[name](
+            args.full,
+            args.output,
+            jobs=jobs,
+            cache=cache,
+            loss_rate=args.loss_rate,
+            op_deadline=args.op_deadline,
+        )
     return 0
 
 

@@ -21,8 +21,11 @@ from typing import Any, Optional
 
 from repro.exec.task import RunTask, task_key
 
-#: Bump when the stored payload layout changes.
-CACHE_FORMAT = 1
+#: Bump when the stored payload layout changes (or when simulator
+#: behaviour changes in a way that invalidates prior results, as the
+#: retry-path overhaul did: format 2 results carry degradation metrics
+#: and reflect exponential-backoff retries).
+CACHE_FORMAT = 2
 
 #: Default location, relative to the current working directory (the repo
 #: root in normal use).

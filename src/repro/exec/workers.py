@@ -18,12 +18,20 @@ parameterised by small JSON "spec" dicts::
             {"kind": "lognormal", "mean": ..., "sigma": ...}
     faults: {"kind": "crash_batch", "time": t, "count": c, "side": s}
             {"kind": "churn", "period": p, "batch": b, "outage": d}
+            {"kind": "schedule", "events": [{"time": t, "action": a,
+                                             "nodes": [...], ...}, ...]}
+    retry:  {"interval": i, "backoff": b, "max_interval": m,
+             "jitter": j, "deadline": d}   (all but interval optional)
+
+plus the scalar params ``loss_rate`` (probabilistic message loss) and the
+legacy ``retry_interval`` shorthand.  Fault specs address servers by
+*index*; the deployment maps them to network node ids at install time.
 
 Specs are plain data so tasks stay picklable and cache-keyable; workers
 return plain dicts for the same reason.
 """
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.apps.apsp import ApspACO
 from repro.apps.graphs import (
@@ -36,6 +44,8 @@ from repro.apps.graphs import (
 )
 from repro.exec.task import RunTask
 from repro.iterative.runner import Alg1Runner
+from repro.registers.client import RetryPolicy
+from repro.sim.failures import FailureSchedule
 from repro.quorum.base import QuorumSystem
 from repro.quorum.grid import GridQuorumSystem
 from repro.quorum.majority import MajorityQuorumSystem
@@ -106,52 +116,90 @@ def build_delay(spec: Dict[str, Any]) -> DelayModel:
     raise SpecError(f"unknown delay kind {kind!r}")
 
 
-def install_faults(runner: Alg1Runner, spec: Optional[Dict[str, Any]]) -> None:
-    """Attach a fault-injection schedule to a runner before it starts."""
+def build_retry_policy(
+    spec: Optional[Dict[str, Any]]
+) -> Optional[RetryPolicy]:
+    """Instantiate a retry policy from its (flat, kind-less) spec."""
     if spec is None:
-        return
+        return None
+    try:
+        interval = spec["interval"]
+    except (TypeError, KeyError):
+        raise SpecError(
+            f"retry spec must be a dict with an 'interval': {spec!r}"
+        ) from None
+    unknown = set(spec) - {
+        "interval", "backoff", "max_interval", "jitter", "deadline"
+    }
+    if unknown:
+        raise SpecError(f"unknown retry spec keys: {sorted(unknown)}")
+    try:
+        return RetryPolicy(
+            interval=interval,
+            backoff=spec.get("backoff", 2.0),
+            max_interval=spec.get("max_interval"),
+            jitter=spec.get("jitter", 0.1),
+            deadline=spec.get("deadline"),
+        )
+    except ValueError as error:
+        raise SpecError(f"bad retry spec: {error}") from None
+
+
+def build_failure_schedule(
+    spec: Dict[str, Any], num_servers: int, horizon: float
+) -> FailureSchedule:
+    """Turn a faults spec into a scripted FailureSchedule.
+
+    ``crash_batch`` and ``churn`` are canned timelines (the E-FAULT and
+    E-EXT-CHURN shapes); ``schedule`` passes an explicit event list
+    through, for arbitrary crash/recover/partition/heal scripts.
+    """
     kind = _kind(spec, "faults")
-    deployment = runner.deployment
-    scheduler = deployment.scheduler
-    num_servers = deployment.num_servers
 
     if kind == "crash_batch":
         # One batch at a fixed time, one-per-grid-row first (the strict
-        # grid's worst case) — the E-FAULT schedule.
+        # grid's worst case) — the E-FAULT schedule.  An optional
+        # ``recover_time`` scripts the batch coming back up.
         side = spec["side"]
-
-        def crash_batch() -> None:
-            for index in range(spec["count"]):
-                server = (index % side) * side + index // side
-                deployment.crash_server(server % num_servers)
-
-        scheduler.schedule(spec["time"], crash_batch)
-        return
+        servers = [
+            ((index % side) * side + index // side) % num_servers
+            for index in range(spec["count"])
+        ]
+        schedule = FailureSchedule().crash(spec["time"], servers)
+        if spec.get("recover_time") is not None:
+            schedule.recover(spec["recover_time"], servers)
+        return schedule
 
     if kind == "churn":
         # A rotating window of ``batch`` servers goes down every
-        # ``period`` for ``outage`` time units — the E-EXT-CHURN schedule.
-        batch = spec["batch"]
-        state = {"cycle": 0}
+        # ``period`` for ``outage`` time units — the E-EXT-CHURN schedule,
+        # expanded into an explicit timeline up to the run's time horizon.
+        return FailureSchedule.churn(
+            num_nodes=num_servers,
+            period=spec["period"],
+            batch=spec["batch"],
+            outage=spec["outage"],
+            horizon=horizon,
+        )
 
-        def crash_cycle() -> None:
-            start = (state["cycle"] * batch) % num_servers
-            window = [(start + offset) % num_servers for offset in range(batch)]
-            for index in window:
-                deployment.crash_server(index)
-            scheduler.schedule(spec["outage"], recover_cycle, window)
-            state["cycle"] += 1
-            scheduler.schedule(spec["period"], crash_cycle)
-
-        def recover_cycle(window: List[int]) -> None:
-            for index in window:
-                deployment.recover_server(index)
-
-        if spec["period"] > 0:
-            scheduler.schedule(spec["period"], crash_cycle)
-        return
+    if kind == "schedule":
+        return FailureSchedule.from_specs(spec["events"])
 
     raise SpecError(f"unknown faults kind {kind!r}")
+
+
+def install_faults(runner: Alg1Runner, spec: Optional[Dict[str, Any]]) -> None:
+    """Attach a fault-injection timeline to a runner before it starts."""
+    if spec is None:
+        return
+    deployment = runner.deployment
+    horizon = runner.max_sim_time
+    if horizon is None:
+        # No explicit cap: bound periodic timelines by the round budget's
+        # generous default so schedule expansion stays finite.
+        horizon = 100.0 * runner.max_rounds
+    schedule = build_failure_schedule(spec, deployment.num_servers, horizon)
+    deployment.install_schedule(schedule)
 
 
 def run_alg1_task(task: RunTask) -> Dict[str, Any]:
@@ -159,8 +207,9 @@ def run_alg1_task(task: RunTask) -> Dict[str, Any]:
 
     Recognised params: ``graph``, ``quorum``, ``delay`` (specs, above),
     ``monotone``, ``max_rounds``, and optionally ``retry_interval``,
-    ``max_sim_time``, ``faults``, and ``measure_pseudocycles`` (which
-    forces history recording to reconstruct the update sequence).
+    ``retry`` (a policy spec), ``loss_rate``, ``max_sim_time``,
+    ``faults``, and ``measure_pseudocycles`` (which forces history
+    recording to reconstruct the update sequence).
     """
     params = task.params
     measure_pcs = bool(params.get("measure_pseudocycles", False))
@@ -172,6 +221,8 @@ def run_alg1_task(task: RunTask) -> Dict[str, Any]:
         seed=task.seed,
         max_rounds=params["max_rounds"],
         retry_interval=params.get("retry_interval"),
+        retry_policy=build_retry_policy(params.get("retry")),
+        loss_rate=params.get("loss_rate", 0.0),
         max_sim_time=params.get("max_sim_time"),
         record_history=measure_pcs,
     )
@@ -185,6 +236,11 @@ def run_alg1_task(task: RunTask) -> Dict[str, Any]:
         "messages": result.messages,
         "regressions": result.regressions,
         "cache_hits": result.cache_hits,
+        "retries": result.retries,
+        "timeouts": result.timeouts,
+        "messages_dropped": result.messages_dropped,
+        "ops_under_failure": result.ops_under_failure,
+        "hung_ops": runner.deployment.hung_ops,
     }
     if measure_pcs:
         from repro.iterative.trace import measure_pseudocycles

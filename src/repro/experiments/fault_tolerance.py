@@ -3,9 +3,19 @@
 Section 4's availability analysis is static; this experiment exercises it
 dynamically: an APSP computation is running when a batch of replica
 servers crashes.  Clients retry stalled operations with fresh random
-quorums, so the probabilistic system keeps converging as long as at
-least k replicas survive — whereas a strict grid system stalls forever
-once every row is hit (its quorums are fixed).
+quorums (exponential backoff + jitter), so the probabilistic system keeps
+converging as long as at least k replicas survive — whereas a strict grid
+system stalls forever once every row is hit (its quorums are fixed).
+
+Beyond the convergence comparison, :func:`degradation_table` drives a
+*scripted* crash/recover timeline (crash at ``crash_time``, recover at
+``recover_time``) with per-operation deadlines and optional message loss,
+and reports the degradation counters — retries, timeouts, drops,
+operations completed under failure — that the fault-tolerance layer
+surfaces through :class:`~repro.iterative.runner.Alg1Result`.  With
+deadlines armed, every invoked operation either resolves or rejects with
+``OperationTimeout``: the ``hung_ops`` column asserts zero hung futures
+at the end of each run.
 """
 
 from dataclasses import dataclass
@@ -30,7 +40,21 @@ class FaultToleranceConfig:
     quorum_size: int = 4
     crash_counts: tuple = (0, 2, 4, 8)
     crash_time: float = 30.0
-    retry_interval: float = 6.0
+    # Crashed servers come back at this time in the scripted
+    # degradation runs (None = they stay down).
+    recover_time: Optional[float] = 250.0
+    # Retry policy: start fast, back off, but cap the interval — with a
+    # heavy crash set a client may need ~C(n,k)/C(alive,k) resamples to
+    # hit an all-alive quorum, and uncapped doubling would push the
+    # tail of that geometric past the sim-time budget.
+    retry_interval: float = 2.0
+    retry_backoff: float = 1.5
+    retry_max_interval: float = 12.0
+    # Per-operation deadline for the degradation runs: long enough to
+    # ride out several backed-off retries, short enough that a dead
+    # system rejects operations instead of hanging them.
+    operation_deadline: float = 120.0
+    loss_rate: float = 0.0
     max_rounds: int = 400
     # Hard stop: a stalled grid run never closes rounds, so the cap must
     # be on simulated time.  Healthy runs finish well under t = 300.
@@ -49,6 +73,19 @@ def _quorum_spec(system: QuorumSystem) -> Dict[str, Any]:
     if isinstance(system, GridQuorumSystem):
         return {"kind": "grid", "rows": system.rows, "cols": system.cols}
     raise TypeError(f"no spec mapping for {type(system).__name__}")
+
+
+def _retry_spec(
+    config: FaultToleranceConfig, deadline: Optional[float] = None
+) -> Dict[str, Any]:
+    spec: Dict[str, Any] = {
+        "interval": config.retry_interval,
+        "backoff": config.retry_backoff,
+        "max_interval": config.retry_max_interval,
+    }
+    if deadline is not None:
+        spec["deadline"] = deadline
+    return spec
 
 
 def crash_task(
@@ -71,7 +108,7 @@ def crash_task(
             "delay": {"kind": "exponential", "mean": 1.0},
             "monotone": True,
             "max_rounds": config.max_rounds,
-            "retry_interval": config.retry_interval,
+            "retry": _retry_spec(config),
             "max_sim_time": config.max_sim_time,
             "faults": {
                 "kind": "crash_batch",
@@ -81,6 +118,51 @@ def crash_task(
             },
         },
         seed=derive_seed(config.seed, "fault", label, crashes),
+    )
+
+
+def degradation_task(
+    config: FaultToleranceConfig, crashes: int, label: str = "degrade"
+) -> RunTask:
+    """One scripted crash→recover run with deadlines (and optional loss).
+
+    The timeline crashes ``crashes`` servers at ``crash_time`` and — when
+    ``recover_time`` is set — recovers the same batch later, exercising
+    the full fault-tolerance layer: backoff retries while degraded,
+    deadline rejections when every quorum choice is dead, implicit repair
+    after recovery.
+    """
+    side = max(1, int(config.num_servers ** 0.5))
+    servers = [
+        ((index % side) * side + index // side) % config.num_servers
+        for index in range(crashes)
+    ]
+    events = [{"time": config.crash_time, "action": "crash", "nodes": servers}]
+    if config.recover_time is not None:
+        events.append(
+            {"time": config.recover_time, "action": "recover",
+             "nodes": servers}
+        )
+    params: Dict[str, Any] = {
+        "graph": {"kind": "chain", "n": config.num_vertices},
+        "quorum": {
+            "kind": "probabilistic",
+            "n": config.num_servers,
+            "k": config.quorum_size,
+        },
+        "delay": {"kind": "exponential", "mean": 1.0},
+        "monotone": True,
+        "max_rounds": config.max_rounds,
+        "retry": _retry_spec(config, deadline=config.operation_deadline),
+        "max_sim_time": config.max_sim_time,
+        "faults": {"kind": "schedule", "events": events},
+    }
+    if config.loss_rate > 0.0:
+        params["loss_rate"] = config.loss_rate
+    return RunTask(
+        kind="alg1",
+        params=params,
+        seed=derive_seed(config.seed, "degradation", label, crashes),
     )
 
 
@@ -97,6 +179,8 @@ def run_with_crashes(
         "converged": result["converged"],
         "rounds": result["rounds"],
         "messages": result["messages"],
+        "retries": result["retries"],
+        "timeouts": result["timeouts"],
     }
 
 
@@ -116,6 +200,7 @@ def fault_tolerance_table(
             "crashes",
             "prob_converged",
             "prob_rounds",
+            "prob_retries",
             "grid_converged",
             "grid_rounds",
         ],
@@ -144,7 +229,55 @@ def fault_tolerance_table(
             crashes,
             prob["converged"],
             prob["rounds"],
+            prob["retries"],
             grid["converged"],
             grid["rounds"],
+        )
+    return table
+
+
+def degradation_table(
+    config: FaultToleranceConfig,
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> ResultTable:
+    """Degradation metrics under a scripted crash→recover timeline."""
+    recover = (
+        f"recover at t={config.recover_time}"
+        if config.recover_time is not None
+        else "no recovery"
+    )
+    loss = (
+        f", loss={config.loss_rate:.0%}" if config.loss_rate > 0.0 else ""
+    )
+    table = ResultTable(
+        f"Graceful degradation — probabilistic k={config.quorum_size}, "
+        f"n={config.num_servers}, crash at t={config.crash_time}, "
+        f"{recover}, op deadline {config.operation_deadline}{loss}",
+        [
+            "crashes",
+            "converged",
+            "rounds",
+            "retries",
+            "timeouts",
+            "messages_dropped",
+            "ops_under_failure",
+            "hung_ops",
+        ],
+    )
+    tasks = [
+        degradation_task(config, crashes) for crashes in config.crash_counts
+    ]
+    results = run_many(tasks, jobs=jobs, cache=cache)
+    for crashes, result in zip(config.crash_counts, results):
+        table.add_row(
+            crashes,
+            result["converged"],
+            result["rounds"],
+            result["retries"],
+            result["timeouts"],
+            result["messages_dropped"],
+            result["ops_under_failure"],
+            result["hung_ops"],
         )
     return table

@@ -19,6 +19,7 @@ from repro.iterative.convergence import ConvergenceMonitor
 from repro.iterative.partition import block_partition
 from repro.iterative.rounds import RoundTracker
 from repro.quorum.base import QuorumSystem
+from repro.registers.client import OperationTimeout, RetryPolicy
 from repro.registers.deployment import RegisterDeployment
 from repro.sim.coroutines import spawn
 from repro.sim.delays import DelayModel
@@ -26,7 +27,15 @@ from repro.sim.futures import gather
 
 
 class Alg1Result:
-    """Outcome of one Alg. 1 execution."""
+    """Outcome of one Alg. 1 execution.
+
+    Beyond the paper's round/iteration/message accounting, the result
+    carries the degradation metrics of the fault-tolerance layer: quorum
+    resamples (``retries``), deadline rejections (``timeouts``), messages
+    destroyed by crashes/partitions/loss (``messages_dropped``) and
+    operations that completed while failures were active
+    (``ops_under_failure``).
+    """
 
     def __init__(
         self,
@@ -39,6 +48,10 @@ class Alg1Result:
         cache_hits: int,
         iterations_by_process: Dict[int, int],
         rounds_completed: int,
+        retries: int = 0,
+        timeouts: int = 0,
+        messages_dropped: int = 0,
+        ops_under_failure: int = 0,
     ) -> None:
         self.converged = converged
         self.rounds = rounds
@@ -49,6 +62,10 @@ class Alg1Result:
         self.cache_hits = cache_hits
         self.iterations_by_process = iterations_by_process
         self.rounds_completed = rounds_completed
+        self.retries = retries
+        self.timeouts = timeouts
+        self.messages_dropped = messages_dropped
+        self.ops_under_failure = ops_under_failure
 
     def messages_per_round(self) -> float:
         """Average messages sent per round (compare with Eqns 1-2)."""
@@ -78,6 +95,8 @@ class Alg1Runner:
         max_rounds: int = 1000,
         register_prefix: str = "X",
         retry_interval: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        loss_rate: float = 0.0,
         max_sim_time: Optional[float] = None,
         record_history: bool = True,
     ) -> None:
@@ -94,7 +113,9 @@ class Alg1Runner:
         # termination; max_sim_time is the hard stop for such runs.  With
         # retries enabled and no explicit cap, a generous default is
         # derived from the round budget so simulations always terminate.
-        if max_sim_time is None and retry_interval is not None:
+        if max_sim_time is None and (
+            retry_interval is not None or retry_policy is not None
+        ):
             max_sim_time = 100.0 * max_rounds
         self.max_sim_time = max_sim_time
         p = num_processes if num_processes is not None else aco.m
@@ -106,6 +127,8 @@ class Alg1Runner:
             monotone=monotone,
             seed=seed,
             retry_interval=retry_interval,
+            retry_policy=retry_policy,
+            loss_rate=loss_rate,
             record_history=record_history,
         )
         self.register_names = [f"{register_prefix}{j}" for j in range(aco.m)]
@@ -129,16 +152,28 @@ class Alg1Runner:
         scheduler = self.deployment.scheduler
         while not self._stop:
             # Read every register (concurrently; one query round-trip each).
-            read_futures = [client.read(name) for name in self.register_names]
-            vector: List[Any] = yield gather(read_futures)
+            # A deadline rejection surfaces here as OperationTimeout; the
+            # iteration is abandoned and restarted — Alg. 1 is idempotent,
+            # so a re-read/re-write of the same components is always safe.
+            try:
+                read_futures = [
+                    client.read(name) for name in self.register_names
+                ]
+                vector: List[Any] = yield gather(read_futures)
+            except OperationTimeout:
+                continue
             # Apply F for the components this process owns.
             new_values = {j: self.aco.apply(j, vector) for j in block}
             # Write the owned registers.
-            write_futures = [
-                client.write(self.register_names[j], new_values[j]) for j in block
-            ]
-            if write_futures:
-                yield gather(write_futures)
+            try:
+                write_futures = [
+                    client.write(self.register_names[j], new_values[j])
+                    for j in block
+                ]
+                if write_futures:
+                    yield gather(write_futures)
+            except OperationTimeout:
+                continue
             # End of one loop iteration: report for round accounting and
             # convergence detection, exactly as in the paper's simulation.
             now = scheduler.now
@@ -202,4 +237,8 @@ class Alg1Runner:
             cache_hits=cache_hits,
             iterations_by_process=dict(self.tracker.iterations),
             rounds_completed=self.tracker.rounds_completed,
+            retries=self.deployment.total_retries,
+            timeouts=self.deployment.total_timeouts,
+            messages_dropped=self.deployment.network.stats.dropped,
+            ops_under_failure=self.deployment.total_ops_under_failure,
         )

@@ -20,7 +20,12 @@ clients together and exposes per-register handles implementing
 from repro.registers.messages import ReadQuery, ReadReply, WriteAck, WriteUpdate
 from repro.registers.server import ReplicaServer
 from repro.registers.space import RegisterInfo, RegisterSpace
-from repro.registers.client import QuorumRegisterClient, RegisterHandle
+from repro.registers.client import (
+    OperationTimeout,
+    QuorumRegisterClient,
+    RegisterHandle,
+    RetryPolicy,
+)
 from repro.registers.deployment import RegisterDeployment
 from repro.registers.atomic import AtomicClient, MultiWriterClient
 from repro.registers.masking import (
@@ -34,6 +39,7 @@ __all__ = [
     "ByzantineReplicaServer",
     "MaskingClient",
     "MultiWriterClient",
+    "OperationTimeout",
     "QuorumRegisterClient",
     "ReadQuery",
     "ReadReply",
@@ -42,6 +48,7 @@ __all__ = [
     "RegisterInfo",
     "RegisterSpace",
     "ReplicaServer",
+    "RetryPolicy",
     "WriteAck",
     "WriteUpdate",
     "replace_with_byzantine",

@@ -6,9 +6,17 @@ Section 6.2: the client remembers the largest timestamp (and value) any of
 its reads has returned, and answers from that cache when a read quorum
 returns only older values.  Exactly the same client code over a *strict*
 quorum system yields the regular-register baseline.
+
+Fault tolerance (the paper's Section 4 availability story, made
+operational) lives in :class:`RetryPolicy`: a stalled operation resamples
+a fresh quorum on an exponential-backoff timer with deterministic
+RNG-driven jitter, re-sending only to members that have not yet replied,
+and an optional per-operation deadline rejects the operation's future
+with :class:`OperationTimeout` so callers never hang on a dead system.
 """
 
 import itertools
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
@@ -28,6 +36,64 @@ class SingleWriterViolation(RuntimeError):
     """Raised when a client writes a register it does not own."""
 
 
+class OperationTimeout(RuntimeError):
+    """An operation missed its deadline; its future is rejected with this."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client retries stalled quorum operations.
+
+    * ``interval`` — delay before the first retry.
+    * ``backoff`` — multiplier applied per attempt (1.0 = fixed interval).
+    * ``max_interval`` — cap on the backed-off delay (None = uncapped).
+    * ``jitter`` — symmetric fractional jitter: each delay is scaled by a
+      factor drawn uniformly from [1-jitter, 1+jitter].  The draw comes
+      from a named RNG stream, so jittered runs stay exactly reproducible.
+    * ``deadline`` — per-operation budget in simulated time; an operation
+      still incomplete after this long fails with
+      :class:`OperationTimeout`.  None disables deadlines.
+    """
+
+    interval: float
+    backoff: float = 2.0
+    max_interval: Optional[float] = None
+    jitter: float = 0.1
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(f"retry interval must be positive: {self.interval}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1: {self.backoff}")
+        if self.max_interval is not None and self.max_interval < self.interval:
+            raise ValueError(
+                f"max_interval {self.max_interval} < interval {self.interval}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1): {self.jitter}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive: {self.deadline}")
+
+    @classmethod
+    def fixed(
+        cls, interval: float, deadline: Optional[float] = None
+    ) -> "RetryPolicy":
+        """The legacy fixed-interval policy (no backoff, no jitter)."""
+        return cls(
+            interval=interval, backoff=1.0, jitter=0.0, deadline=deadline
+        )
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """The delay before retry number ``attempt`` (0-based)."""
+        value = self.interval * self.backoff ** attempt
+        if self.max_interval is not None:
+            value = min(value, self.max_interval)
+        if self.jitter > 0.0:
+            value *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return value
+
+
 class _PendingOp:
     """Book-keeping for one in-flight read or write."""
 
@@ -42,6 +108,9 @@ class _PendingOp:
         "value",
         "timestamp",
         "retry_handle",
+        "deadline_handle",
+        "attempts",
+        "started",
     )
 
     def __init__(
@@ -65,10 +134,17 @@ class _PendingOp:
         self.value = value
         self.timestamp = timestamp
         self.retry_handle: Optional[EventHandle] = None
+        self.deadline_handle: Optional[EventHandle] = None
+        self.attempts = 0
+        self.started = 0.0
 
     def complete_against_quorum(self) -> bool:
         """True once every member of the current quorum has replied."""
         return all(member in self.replies for member in self.quorum)
+
+    def unanswered(self) -> List[int]:
+        """Current quorum members with no reply yet, in sorted order."""
+        return [m for m in sorted(self.quorum) if m not in self.replies]
 
 
 class QuorumRegisterClient(Node):
@@ -85,6 +161,8 @@ class QuorumRegisterClient(Node):
         rng: np.random.Generator,
         monotone: bool = False,
         retry_interval: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
         self.client_id = client_id
@@ -93,7 +171,12 @@ class QuorumRegisterClient(Node):
         self.server_ids = list(server_ids)
         self.rng = rng
         self.monotone = monotone
-        self.retry_interval = retry_interval
+        if retry_policy is None and retry_interval is not None:
+            retry_policy = RetryPolicy(interval=retry_interval)
+        self.retry_policy = retry_policy
+        # Jitter draws get their own stream (falling back to the quorum
+        # stream) so backoff randomisation never perturbs quorum choice.
+        self._retry_rng = retry_rng if retry_rng is not None else rng
         self._pending: Dict[int, _PendingOp] = {}
         # Monotone cache: register name -> (timestamp, value) of the most
         # recent value this client has returned (Section 6.2).
@@ -103,6 +186,42 @@ class QuorumRegisterClient(Node):
         self.reads_performed = 0
         self.writes_performed = 0
         self.cache_hits = 0
+        # Fault-tolerance accounting (per client, surfaced by Alg1Result).
+        self.retries = 0
+        self.timeouts = 0
+        self.ops_completed = 0
+        self.ops_completed_under_failure = 0
+
+    @property
+    def retry_interval(self) -> Optional[float]:
+        """Base retry interval (None when retries are disabled)."""
+        return self.retry_policy.interval if self.retry_policy else None
+
+    @property
+    def pending_ops(self) -> int:
+        """Number of operations currently in flight."""
+        return len(self._pending)
+
+    @property
+    def hung_ops(self) -> int:
+        """Operations with no settlement path left.
+
+        With a deadline armed this counts pending operations older than
+        the deadline — always zero, since the deadline event rejects them
+        first; the counter is the run-level assertion of that invariant.
+        Without a deadline every still-pending operation counts: nothing
+        guarantees it ever settles.
+        """
+        deadline = (
+            self.retry_policy.deadline if self.retry_policy is not None
+            else None
+        )
+        if deadline is None:
+            return len(self._pending)
+        now = self.network.scheduler.now
+        return sum(
+            1 for op in self._pending.values() if now - op.started > deadline
+        )
 
     # ------------------------------------------------------------------ #
     # Quorum plumbing
@@ -113,7 +232,15 @@ class QuorumRegisterClient(Node):
         return [self.server_ids[i] for i in sorted(quorum)]
 
     def _send_round(self, op: _PendingOp) -> None:
-        for server in self._members(op.quorum):
+        """(Re)send the operation to quorum members that have not replied.
+
+        Skipping already-answered members keeps the Section 6.4 message
+        counts honest: a retry that re-sent to every member of the
+        resampled quorum would double-count traffic the servers already
+        answered.
+        """
+        for member in op.unanswered():
+            server = self.server_ids[member]
             if op.is_read:
                 self.send(server, ReadQuery(op.register, op.op_id))
             else:
@@ -121,16 +248,31 @@ class QuorumRegisterClient(Node):
                     server,
                     WriteUpdate(op.register, op.op_id, op.value, op.timestamp),
                 )
-        if self.retry_interval is not None:
-            op.retry_handle = self.network.scheduler.schedule(
-                self.retry_interval, self._retry, op.op_id
+
+    def _begin(self, op: _PendingOp) -> None:
+        """Register the op, send the first round, arm retry and deadline."""
+        self._pending[op.op_id] = op
+        op.started = self.network.scheduler.now
+        self._send_round(op)
+        scheduler = self.network.scheduler
+        if self.retry_policy is not None:
+            op.retry_handle = scheduler.schedule(
+                self.retry_policy.delay(0, self._retry_rng),
+                self._retry,
+                op.op_id,
             )
+            if self.retry_policy.deadline is not None:
+                op.deadline_handle = scheduler.schedule(
+                    self.retry_policy.deadline, self._expire, op.op_id
+                )
 
     def _retry(self, op_id: int) -> None:
         """Resample a fresh quorum for a stalled operation (crash tolerance)."""
         op = self._pending.get(op_id)
         if op is None:
             return
+        op.attempts += 1
+        self.retries += 1
         if op.is_read:
             op.quorum = self.quorum_system.read_quorum(self.rng)
         else:
@@ -140,6 +282,35 @@ class QuorumRegisterClient(Node):
             self._finish(op)
             return
         self._send_round(op)
+        op.retry_handle = self.network.scheduler.schedule(
+            self.retry_policy.delay(op.attempts, self._retry_rng),
+            self._retry,
+            op.op_id,
+        )
+
+    def _expire(self, op_id: int) -> None:
+        """Deadline hit: reject the operation's future with OperationTimeout."""
+        op = self._pending.get(op_id)
+        if op is None:
+            return
+        self._teardown(op)
+        self.timeouts += 1
+        kind = "read" if op.is_read else "write"
+        op.future.fail(
+            OperationTimeout(
+                f"{kind}({op.register}) by c{self.client_id} exceeded its "
+                f"deadline of {self.retry_policy.deadline} after "
+                f"{op.attempts + 1} attempt(s)"
+            )
+        )
+
+    def _teardown(self, op: _PendingOp) -> None:
+        """Drop the op from the pending table and cancel its timers."""
+        del self._pending[op.op_id]
+        if op.retry_handle is not None:
+            op.retry_handle.cancel()
+        if op.deadline_handle is not None:
+            op.deadline_handle.cancel()
 
     # ------------------------------------------------------------------ #
     # Operations
@@ -156,9 +327,8 @@ class QuorumRegisterClient(Node):
         op = _PendingOp(
             next(self._op_ids), register, True, quorum, future, record
         )
-        self._pending[op.op_id] = op
         self.reads_performed += 1
-        self._send_round(op)
+        self._begin(op)
         return future
 
     def write(self, register: str, value: Any) -> Future:
@@ -183,9 +353,8 @@ class QuorumRegisterClient(Node):
             next(self._op_ids), register, False, quorum, future, record,
             value=value, timestamp=timestamp,
         )
-        self._pending[op.op_id] = op
         self.writes_performed += 1
-        self._send_round(op)
+        self._begin(op)
         return future
 
     # ------------------------------------------------------------------ #
@@ -206,9 +375,10 @@ class QuorumRegisterClient(Node):
                 self._finish(op)
 
     def _finish(self, op: _PendingOp) -> None:
-        del self._pending[op.op_id]
-        if op.retry_handle is not None:
-            op.retry_handle.cancel()
+        self._teardown(op)
+        self.ops_completed += 1
+        if self.network.failures.any_failures:
+            self.ops_completed_under_failure += 1
         now = self.network.scheduler.now
         if not op.is_read:
             op.record.respond(now)

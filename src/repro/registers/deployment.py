@@ -5,16 +5,27 @@ call: scheduler, delay model, network, ``n`` replica servers, ``p`` client
 subsystems (one per application process), a quorum system, and the
 register namespace — with every random choice drawn from named streams of
 a single root-seeded :class:`~repro.sim.rng.RngRegistry`.
+
+Fault-tolerance knobs ride along: a :class:`~repro.registers.client.RetryPolicy`
+(or the legacy ``retry_interval`` shorthand) governs client retries and
+per-operation deadlines, ``loss_rate`` turns on probabilistic message
+loss, and :meth:`install_schedule` scripts a
+:class:`~repro.sim.failures.FailureSchedule` of timed crash/recover/
+partition/heal events addressed by server index.
 """
 
 from typing import Any, List, Optional
 
 from repro.quorum.base import QuorumSystem
-from repro.registers.client import QuorumRegisterClient, RegisterHandle
+from repro.registers.client import (
+    QuorumRegisterClient,
+    RegisterHandle,
+    RetryPolicy,
+)
 from repro.registers.server import ReplicaServer
 from repro.registers.space import RegisterSpace
 from repro.sim.delays import ConstantDelay, DelayModel
-from repro.sim.failures import FailureInjector
+from repro.sim.failures import FailureInjector, FailureSchedule
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import Scheduler
@@ -31,6 +42,8 @@ class RegisterDeployment:
         monotone: bool = False,
         seed: int = 0,
         retry_interval: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        loss_rate: float = 0.0,
         scheduler: Optional[Scheduler] = None,
         rng_registry: Optional[RngRegistry] = None,
         client_class: type = QuorumRegisterClient,
@@ -50,8 +63,13 @@ class RegisterDeployment:
             self.delay_model,
             self.rng.stream("delays"),
             failures=self.failures,
+            loss_rate=loss_rate,
+            loss_rng=self.rng.stream("loss") if loss_rate > 0.0 else None,
         )
         self.space = RegisterSpace(record_history=record_history)
+        if retry_policy is None and retry_interval is not None:
+            retry_policy = RetryPolicy(interval=retry_interval)
+        self.retry_policy = retry_policy
 
         self.servers: List[ReplicaServer] = []
         for _ in range(quorum_system.n):
@@ -69,7 +87,12 @@ class RegisterDeployment:
                 self.server_ids,
                 self.rng.stream(f"quorum-choice/client-{client_id}"),
                 monotone=monotone,
-                retry_interval=retry_interval,
+                retry_policy=retry_policy,
+                retry_rng=(
+                    self.rng.stream(f"retry/client-{client_id}")
+                    if retry_policy is not None
+                    else None
+                ),
             )
             self.network.add_node(client)
             self.clients.append(client)
@@ -107,6 +130,46 @@ class RegisterDeployment:
     def recover_server(self, index: int) -> None:
         """Recover the index-th replica server."""
         self.failures.recover(self.server_ids[index])
+
+    def install_schedule(self, schedule: FailureSchedule) -> list:
+        """Install a failure timeline whose nodes are server *indices*.
+
+        Returns the cancellable handles of the scheduled events.
+        """
+        return schedule.install(
+            self.scheduler,
+            self.failures,
+            resolve=lambda index: self.server_ids[index % self.num_servers],
+        )
+
+    # -- degradation accounting (aggregated over all clients) ---------- #
+
+    @property
+    def total_retries(self) -> int:
+        """Quorum resamples performed across every client."""
+        return sum(client.retries for client in self.clients)
+
+    @property
+    def total_timeouts(self) -> int:
+        """Operations rejected with OperationTimeout across every client."""
+        return sum(client.timeouts for client in self.clients)
+
+    @property
+    def total_ops_under_failure(self) -> int:
+        """Operations completed while a crash or partition was active."""
+        return sum(
+            client.ops_completed_under_failure for client in self.clients
+        )
+
+    @property
+    def pending_ops(self) -> int:
+        """Operations still in flight across every client."""
+        return sum(client.pending_ops for client in self.clients)
+
+    @property
+    def hung_ops(self) -> int:
+        """Operations with no settlement path left (see client.hung_ops)."""
+        return sum(client.hung_ops for client in self.clients)
 
     def run(self, **kwargs) -> float:
         """Run the underlying scheduler; see :meth:`Scheduler.run`."""

@@ -80,9 +80,7 @@ class MaskingClient(QuorumRegisterClient):
         if not op.is_read:
             super()._finish(op)
             return
-        del self._pending[op.op_id]
-        if op.retry_handle is not None:
-            op.retry_handle.cancel()
+        self._teardown(op)
         now = self.network.scheduler.now
         replies: List[ReadReply] = [
             op.replies[i]

@@ -9,7 +9,7 @@ The layers above (quorum systems, register implementations, the iterative
 framework) are built purely on the public API exported here.
 """
 
-from repro.sim.scheduler import EventHandle, Scheduler
+from repro.sim.scheduler import EventHandle, RepeatingHandle, Scheduler
 from repro.sim.futures import Future, FutureError, gather
 from repro.sim.coroutines import Sleep, spawn
 from repro.sim.delays import (
@@ -23,7 +23,7 @@ from repro.sim.delays import (
 from repro.sim.network import Network, Node
 from repro.sim.rng import RngRegistry
 from repro.sim.metrics import MessageStats
-from repro.sim.failures import FailureInjector
+from repro.sim.failures import FailureEvent, FailureInjector, FailureSchedule
 from repro.sim.trace import TraceEvent, TraceLog
 
 __all__ = [
@@ -31,7 +31,9 @@ __all__ = [
     "DelayModel",
     "EventHandle",
     "ExponentialDelay",
+    "FailureEvent",
     "FailureInjector",
+    "FailureSchedule",
     "Future",
     "FutureError",
     "LogNormalDelay",
@@ -39,6 +41,7 @@ __all__ = [
     "Network",
     "Node",
     "PerLinkDelay",
+    "RepeatingHandle",
     "RngRegistry",
     "Scheduler",
     "Sleep",

@@ -69,7 +69,7 @@ def spawn(
             def on_settle(fut: Future) -> None:
                 if fut.failed:
                     # Defer to a fresh scheduler slot so callback chains stay flat.
-                    scheduler.call_soon(resume, None, fut._exception)  # noqa: SLF001
+                    scheduler.call_soon(resume, None, fut.exception)
                 else:
                     scheduler.call_soon(resume, fut.result())
             yielded.add_callback(on_settle)

@@ -1,12 +1,21 @@
-"""Crash and partition injection.
+"""Crash, partition and failure-timeline injection.
 
 The paper analyses availability in the face of replica *server* crashes
 (Section 4).  The injector lets experiments crash servers (messages to and
 from a crashed node are silently dropped, matching the fail-stop model) and
 partition the network into non-communicating groups.
+
+:class:`FailureSchedule` scripts those primitives onto the simulated
+clock: a timeline of timed crash/recover/partition/heal events (one-shot
+or repeating) that experiments install on a scheduler, so churn and
+fault-tolerance runs can exercise *ongoing* failures instead of a static
+crash set fixed before the run.
 """
 
-from typing import Iterable, Optional, Set
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.scheduler import Scheduler
 
 
 class FailureInjector:
@@ -21,6 +30,16 @@ class FailureInjector:
         """The set of currently crashed node ids."""
         return set(self._crashed)
 
+    @property
+    def any_crashed(self) -> bool:
+        """True while at least one node is down (O(1), hot-path safe)."""
+        return bool(self._crashed)
+
+    @property
+    def any_failures(self) -> bool:
+        """True while any crash or partition is active (O(1))."""
+        return bool(self._crashed) or self._partition is not None
+
     def crash(self, node_id: int) -> None:
         """Crash a node; idempotent."""
         self._crashed.add(node_id)
@@ -32,6 +51,10 @@ class FailureInjector:
     def recover(self, node_id: int) -> None:
         """Recover a crashed node; no-op if it was up."""
         self._crashed.discard(node_id)
+
+    def recover_many(self, node_ids: Iterable[int]) -> None:
+        """Recover several nodes at once."""
+        self._crashed.difference_update(node_ids)
 
     def recover_all(self) -> None:
         """Bring every node back up."""
@@ -53,16 +76,260 @@ class FailureInjector:
         return node_id in self._crashed
 
     def can_deliver(self, src: int, dst: int) -> bool:
-        """Whether a message from ``src`` can currently reach ``dst``."""
+        """Whether a message from ``src`` can currently reach ``dst``.
+
+        This sits on the per-message hot path, so the partition check is a
+        single pass over the groups: delivery is allowed unless both
+        endpoints belong to partition groups yet share none.
+        """
         if src in self._crashed or dst in self._crashed:
             return False
         if self._partition is not None:
-            src_groups = [g for g in self._partition if src in g]
-            dst_groups = [g for g in self._partition if dst in g]
-            if src_groups and dst_groups:
-                return any(src in g and dst in g for g in self._partition)
+            src_grouped = dst_grouped = False
+            for group in self._partition:
+                src_in = src in group
+                dst_in = dst in group
+                if src_in and dst_in:
+                    return True
+                src_grouped = src_grouped or src_in
+                dst_grouped = dst_grouped or dst_in
+            if src_grouped and dst_grouped:
+                return False
         return True
 
     def __repr__(self) -> str:
         part = f", partition={self._partition}" if self._partition else ""
         return f"FailureInjector(crashed={sorted(self._crashed)}{part})"
+
+
+class ScheduleError(ValueError):
+    """Raised on a malformed failure-schedule event."""
+
+
+#: Actions a FailureEvent may perform, mapped to the injector calls.
+_ACTIONS = ("crash", "recover", "recover_all", "partition", "heal")
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scripted failure-timeline entry.
+
+    ``action`` is one of ``crash``, ``recover``, ``recover_all``,
+    ``partition`` and ``heal``.  ``nodes`` names the affected nodes for
+    crash/recover; ``groups`` the partition groups for ``partition``.
+    A positive ``every`` makes the event repeat with that period, starting
+    at ``time``.
+    """
+
+    time: float
+    action: str
+    nodes: Tuple[int, ...] = ()
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    every: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ScheduleError(f"event time must be non-negative: {self}")
+        if self.action not in _ACTIONS:
+            raise ScheduleError(
+                f"unknown action {self.action!r}; known: {_ACTIONS}"
+            )
+        if self.every < 0:
+            raise ScheduleError(f"repeat period must be non-negative: {self}")
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, Any]) -> "FailureEvent":
+        """Build an event from its plain-data (JSON-able) spec dict."""
+        try:
+            time = spec["time"]
+            action = spec["action"]
+        except (TypeError, KeyError):
+            raise ScheduleError(
+                f"event spec needs 'time' and 'action': {spec!r}"
+            ) from None
+        return cls(
+            time=float(time),
+            action=action,
+            nodes=tuple(spec.get("nodes", ())),
+            groups=tuple(tuple(g) for g in spec.get("groups", ())),
+            every=float(spec.get("every", 0.0)),
+        )
+
+
+class FailureSchedule:
+    """A scripted timeline of crash/recover/partition/heal events.
+
+    Build one with the fluent helpers (:meth:`crash`, :meth:`recover`,
+    :meth:`partition`, :meth:`heal`, :meth:`churn`) or from plain-data
+    specs (:meth:`from_specs`), then :meth:`install` it on a scheduler.
+    ``resolve`` maps scripted node labels (e.g. server *indices*) to
+    network node ids at install time, so schedules stay deployment-
+    independent data until then.
+    """
+
+    def __init__(self, events: Iterable[FailureEvent] = ()) -> None:
+        self.events: List[FailureEvent] = sorted(
+            events, key=lambda event: event.time
+        )
+
+    # -- builders ------------------------------------------------------ #
+
+    def add(self, event: FailureEvent) -> "FailureSchedule":
+        """Insert one event, keeping the timeline time-sorted."""
+        self.events.append(event)
+        self.events.sort(key=lambda entry: entry.time)
+        return self
+
+    def crash(
+        self, time: float, nodes: Iterable[int], every: float = 0.0
+    ) -> "FailureSchedule":
+        """Crash ``nodes`` at ``time`` (repeating every ``every`` if > 0)."""
+        return self.add(
+            FailureEvent(time, "crash", nodes=tuple(nodes), every=every)
+        )
+
+    def recover(
+        self, time: float, nodes: Iterable[int], every: float = 0.0
+    ) -> "FailureSchedule":
+        """Recover ``nodes`` at ``time``."""
+        return self.add(
+            FailureEvent(time, "recover", nodes=tuple(nodes), every=every)
+        )
+
+    def recover_all(self, time: float) -> "FailureSchedule":
+        """Recover every crashed node at ``time``."""
+        return self.add(FailureEvent(time, "recover_all"))
+
+    def partition(
+        self, time: float, groups: Iterable[Iterable[int]]
+    ) -> "FailureSchedule":
+        """Install a partition at ``time``."""
+        return self.add(
+            FailureEvent(
+                time, "partition", groups=tuple(tuple(g) for g in groups)
+            )
+        )
+
+    def heal(self, time: float) -> "FailureSchedule":
+        """Heal any partition at ``time``."""
+        return self.add(FailureEvent(time, "heal"))
+
+    def outage(
+        self, time: float, nodes: Iterable[int], duration: float
+    ) -> "FailureSchedule":
+        """Crash ``nodes`` at ``time`` and recover them ``duration`` later."""
+        nodes = tuple(nodes)
+        self.crash(time, nodes)
+        return self.recover(time + duration, nodes)
+
+    @classmethod
+    def churn(
+        cls,
+        num_nodes: int,
+        period: float,
+        batch: int,
+        outage: float,
+        horizon: float,
+        start: Optional[float] = None,
+    ) -> "FailureSchedule":
+        """A rotating-window churn timeline up to ``horizon``.
+
+        Every ``period``, the next window of ``batch`` node indices
+        (mod ``num_nodes``) goes down for ``outage`` time units — the
+        E-EXT-CHURN failure process, expressed as scripted data.
+        """
+        if period <= 0:
+            return cls()
+        schedule = cls()
+        cycle = 0
+        time = period if start is None else start
+        while time <= horizon:
+            first = (cycle * batch) % num_nodes
+            window = tuple(
+                (first + offset) % num_nodes for offset in range(batch)
+            )
+            schedule.outage(time, window, outage)
+            cycle += 1
+            time += period
+        return schedule
+
+    @classmethod
+    def from_specs(
+        cls, specs: Sequence[Dict[str, Any]]
+    ) -> "FailureSchedule":
+        """Build a schedule from a list of plain-data event dicts."""
+        return cls(FailureEvent.from_spec(spec) for spec in specs)
+
+    def to_specs(self) -> List[Dict[str, Any]]:
+        """The JSON-able form of this timeline (inverse of from_specs)."""
+        specs = []
+        for event in self.events:
+            spec: Dict[str, Any] = {"time": event.time, "action": event.action}
+            if event.nodes:
+                spec["nodes"] = list(event.nodes)
+            if event.groups:
+                spec["groups"] = [list(g) for g in event.groups]
+            if event.every:
+                spec["every"] = event.every
+            specs.append(spec)
+        return specs
+
+    # -- installation -------------------------------------------------- #
+
+    def install(
+        self,
+        scheduler: Scheduler,
+        injector: FailureInjector,
+        resolve: Optional[Callable[[int], int]] = None,
+    ) -> List[Any]:
+        """Schedule every event; returns the cancellable handles.
+
+        ``resolve`` maps each scripted node label to an injector node id
+        (e.g. replica index -> network node id); identity by default.
+        """
+        mapper = resolve if resolve is not None else (lambda node: node)
+        handles: List[Any] = []
+        for event in self.events:
+            apply_event = self._applier(event, injector, mapper)
+            if event.every > 0:
+                handles.append(
+                    scheduler.schedule_repeating(
+                        event.every, apply_event, first_delay=event.time
+                    )
+                )
+            else:
+                handles.append(scheduler.schedule_at(event.time, apply_event))
+        return handles
+
+    @staticmethod
+    def _applier(
+        event: FailureEvent,
+        injector: FailureInjector,
+        mapper: Callable[[int], int],
+    ) -> Callable[[], None]:
+        if event.action == "crash":
+            nodes = [mapper(node) for node in event.nodes]
+            return lambda: injector.crash_many(nodes)
+        if event.action == "recover":
+            nodes = [mapper(node) for node in event.nodes]
+            return lambda: injector.recover_many(nodes)
+        if event.action == "recover_all":
+            return injector.recover_all
+        if event.action == "partition":
+            groups = [
+                frozenset(mapper(node) for node in group)
+                for group in event.groups
+            ]
+            return lambda: injector.partition(groups)
+        return injector.heal_partition  # "heal"
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        if not self.events:
+            return "FailureSchedule(empty)"
+        return (
+            f"FailureSchedule({len(self.events)} events, "
+            f"t={self.events[0].time:g}..{self.events[-1].time:g})"
+        )

@@ -38,6 +38,16 @@ class Future:
         """True if the future settled with an exception."""
         return self._done and self._exception is not None
 
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The exception the future failed with, or None.
+
+        Unlike :meth:`result` this never raises, so rejection paths
+        (timeouts, cancelled operations) can be inspected without
+        try/except plumbing.
+        """
+        return self._exception
+
     def result(self) -> Any:
         """Return the value, raising the stored exception if it failed."""
         if not self._done:
@@ -103,7 +113,7 @@ def gather(futures: List[Future], label: str = "gather") -> Future:
         remaining -= 1
         for fut in futures:
             if fut.done and fut.failed:
-                combined.fail(fut._exception)  # noqa: SLF001 - kernel internal
+                combined.fail(fut.exception)
                 return
         if remaining == 0:
             combined.resolve([fut.result() for fut in futures])

@@ -1,11 +1,14 @@
 """Message and load accounting.
 
-The experiments need two kinds of counters:
+The experiments need three kinds of counters:
 
 * total messages sent, to reproduce the Section 6.4 message-complexity
-  comparison (Eqns 1-3), and
+  comparison (Eqns 1-3),
 * per-node delivery counts, to measure quorum-system *load* (the access
-  frequency of the busiest replica server, Section 4).
+  frequency of the busiest replica server, Section 4), and
+* drop accounting by kind, receiver and reason, so fault-injection
+  experiments can report exactly what traffic a crash, partition or
+  lossy link destroyed.
 """
 
 from collections import Counter
@@ -22,6 +25,10 @@ class MessageStats:
         self.by_sender: Counter = Counter()
         self.by_receiver: Counter = Counter()
         self.by_kind: Counter = Counter()
+        self.delivered_by_kind: Counter = Counter()
+        self.dropped_by_kind: Counter = Counter()
+        self.dropped_by_receiver: Counter = Counter()
+        self.dropped_by_reason: Counter = Counter()
         self._marks: Dict[str, int] = {}
 
     def record_send(self, src: int, dst: int, kind: Optional[str]) -> None:
@@ -31,14 +38,35 @@ class MessageStats:
         if kind is not None:
             self.by_kind[kind] += 1
 
-    def record_delivery(self, src: int, dst: int) -> None:
+    def record_delivery(
+        self, src: int, dst: int, kind: Optional[str] = None
+    ) -> None:
         """Record one message arriving at ``dst``."""
         self.delivered += 1
         self.by_receiver[dst] += 1
+        if kind is not None:
+            self.delivered_by_kind[kind] += 1
 
-    def record_drop(self, src: int, dst: int) -> None:
-        """Record a message lost to a crash or partition."""
+    def record_drop(
+        self,
+        src: int,
+        dst: int,
+        kind: Optional[str] = None,
+        reason: str = "fault",
+    ) -> None:
+        """Record a message lost to a crash, partition or lossy link.
+
+        Drops are attributed to the would-be receiver and the message
+        kind, so per-sender/per-kind accounting stays honest under fault
+        injection (a bare total hides *what* was lost), and to a
+        ``reason`` ("fault" for crash/partition, "loss" for probabilistic
+        message loss).
+        """
         self.dropped += 1
+        self.dropped_by_receiver[dst] += 1
+        self.dropped_by_reason[reason] += 1
+        if kind is not None:
+            self.dropped_by_kind[kind] += 1
 
     def mark(self, name: str) -> None:
         """Remember the current sent-count under ``name`` (for deltas)."""
@@ -61,9 +89,29 @@ class MessageStats:
             return 0.0
         return self.by_receiver[node] / self.delivered
 
+    def drop_rate(self) -> float:
+        """Fraction of sent messages that were dropped."""
+        if self.sent == 0:
+            return 0.0
+        return self.dropped / self.sent
+
     def reset(self) -> None:
-        """Zero every counter."""
-        self.__init__()
+        """Zero every counter.
+
+        Fields are reset explicitly (not via ``__init__``) so subclasses
+        adding state keep full control over their own reset behaviour.
+        """
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.by_sender.clear()
+        self.by_receiver.clear()
+        self.by_kind.clear()
+        self.delivered_by_kind.clear()
+        self.dropped_by_kind.clear()
+        self.dropped_by_receiver.clear()
+        self.dropped_by_reason.clear()
+        self._marks.clear()
 
     def __repr__(self) -> str:
         return (

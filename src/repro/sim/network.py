@@ -9,6 +9,13 @@ injection is explicitly enabled, in which case crashed nodes drop traffic
 Delivery order between a pair of nodes follows sampled delays, so messages
 may be reordered — the protocols above must tolerate that, and timestamps
 make them do so.
+
+A probabilistic message-loss mode (``loss_rate``) weakens the reliability
+assumption: each message is independently destroyed with the given
+probability, drawn from a dedicated RNG stream so enabling loss never
+perturbs delay sampling.  Retrying clients must then tolerate losing any
+individual query, reply, update or ack — the regime of the
+Mostéfaoui–Raynal crash-prone register constructions.
 """
 
 from typing import Any, Callable, Dict, Optional
@@ -51,15 +58,33 @@ class Network:
         delay_model: DelayModel,
         rng: np.random.Generator,
         failures: Optional[FailureInjector] = None,
+        loss_rate: float = 0.0,
+        loss_rng: Optional[np.random.Generator] = None,
     ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self.scheduler = scheduler
         self.delay_model = delay_model
         self.rng = rng
         self.failures = failures or FailureInjector()
         self.stats = MessageStats()
+        self.loss_rate = loss_rate
+        # Loss draws come from their own stream so that turning loss on
+        # (or off) leaves the delay sequence bit-identical.
+        self._loss_rng = loss_rng if loss_rng is not None else rng
         self._nodes: Dict[int, Node] = {}
         self._next_id = 0
         self._taps: list = []
+
+    def set_message_loss(
+        self, loss_rate: float, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        """Enable (or disable, with 0.0) probabilistic message loss."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.loss_rate = loss_rate
+        if rng is not None:
+            self._loss_rng = rng
 
     def add_node(self, node: Node, node_id: Optional[int] = None) -> int:
         """Register ``node`` and return its id.
@@ -97,20 +122,27 @@ class Network:
         self.stats.record_send(src, dst, kind)
         for tap in self._taps:
             tap(src, dst, message)
+        # One loss draw per send whenever loss is on, before any fault
+        # check, so the loss stream advances identically however many
+        # nodes happen to be crashed.
+        lost = self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate
         if not self.failures.can_deliver(src, dst):
-            self.stats.record_drop(src, dst)
+            self.stats.record_drop(src, dst, kind, reason="fault")
+            return
+        if lost:
+            self.stats.record_drop(src, dst, kind, reason="loss")
             return
         delay = self.delay_model.sample(self.rng, src, dst)
         if delay <= 0:
             raise ValueError(f"delay model produced non-positive delay {delay}")
-        self.scheduler.schedule(delay, self._deliver, src, dst, message)
+        self.scheduler.schedule(delay, self._deliver, src, dst, message, kind)
 
-    def _deliver(self, src: int, dst: int, message: Any) -> None:
+    def _deliver(self, src: int, dst: int, message: Any, kind: str) -> None:
         # A node that crashed while the message was in flight drops it.
         if not self.failures.can_deliver(src, dst):
-            self.stats.record_drop(src, dst)
+            self.stats.record_drop(src, dst, kind, reason="fault")
             return
-        self.stats.record_delivery(src, dst)
+        self.stats.record_delivery(src, dst, kind)
         self._nodes[dst].on_message(src, message)
 
     def broadcast(self, src: int, dsts: list, message: Any) -> None:

@@ -59,6 +59,30 @@ class EventHandle:
         return f"EventHandle(t={self.time:.6g}, seq={self.seq}, {name}, {state})"
 
 
+class RepeatingHandle:
+    """A cancellable reference to a repeating event chain.
+
+    Each firing schedules the next occurrence, so cancellation must go
+    through this wrapper rather than any single :class:`EventHandle`.
+    """
+
+    __slots__ = ("_current", "cancelled")
+
+    def __init__(self) -> None:
+        self._current: Optional[EventHandle] = None
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Stop the chain: no further occurrences fire.  Idempotent."""
+        self.cancelled = True
+        if self._current is not None:
+            self._current.cancel()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "active"
+        return f"RepeatingHandle({state}, next={self._current!r})"
+
+
 class Scheduler:
     """A discrete-event scheduler with simulated time.
 
@@ -118,6 +142,36 @@ class Scheduler:
     def call_soon(self, callback: Callable, *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at the current time (after queued events)."""
         return self.schedule_at(self._now, callback, *args)
+
+    def schedule_repeating(
+        self,
+        interval: float,
+        callback: Callable,
+        *args: Any,
+        first_delay: Optional[float] = None,
+    ) -> RepeatingHandle:
+        """Run ``callback(*args)`` every ``interval`` time units until cancelled.
+
+        The first occurrence fires after ``first_delay`` (default: one
+        ``interval``).  Repeating events keep the queue non-empty forever,
+        so runs driving them must bound themselves with ``until`` /
+        ``max_events`` / ``stop_when``.
+        """
+        if interval <= 0:
+            raise SchedulerError(
+                f"repeating interval must be positive, got {interval}"
+            )
+        handle = RepeatingHandle()
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            handle._current = self.schedule(interval, fire)
+            callback(*args)
+
+        delay = interval if first_delay is None else first_delay
+        handle._current = self.schedule(delay, fire)
+        return handle
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""

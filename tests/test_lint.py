@@ -1,0 +1,37 @@
+"""Repo lint gate.
+
+Runs ``ruff check`` (configured in pyproject.toml) when ruff is on the
+PATH; environments without it skip the ruff half but still get the
+bytecode-compilation check, which catches the syntax-error class of lint
+findings with the standard library alone.
+"""
+
+import compileall
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_ruff_check_clean():
+    if shutil.which("ruff") is None:
+        pytest.skip("ruff not installed in this environment")
+    proc = subprocess.run(
+        ["ruff", "check", "src", "tests"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, (
+        f"ruff found issues:\n{proc.stdout}{proc.stderr}"
+    )
+
+
+@pytest.mark.parametrize("tree", ["src", "tests"])
+def test_sources_byte_compile(tree):
+    assert compileall.compile_dir(
+        str(REPO_ROOT / tree), quiet=2, force=False
+    ), f"{tree}/ contains files that do not compile"

@@ -40,14 +40,52 @@ class TestMessageStats:
         assert stats.since_mark("phase") == 2
         assert stats.since_mark("unknown") == 3
 
+    def test_drops_attributed_to_kind_receiver_and_reason(self):
+        stats = MessageStats()
+        stats.record_send(0, 1, "read_query")
+        stats.record_drop(0, 1, kind="read_query", reason="fault")
+        stats.record_send(0, 2, "write_update")
+        stats.record_drop(0, 2, kind="write_update", reason="loss")
+        stats.record_send(0, 2, "write_update")
+        stats.record_drop(0, 2, kind="write_update", reason="loss")
+        assert stats.dropped == 3
+        assert stats.dropped_by_kind["read_query"] == 1
+        assert stats.dropped_by_kind["write_update"] == 2
+        assert stats.dropped_by_receiver[1] == 1
+        assert stats.dropped_by_receiver[2] == 2
+        assert stats.dropped_by_reason == {"fault": 1, "loss": 2}
+        assert stats.drop_rate() == 1.0
+
+    def test_deliveries_attributed_to_kind(self):
+        stats = MessageStats()
+        stats.record_send(0, 1, "read_reply")
+        stats.record_delivery(0, 1, kind="read_reply")
+        assert stats.delivered_by_kind["read_reply"] == 1
+
+    def test_drop_rate_zero_when_nothing_sent(self):
+        assert MessageStats().drop_rate() == 0.0
+
     def test_reset_clears_everything(self):
         stats = MessageStats()
         stats.record_send(0, 1, "x")
-        stats.record_drop(0, 1)
+        stats.record_delivery(0, 1, kind="x")
+        stats.record_drop(0, 1, kind="x", reason="loss")
+        stats.mark("phase")
         stats.reset()
         assert stats.sent == 0
+        assert stats.delivered == 0
         assert stats.dropped == 0
+        assert not stats.by_sender
+        assert not stats.by_receiver
         assert not stats.by_kind
+        assert not stats.delivered_by_kind
+        assert not stats.dropped_by_kind
+        assert not stats.dropped_by_receiver
+        assert not stats.dropped_by_reason
+        assert stats.since_mark("phase") == 0
+        # A reset instance behaves exactly like a fresh one.
+        assert stats.busiest_receiver() == (None, 0)
+        assert stats.drop_rate() == 0.0
 
 
 class TestFailureInjector:
