@@ -259,6 +259,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(fault/churn experiments only)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="wrap the run in cProfile and print the top cumulative "
+             "entries (forces --jobs 1 and --no-cache so the simulation "
+             "kernel runs in-process and is actually measured)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the on-disk run cache",
@@ -280,9 +287,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
-    cache = None if args.no_cache else RunCache()
-    if args.clear_cache and cache is not None:
-        cache.clear()
+    if args.profile:
+        # Profiling a worker-process fan-out (or a cache hit) would show
+        # only IPC and pickling; run everything in this process, uncached.
+        jobs = 1
+        cache = None
+    else:
+        cache = None if args.no_cache else RunCache()
+        if args.clear_cache and cache is not None:
+            cache.clear()
     if args.loss_rate is not None and not 0.0 <= args.loss_rate < 1.0:
         print(
             f"repro: error: --loss-rate must be in [0, 1), "
@@ -291,15 +304,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        COMMANDS[name](
-            args.full,
-            args.output,
-            jobs=jobs,
-            cache=cache,
-            loss_rate=args.loss_rate,
-            op_deadline=args.op_deadline,
-        )
+
+    def run_selected() -> None:
+        for name in names:
+            COMMANDS[name](
+                args.full,
+                args.output,
+                jobs=jobs,
+                cache=cache,
+                loss_rate=args.loss_rate,
+                op_deadline=args.op_deadline,
+            )
+
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_selected()
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(30)
+        report = buffer.getvalue()
+        print(report)
+        if args.output:
+            profile_path = os.path.join(
+                args.output, f"profile_{args.experiment}.txt"
+            )
+            with open(profile_path, "w", encoding="utf-8") as fh:
+                fh.write(report)
+            print(f"profile saved to {profile_path}")
+    else:
+        run_selected()
     return 0
 
 

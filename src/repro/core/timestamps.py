@@ -5,12 +5,14 @@ value; a read returns the value with the largest timestamp in its quorum.
 For the single-writer registers of the paper, the sequence number alone
 totally orders writes; the writer id is carried so that the representation
 extends to the multi-writer case discussed as future work in Section 8.
+
+Comparisons are written out explicitly rather than derived with
+``functools.total_ordering``: replica servers compare timestamps on every
+WriteUpdate and clients on every quorum read, and the derived operators
+cost an extra Python-level dispatch per comparison on that hot path.
 """
 
-import functools
 
-
-@functools.total_ordering
 class Timestamp:
     """A (sequence, writer) pair, totally ordered lexicographically."""
 
@@ -29,12 +31,32 @@ class Timestamp:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Timestamp):
             return NotImplemented
-        return (self.seq, self.writer) == (other.seq, other.writer)
+        return self.seq == other.seq and self.writer == other.writer
+
+    def __ne__(self, other: object) -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return self.seq != other.seq or self.writer != other.writer
 
     def __lt__(self, other: "Timestamp") -> bool:
         if not isinstance(other, Timestamp):
             return NotImplemented
         return (self.seq, self.writer) < (other.seq, other.writer)
+
+    def __le__(self, other: "Timestamp") -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return (self.seq, self.writer) <= (other.seq, other.writer)
+
+    def __gt__(self, other: "Timestamp") -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return (self.seq, self.writer) > (other.seq, other.writer)
+
+    def __ge__(self, other: "Timestamp") -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return (self.seq, self.writer) >= (other.seq, other.writer)
 
     def __hash__(self) -> int:
         return hash((self.seq, self.writer))

@@ -26,7 +26,9 @@ class ProbabilisticQuorumSystem(QuorumSystem):
 
     def quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
         members = rng.choice(self.n, size=self.k, replace=False)
-        return frozenset(int(m) for m in members)
+        # tolist() yields plain Python ints in one C call (a per-member
+        # int() loop costs more than the draw itself at small k).
+        return frozenset(members.tolist())
 
     @property
     def is_strict(self) -> bool:

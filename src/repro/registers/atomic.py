@@ -52,7 +52,7 @@ class _TwoPhaseOp:
         self.invoke_time = invoke_time
 
     def complete_against_quorum(self) -> bool:
-        return all(member in self.replies for member in self.quorum)
+        return self.quorum.issubset(self.replies)
 
 
 class MultiWriterClient(QuorumRegisterClient):
@@ -95,8 +95,11 @@ class MultiWriterClient(QuorumRegisterClient):
         op.phase = 1
         op.quorum = self.quorum_system.read_quorum(self.rng)
         op.replies = {}
-        for server in self._members(op.quorum):
-            self.send(server, ReadQuery(op.register, op.op_id))
+        self.network.broadcast(
+            self.node_id,
+            self._members(op.quorum),
+            ReadQuery(op.register, op.op_id),
+        )
 
     def _start_update_phase(self, op: _TwoPhaseOp, timestamp: Timestamp,
                             value: Any) -> None:
@@ -113,10 +116,11 @@ class MultiWriterClient(QuorumRegisterClient):
             op.record = self.space.info(op.register).history.begin_write(
                 self.client_id, op.invoke_time, value, timestamp
             )
-        for server in self._members(op.quorum):
-            self.send(
-                server, WriteUpdate(op.register, op.op_id, value, timestamp)
-            )
+        self.network.broadcast(
+            self.node_id,
+            self._members(op.quorum),
+            WriteUpdate(op.register, op.op_id, value, timestamp),
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -125,9 +129,8 @@ class MultiWriterClient(QuorumRegisterClient):
         if op is None:
             super().on_message(src, message)
             return
-        try:
-            server_index = self.server_ids.index(src)
-        except ValueError:
+        server_index = self._server_index.get(src)
+        if server_index is None:
             return
         if op.phase == 1 and isinstance(message, ReadReply):
             op.replies[server_index] = message

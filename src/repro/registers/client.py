@@ -140,7 +140,9 @@ class _PendingOp:
 
     def complete_against_quorum(self) -> bool:
         """True once every member of the current quorum has replied."""
-        return all(member in self.replies for member in self.quorum)
+        # frozenset.issubset over the replies dict runs the membership
+        # loop in C; this is checked once per reply on the hot path.
+        return self.quorum.issubset(self.replies)
 
     def unanswered(self) -> List[int]:
         """Current quorum members with no reply yet, in sorted order."""
@@ -169,6 +171,12 @@ class QuorumRegisterClient(Node):
         self.space = space
         self.quorum_system = quorum_system
         self.server_ids = list(server_ids)
+        # Reverse map for reply handling: node id -> quorum member index.
+        # list.index is O(n) and runs once per reply, which dominates at
+        # large n; the dict probe is O(1).
+        self._server_index = {
+            node_id: index for index, node_id in enumerate(self.server_ids)
+        }
         self.rng = rng
         self.monotone = monotone
         if retry_policy is None and retry_interval is not None:
@@ -239,15 +247,17 @@ class QuorumRegisterClient(Node):
         resampled quorum would double-count traffic the servers already
         answered.
         """
-        for member in op.unanswered():
-            server = self.server_ids[member]
-            if op.is_read:
-                self.send(server, ReadQuery(op.register, op.op_id))
-            else:
-                self.send(
-                    server,
-                    WriteUpdate(op.register, op.op_id, op.value, op.timestamp),
-                )
+        servers = [self.server_ids[member] for member in op.unanswered()]
+        if not servers:
+            return
+        if op.is_read:
+            message = ReadQuery(op.register, op.op_id)
+        else:
+            message = WriteUpdate(op.register, op.op_id, op.value, op.timestamp)
+        # One immutable message shared across the round, one batched
+        # delay draw for the whole quorum (Network.broadcast) — instead
+        # of a message allocation and a scalar Generator call per member.
+        self.network.broadcast(self.node_id, servers, message)
 
     def _begin(self, op: _PendingOp) -> None:
         """Register the op, send the first round, arm retry and deadline."""
@@ -366,9 +376,8 @@ class QuorumRegisterClient(Node):
             op = self._pending.get(message.op_id)
             if op is None:
                 return  # late reply for a completed operation
-            try:
-                server_index = self.server_ids.index(src)
-            except ValueError:
+            server_index = self._server_index.get(src)
+            if server_index is None:
                 return  # reply from an unknown node
             op.replies[server_index] = message
             if op.complete_against_quorum():

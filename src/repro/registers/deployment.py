@@ -48,6 +48,7 @@ class RegisterDeployment:
         rng_registry: Optional[RngRegistry] = None,
         client_class: type = QuorumRegisterClient,
         record_history: bool = True,
+        detailed_stats: bool = True,
     ) -> None:
         if num_clients < 1:
             raise ValueError(f"need at least one client, got {num_clients}")
@@ -65,6 +66,7 @@ class RegisterDeployment:
             failures=self.failures,
             loss_rate=loss_rate,
             loss_rng=self.rng.stream("loss") if loss_rate > 0.0 else None,
+            detailed_stats=detailed_stats,
         )
         self.space = RegisterSpace(record_history=record_history)
         if retry_policy is None and retry_interval is not None:

@@ -4,40 +4,41 @@ Four message kinds, matching the two round trips of the algorithm in
 Section 4: a read is a (ReadQuery, ReadReply) exchange with each quorum
 member, a write a (WriteUpdate, WriteAck) exchange.  Messages carry the
 register name so one server can host replicas of many registers.
+
+Messages are frozen tuples (:class:`typing.NamedTuple`): construction is
+a single C-level ``tuple.__new__`` — these are allocated on every quorum
+round, so they sit on the simulation hot path — and immutability lets
+:meth:`~repro.sim.network.Network.broadcast` share one instance across a
+whole quorum.  Each class precomputes its stats label as a class-level
+``kind``, so the network never falls back to ``type(message).__name__``.
 """
 
-from typing import Any
+from typing import Any, NamedTuple
 
 from repro.core.timestamps import Timestamp
 
 
-class ReadQuery:
+class ReadQuery(NamedTuple):
     """Client -> server: request the server's replica of a register."""
 
-    kind = "read_query"
-    __slots__ = ("register", "op_id")
+    register: str
+    op_id: int
 
-    def __init__(self, register: str, op_id: int) -> None:
-        self.register = register
-        self.op_id = op_id
+    kind = "read_query"
 
     def __repr__(self) -> str:
         return f"ReadQuery({self.register!r}, op={self.op_id})"
 
 
-class ReadReply:
+class ReadReply(NamedTuple):
     """Server -> client: the replica's current value and timestamp."""
 
-    kind = "read_reply"
-    __slots__ = ("register", "op_id", "value", "timestamp")
+    register: str
+    op_id: int
+    value: Any
+    timestamp: Timestamp
 
-    def __init__(
-        self, register: str, op_id: int, value: Any, timestamp: Timestamp
-    ) -> None:
-        self.register = register
-        self.op_id = op_id
-        self.value = value
-        self.timestamp = timestamp
+    kind = "read_reply"
 
     def __repr__(self) -> str:
         return (
@@ -46,19 +47,15 @@ class ReadReply:
         )
 
 
-class WriteUpdate:
+class WriteUpdate(NamedTuple):
     """Client -> server: install a value if its timestamp is newer."""
 
-    kind = "write_update"
-    __slots__ = ("register", "op_id", "value", "timestamp")
+    register: str
+    op_id: int
+    value: Any
+    timestamp: Timestamp
 
-    def __init__(
-        self, register: str, op_id: int, value: Any, timestamp: Timestamp
-    ) -> None:
-        self.register = register
-        self.op_id = op_id
-        self.value = value
-        self.timestamp = timestamp
+    kind = "write_update"
 
     def __repr__(self) -> str:
         return (
@@ -67,15 +64,13 @@ class WriteUpdate:
         )
 
 
-class WriteAck:
+class WriteAck(NamedTuple):
     """Server -> client: acknowledge a WriteUpdate."""
 
-    kind = "write_ack"
-    __slots__ = ("register", "op_id")
+    register: str
+    op_id: int
 
-    def __init__(self, register: str, op_id: int) -> None:
-        self.register = register
-        self.op_id = op_id
+    kind = "write_ack"
 
     def __repr__(self) -> str:
         return f"WriteAck({self.register!r}, op={self.op_id})"

@@ -26,10 +26,17 @@ class ReplicaServer(Node):
         self.stale_updates_ignored = 0
 
     def _replica(self, register: str) -> Tuple[Timestamp, Any]:
-        if register not in self._replicas:
+        # Hot path: one dict probe per message.  The space.info lookup
+        # (and its KeyError validation) is paid once per register, on the
+        # first message that touches it; every later access hits the
+        # local replica cache directly.
+        try:
+            return self._replicas[register]
+        except KeyError:
             info = self.space.info(register)
-            self._replicas[register] = (Timestamp.ZERO, info.initial_value)
-        return self._replicas[register]
+            entry = (Timestamp.ZERO, info.initial_value)
+            self._replicas[register] = entry
+            return entry
 
     def replica_timestamp(self, register: str) -> Timestamp:
         """The timestamp of this server's replica (for tests/inspection)."""
@@ -40,10 +47,17 @@ class ReplicaServer(Node):
         return self._replica(register)[1]
 
     def on_message(self, src: int, message: Any) -> None:
+        # Replies go through network.send directly: Node.send's attachment
+        # checks cost a function call per reply, and every message a
+        # server handles produces exactly one reply.
         if isinstance(message, ReadQuery):
             timestamp, value = self._replica(message.register)
             self.reads_served += 1
-            self.send(src, ReadReply(message.register, message.op_id, value, timestamp))
+            self.network.send(
+                self.node_id,
+                src,
+                ReadReply(message.register, message.op_id, value, timestamp),
+            )
         elif isinstance(message, WriteUpdate):
             current_ts, _ = self._replica(message.register)
             if message.timestamp > current_ts:
@@ -51,7 +65,9 @@ class ReplicaServer(Node):
                 self.writes_applied += 1
             else:
                 self.stale_updates_ignored += 1
-            self.send(src, WriteAck(message.register, message.op_id))
+            self.network.send(
+                self.node_id, src, WriteAck(message.register, message.op_id)
+            )
         # Unknown message kinds are ignored, matching Node's default.
 
     def __repr__(self) -> str:

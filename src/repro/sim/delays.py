@@ -7,7 +7,7 @@ models for the ablation study E-ABL-DELAY.
 """
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -18,6 +18,22 @@ class DelayModel:
     def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
         """Return a strictly positive delay for a message from src to dst."""
         raise NotImplementedError
+
+    def sample_batch(
+        self, rng: np.random.Generator, src: int, dsts: Sequence[int]
+    ) -> List[float]:
+        """Delays for a batch of messages from ``src``, one per destination.
+
+        Contract: consumes the RNG stream exactly as ``len(dsts)``
+        successive :meth:`sample` calls would, and returns the same values
+        in the same order — numpy's ``size=n`` draws produce the identical
+        variates as n scalar draws from the same Generator state, so the
+        vectorized overrides below keep seeded runs bit-for-bit identical
+        while paying for one Generator call per quorum round instead of
+        one per message.  Subclasses without a vectorized form inherit
+        this scalar loop, which is correct by construction.
+        """
+        return [self.sample(rng, src, dst) for dst in dsts]
 
     @property
     def mean(self) -> float:
@@ -40,6 +56,11 @@ class ConstantDelay(DelayModel):
 
     def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
         return self._delay
+
+    def sample_batch(
+        self, rng: np.random.Generator, src: int, dsts: Sequence[int]
+    ) -> List[float]:
+        return [self._delay] * len(dsts)
 
     @property
     def mean(self) -> float:
@@ -69,6 +90,14 @@ class ExponentialDelay(DelayModel):
     def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
         return max(self._floor, rng.exponential(self._mean))
 
+    def sample_batch(
+        self, rng: np.random.Generator, src: int, dsts: Sequence[int]
+    ) -> List[float]:
+        draws = rng.exponential(self._mean, size=len(dsts))
+        # tolist() converts to plain floats: the scheduler compares these
+        # inside heap tuples, where np.float64 comparisons are slower.
+        return np.maximum(self._floor, draws).tolist()
+
     @property
     def mean(self) -> float:
         return self._mean
@@ -88,6 +117,11 @@ class UniformDelay(DelayModel):
 
     def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
         return rng.uniform(self._low, self._high)
+
+    def sample_batch(
+        self, rng: np.random.Generator, src: int, dsts: Sequence[int]
+    ) -> List[float]:
+        return rng.uniform(self._low, self._high, size=len(dsts)).tolist()
 
     @property
     def mean(self) -> float:
@@ -116,6 +150,11 @@ class LogNormalDelay(DelayModel):
 
     def sample(self, rng: np.random.Generator, src: int, dst: int) -> float:
         return rng.lognormal(self._mu, self._sigma)
+
+    def sample_batch(
+        self, rng: np.random.Generator, src: int, dsts: Sequence[int]
+    ) -> List[float]:
+        return rng.lognormal(self._mu, self._sigma, size=len(dsts)).tolist()
 
     @property
     def mean(self) -> float:
@@ -152,6 +191,17 @@ class PerLinkDelay(DelayModel):
         if self._jitter is not None:
             base += self._jitter.sample(rng, src, dst)
         return base
+
+    def sample_batch(
+        self, rng: np.random.Generator, src: int, dsts: Sequence[int]
+    ) -> List[float]:
+        links = self._links
+        default = self._default
+        bases = [links.get((src, dst), default) for dst in dsts]
+        if self._jitter is None:
+            return bases
+        jitters = self._jitter.sample_batch(rng, src, dsts)
+        return [base + jitter for base, jitter in zip(bases, jitters)]
 
     @property
     def mean(self) -> float:

@@ -24,6 +24,15 @@ class FailureInjector:
     def __init__(self) -> None:
         self._crashed: Set[int] = set()
         self._partition: Optional[list] = None  # list of frozensets or None
+        # Plain attribute mirroring any_failures, maintained by every
+        # mutator: the network reads it once per message, and a C-level
+        # attribute load there is cheaper than a property call.  In the
+        # common all-healthy case the per-message fault check is then a
+        # single attribute read.
+        self.active: bool = False
+
+    def _refresh_active(self) -> None:
+        self.active = bool(self._crashed) or self._partition is not None
 
     @property
     def crashed(self) -> Set[int]:
@@ -38,27 +47,32 @@ class FailureInjector:
     @property
     def any_failures(self) -> bool:
         """True while any crash or partition is active (O(1))."""
-        return bool(self._crashed) or self._partition is not None
+        return self.active
 
     def crash(self, node_id: int) -> None:
         """Crash a node; idempotent."""
         self._crashed.add(node_id)
+        self.active = True
 
     def crash_many(self, node_ids: Iterable[int]) -> None:
         """Crash several nodes at once."""
         self._crashed.update(node_ids)
+        self._refresh_active()
 
     def recover(self, node_id: int) -> None:
         """Recover a crashed node; no-op if it was up."""
         self._crashed.discard(node_id)
+        self._refresh_active()
 
     def recover_many(self, node_ids: Iterable[int]) -> None:
         """Recover several nodes at once."""
         self._crashed.difference_update(node_ids)
+        self._refresh_active()
 
     def recover_all(self) -> None:
         """Bring every node back up."""
         self._crashed.clear()
+        self._refresh_active()
 
     def partition(self, groups: Iterable[Iterable[int]]) -> None:
         """Split the network: messages cross group boundaries get dropped.
@@ -66,10 +80,12 @@ class FailureInjector:
         Nodes absent from every group remain able to talk to everyone.
         """
         self._partition = [frozenset(group) for group in groups]
+        self.active = True
 
     def heal_partition(self) -> None:
         """Remove any active partition."""
         self._partition = None
+        self._refresh_active()
 
     def is_crashed(self, node_id: int) -> bool:
         """True if the node is currently crashed."""

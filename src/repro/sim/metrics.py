@@ -9,6 +9,11 @@ The experiments need three kinds of counters:
 * drop accounting by kind, receiver and reason, so fault-injection
   experiments can report exactly what traffic a crash, partition or
   lossy link destroyed.
+
+The recorders sit on the per-message hot path, so a ``detailed=False``
+mode skips every per-kind/per-node ``Counter`` update and maintains only
+the three scalar totals — for benchmarks and throughput-bound runs that
+never read the breakdowns.
 """
 
 from collections import Counter
@@ -18,7 +23,23 @@ from typing import Dict, Optional, Tuple
 class MessageStats:
     """Counters for messages flowing through a :class:`~repro.sim.network.Network`."""
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "detailed",
+        "sent",
+        "delivered",
+        "dropped",
+        "by_sender",
+        "by_receiver",
+        "by_kind",
+        "delivered_by_kind",
+        "dropped_by_kind",
+        "dropped_by_receiver",
+        "dropped_by_reason",
+        "_marks",
+    )
+
+    def __init__(self, detailed: bool = True) -> None:
+        self.detailed = detailed
         self.sent: int = 0
         self.delivered: int = 0
         self.dropped: int = 0
@@ -34,18 +55,33 @@ class MessageStats:
     def record_send(self, src: int, dst: int, kind: Optional[str]) -> None:
         """Record one message leaving ``src`` for ``dst``."""
         self.sent += 1
-        self.by_sender[src] += 1
-        if kind is not None:
-            self.by_kind[kind] += 1
+        if self.detailed:
+            self.by_sender[src] += 1
+            if kind is not None:
+                self.by_kind[kind] += 1
+
+    def record_sends(self, src: int, count: int, kind: Optional[str]) -> None:
+        """Record ``count`` messages leaving ``src`` in one update.
+
+        Batch form of :meth:`record_send` for :meth:`Network.broadcast`'s
+        fast path: one counter update per quorum round instead of one per
+        member.  Equivalent to ``count`` individual calls.
+        """
+        self.sent += count
+        if self.detailed:
+            self.by_sender[src] += count
+            if kind is not None:
+                self.by_kind[kind] += count
 
     def record_delivery(
         self, src: int, dst: int, kind: Optional[str] = None
     ) -> None:
         """Record one message arriving at ``dst``."""
         self.delivered += 1
-        self.by_receiver[dst] += 1
-        if kind is not None:
-            self.delivered_by_kind[kind] += 1
+        if self.detailed:
+            self.by_receiver[dst] += 1
+            if kind is not None:
+                self.delivered_by_kind[kind] += 1
 
     def record_drop(
         self,
@@ -63,10 +99,11 @@ class MessageStats:
         message loss).
         """
         self.dropped += 1
-        self.dropped_by_receiver[dst] += 1
-        self.dropped_by_reason[reason] += 1
-        if kind is not None:
-            self.dropped_by_kind[kind] += 1
+        if self.detailed:
+            self.dropped_by_receiver[dst] += 1
+            self.dropped_by_reason[reason] += 1
+            if kind is not None:
+                self.dropped_by_kind[kind] += 1
 
     def mark(self, name: str) -> None:
         """Remember the current sent-count under ``name`` (for deltas)."""

@@ -16,16 +16,57 @@ probability, drawn from a dedicated RNG stream so enabling loss never
 perturbs delay sampling.  Retrying clients must then tolerate losing any
 individual query, reply, update or ack — the regime of the
 Mostéfaoui–Raynal crash-prone register constructions.
+
+Hot path: a simulated message costs one stats update, one loss draw (when
+loss is on), one fault check, one delay draw and one scheduler push.
+:meth:`Network.broadcast` amortises the delay (and loss) draws over the
+whole destination list with :meth:`DelayModel.sample_batch`, so a k-member
+quorum round pays one vectorized Generator call instead of k scalar ones —
+with a stream-consumption order identical to k individual sends.
 """
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.sim.delays import DelayModel
 from repro.sim.failures import FailureInjector
 from repro.sim.metrics import MessageStats
+from repro.sim.rng import derive_seed
 from repro.sim.scheduler import Scheduler
+
+
+def _kind_of(message: Any) -> str:
+    """The stats label of a message: its ``kind`` or its class name.
+
+    Protocol messages precompute ``kind`` as a class attribute, so the
+    common case is a single attribute load; arbitrary payloads (tests send
+    strings) fall back to the type name.
+    """
+    try:
+        kind = message.kind
+    except AttributeError:
+        return message.__class__.__name__
+    return kind if kind else message.__class__.__name__
+
+
+def _default_loss_rng(rng: np.random.Generator) -> np.random.Generator:
+    """An independent loss stream derived from the delay stream's identity.
+
+    The loss stream must never share state with the delay stream — loss
+    draws advancing the delay stream would make ``loss_rate > 0`` perturb
+    every delay in the run.  We derive a child seed from the delay
+    stream's originating ``SeedSequence`` (entropy + spawn key) via
+    :func:`derive_seed`, so the default is deterministic per deployment
+    seed yet statistically independent of the delay draws.
+    """
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    entropy = getattr(seed_seq, "entropy", None)
+    base = int(entropy) if isinstance(entropy, (int, np.integer)) else 0
+    spawn_key = tuple(getattr(seed_seq, "spawn_key", ()) or ())
+    return np.random.default_rng(
+        derive_seed(base, "network-loss", *[int(k) for k in spawn_key])
+    )
 
 
 class Node:
@@ -60,6 +101,7 @@ class Network:
         failures: Optional[FailureInjector] = None,
         loss_rate: float = 0.0,
         loss_rng: Optional[np.random.Generator] = None,
+        detailed_stats: bool = True,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -67,11 +109,12 @@ class Network:
         self.delay_model = delay_model
         self.rng = rng
         self.failures = failures or FailureInjector()
-        self.stats = MessageStats()
+        self.stats = MessageStats(detailed=detailed_stats)
         self.loss_rate = loss_rate
         # Loss draws come from their own stream so that turning loss on
-        # (or off) leaves the delay sequence bit-identical.
-        self._loss_rng = loss_rng if loss_rng is not None else rng
+        # (or off) leaves the delay sequence bit-identical.  The default
+        # is an independent child stream, never the delay rng itself.
+        self._loss_rng = loss_rng if loss_rng is not None else _default_loss_rng(rng)
         self._nodes: Dict[int, Node] = {}
         self._next_id = 0
         self._taps: list = []
@@ -118,15 +161,17 @@ class Network:
         """Send ``message`` from ``src`` to ``dst`` with a sampled delay."""
         if dst not in self._nodes:
             raise KeyError(f"unknown destination node {dst}")
-        kind = getattr(message, "kind", None) or type(message).__name__
+        kind = _kind_of(message)
         self.stats.record_send(src, dst, kind)
-        for tap in self._taps:
-            tap(src, dst, message)
+        if self._taps:
+            for tap in self._taps:
+                tap(src, dst, message)
         # One loss draw per send whenever loss is on, before any fault
         # check, so the loss stream advances identically however many
         # nodes happen to be crashed.
         lost = self.loss_rate > 0.0 and self._loss_rng.random() < self.loss_rate
-        if not self.failures.can_deliver(src, dst):
+        failures = self.failures
+        if failures.active and not failures.can_deliver(src, dst):
             self.stats.record_drop(src, dst, kind, reason="fault")
             return
         if lost:
@@ -135,20 +180,83 @@ class Network:
         delay = self.delay_model.sample(self.rng, src, dst)
         if delay <= 0:
             raise ValueError(f"delay model produced non-positive delay {delay}")
-        self.scheduler.schedule(delay, self._deliver, src, dst, message, kind)
+        # Deliveries are never cancelled (in-flight crashes are checked at
+        # delivery time), so skip the EventHandle allocation entirely.
+        self.scheduler.schedule_uncancellable(
+            delay, self._deliver, src, dst, message, kind
+        )
 
     def _deliver(self, src: int, dst: int, message: Any, kind: str) -> None:
         # A node that crashed while the message was in flight drops it.
-        if not self.failures.can_deliver(src, dst):
+        failures = self.failures
+        if failures.active and not failures.can_deliver(src, dst):
             self.stats.record_drop(src, dst, kind, reason="fault")
             return
         self.stats.record_delivery(src, dst, kind)
         self._nodes[dst].on_message(src, message)
 
-    def broadcast(self, src: int, dsts: list, message: Any) -> None:
-        """Send the same message to every destination in ``dsts``."""
+    def broadcast(self, src: int, dsts: Sequence[int], message: Any) -> None:
+        """Send the same message to every destination in ``dsts``.
+
+        Batched hot path: one vectorized loss draw for the whole list and
+        one :meth:`DelayModel.sample_batch` call for the surviving
+        destinations, consuming both RNG streams in exactly the order a
+        loop of :meth:`send` calls would (loss is drawn for every
+        destination, delays only for deliverable, non-lost ones).
+        """
+        if not dsts:
+            return
+        if self._loss_rng is self.rng and self.loss_rate > 0.0:
+            # Loss and delays share one stream (explicit caller choice):
+            # draws interleave per destination, so batching would reorder
+            # them.  Fall back to the serial path to preserve the stream.
+            for dst in dsts:
+                self.send(src, dst, message)
+            return
+        nodes = self._nodes
         for dst in dsts:
-            self.send(src, dst, message)
+            if dst not in nodes:
+                raise KeyError(f"unknown destination node {dst}")
+        kind = _kind_of(message)
+        stats = self.stats
+        taps = self._taps
+        failures = self.failures
+        faults_active = failures.active
+        loss_rate = self.loss_rate
+        if not taps and not faults_active and loss_rate == 0.0:
+            # Healthy, loss-free, untapped network — the overwhelmingly
+            # common case: every destination is deliverable, so batch the
+            # stats update too and skip the per-destination loop.
+            stats.record_sends(src, len(dsts), kind)
+            deliverable = list(dsts)
+        else:
+            loss_draws = (
+                self._loss_rng.random(len(dsts)) if loss_rate > 0.0 else None
+            )
+            deliverable = []
+            for index, dst in enumerate(dsts):
+                stats.record_send(src, dst, kind)
+                if taps:
+                    for tap in taps:
+                        tap(src, dst, message)
+                if faults_active and not failures.can_deliver(src, dst):
+                    stats.record_drop(src, dst, kind, reason="fault")
+                    continue
+                if loss_draws is not None and loss_draws[index] < loss_rate:
+                    stats.record_drop(src, dst, kind, reason="loss")
+                    continue
+                deliverable.append(dst)
+        if not deliverable:
+            return
+        delays = self.delay_model.sample_batch(self.rng, src, deliverable)
+        schedule = self.scheduler.schedule_uncancellable
+        deliver = self._deliver
+        for dst, delay in zip(deliverable, delays):
+            if delay <= 0:
+                raise ValueError(
+                    f"delay model produced non-positive delay {delay}"
+                )
+            schedule(delay, deliver, src, dst, message, kind)
 
     def __repr__(self) -> str:
         return (

@@ -5,10 +5,20 @@ with a monotone sequence number breaking ties so that events scheduled first
 run first.  All nondeterminism in a simulation therefore comes from the
 random-number streams, never from the event queue itself, which makes every
 run exactly reproducible from its root seed.
+
+Heap entries are plain ``(time, seq, handle)`` tuples rather than bare
+:class:`EventHandle` objects: heap sift comparisons then use C-level tuple
+ordering instead of calling ``EventHandle.__lt__`` per comparison, which is
+the single hottest operation in a simulation (every message is one push and
+one pop).  The ``seq`` tiebreaker guarantees the comparison never reaches
+the third element, so handles themselves are never compared.
 """
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SchedulerError(RuntimeError):
@@ -94,7 +104,7 @@ class Scheduler:
     """
 
     def __init__(self) -> None:
-        self._queue: List[EventHandle] = []
+        self._queue: List[Tuple[float, int, EventHandle]] = []
         self._now: float = 0.0
         self._seq: int = 0
         self._events_processed: int = 0
@@ -121,11 +131,40 @@ class Scheduler:
         """
         return self._live
 
+    def _push(self, time: float, callback: Callable, args: tuple) -> EventHandle:
+        """Validated fast path shared by every schedule entry point."""
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, owner=self)
+        self._live += 1
+        _heappush(self._queue, (time, seq, handle))
+        return handle
+
     def schedule(self, delay: float, callback: Callable, *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
         if delay < 0:
             raise SchedulerError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        return self._push(self._now + delay, callback, args)
+
+    def schedule_uncancellable(
+        self, delay: float, callback: Callable, *args: Any
+    ) -> None:
+        """Schedule an event that can never be cancelled; returns no handle.
+
+        Hot-path variant for fire-and-forget events (message deliveries:
+        the bulk of all events in a simulation).  The heap entry is a bare
+        ``(time, seq, callback, args)`` tuple — no :class:`EventHandle`
+        allocation, no cancellation bookkeeping.  Ordering is identical to
+        :meth:`schedule`: the shared ``seq`` counter breaks ties, so heap
+        comparisons never look past the second element even when handle
+        and handle-free entries share the queue.
+        """
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule into the past (delay={delay})")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        _heappush(self._queue, (self._now + delay, seq, callback, args))
 
     def schedule_at(self, time: float, callback: Callable, *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at an absolute simulated time."""
@@ -133,15 +172,15 @@ class Scheduler:
             raise SchedulerError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        handle = EventHandle(time, self._seq, callback, args, owner=self)
-        self._seq += 1
-        self._live += 1
-        heapq.heappush(self._queue, handle)
-        return handle
+        return self._push(time, callback, args)
 
     def call_soon(self, callback: Callable, *args: Any) -> EventHandle:
-        """Schedule ``callback(*args)`` at the current time (after queued events)."""
-        return self.schedule_at(self._now, callback, *args)
+        """Schedule ``callback(*args)`` at the current time (after queued events).
+
+        ``now`` can never be in the past, so this skips the time validation
+        of :meth:`schedule_at` entirely.
+        """
+        return self._push(self._now, callback, args)
 
     def schedule_repeating(
         self,
@@ -179,14 +218,22 @@ class Scheduler:
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the queue is empty."""
-        while self._queue:
-            handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                handle._dequeued = True
-                continue
+        queue = self._queue
+        while queue:
+            entry = _heappop(queue)
+            if len(entry) == 4:
+                time, _seq, callback, args = entry
+                self._live -= 1
+                self._now = time
+                self._events_processed += 1
+                callback(*args)
+                return True
+            time, _seq, handle = entry
             handle._dequeued = True
+            if handle.cancelled:
+                continue
             self._live -= 1
-            self._now = handle.time
+            self._now = time
             self._events_processed += 1
             handle.callback(*handle.args)
             return True
@@ -207,21 +254,56 @@ class Scheduler:
         """
         self._stopped = False
         executed = 0
-        while self._queue:
+        queue = self._queue
+        unbounded = until is None and max_events is None and stop_when is None
+        if unbounded:
+            # Fast drain loop: no limit checks, one pop per event, the
+            # event body inlined (run() is the hot loop of every
+            # simulation; a step() call per event is measurable).
+            while queue:
+                if self._stopped:
+                    break
+                entry = _heappop(queue)
+                if len(entry) == 4:
+                    time, _seq, callback, args = entry
+                else:
+                    time, _seq, handle = entry
+                    handle._dequeued = True
+                    if handle.cancelled:
+                        continue
+                    callback = handle.callback
+                    args = handle.args
+                self._live -= 1
+                self._now = time
+                self._events_processed += 1
+                callback(*args)
+            return self._now
+        while queue:
             if self._stopped:
                 break
-            head = self._queue[0]
-            if head.cancelled:
-                head._dequeued = True
-                heapq.heappop(self._queue)
-                continue
-            if until is not None and head.time > until:
+            head = queue[0]
+            if len(head) == 4:
+                head_time, _seq, callback, args = head
+            else:
+                head_time, _seq, handle = head
+                if handle.cancelled:
+                    handle._dequeued = True
+                    _heappop(queue)
+                    continue
+                callback = handle.callback
+                args = handle.args
+            if until is not None and head_time > until:
                 self._now = until
                 break
             if max_events is not None and executed >= max_events:
                 break
-            if not self.step():
-                break
+            _heappop(queue)
+            if len(head) == 3:
+                head[2]._dequeued = True
+            self._live -= 1
+            self._now = head_time
+            self._events_processed += 1
+            callback(*args)
             executed += 1
             if stop_when is not None and stop_when():
                 break

@@ -191,11 +191,115 @@ def test_cancel_after_execution_does_not_corrupt_pending(scheduler):
     assert scheduler.pending == 0
 
 
+def _queue_scan(scheduler):
+    """Count live events by scanning the heap's (time, seq, handle) tuples."""
+    return sum(
+        1 for _time, _seq, handle in scheduler._queue if not handle.cancelled
+    )
+
+
 def test_pending_matches_queue_scan(scheduler):
     # The live counter must agree with an explicit scan of the heap.
     handles = [scheduler.schedule(float(i + 1), lambda: None)
                for i in range(10)]
     for handle in handles[::3]:
         handle.cancel()
-    scan = sum(1 for event in scheduler._queue if not event.cancelled)
-    assert scheduler.pending == scan
+    assert scheduler.pending == _queue_scan(scheduler)
+
+
+def test_queue_entries_are_time_seq_handle_tuples(scheduler):
+    # The heap stores (time, seq, handle) so sift comparisons use C-level
+    # tuple ordering; seq breaks every tie, so handles are never compared.
+    handle = scheduler.schedule(1.5, lambda: None)
+    ((time, seq, entry_handle),) = scheduler._queue
+    assert time == 1.5
+    assert seq == handle.seq
+    assert entry_handle is handle
+
+
+# --- pending under heavy cancel/requeue churn ------------------------------
+
+
+def test_pending_under_cancel_requeue_churn(scheduler):
+    # Interleave scheduling, cancelling and running so lazily-cancelled
+    # entries pile up in the heap, then check the O(1) counter against a
+    # scan at every step.
+    import random
+
+    rand = random.Random(42)
+    live_handles = []
+    for step in range(300):
+        action = rand.random()
+        if action < 0.5 or not live_handles:
+            live_handles.append(
+                scheduler.schedule(rand.random() * 5.0, lambda: None)
+            )
+        elif action < 0.8:
+            victim = live_handles.pop(rand.randrange(len(live_handles)))
+            victim.cancel()
+            victim.cancel()  # idempotent double-cancel must not double-count
+        else:
+            scheduler.step()
+            live_handles = [h for h in live_handles if not h._dequeued]
+        assert scheduler.pending == _queue_scan(scheduler)
+    scheduler.run()
+    assert scheduler.pending == 0
+    assert _queue_scan(scheduler) == 0
+
+
+def test_pending_with_repeating_handle_cancelled_mid_chain(scheduler):
+    # A repeating chain keeps exactly one live event queued; cancelling
+    # the chain removes it from the live count exactly once.
+    fired = []
+    repeating = scheduler.schedule_repeating(1.0, fired.append, "tick")
+    assert scheduler.pending == 1
+    scheduler.run(max_events=3)
+    assert fired == ["tick"] * 3
+    assert scheduler.pending == 1  # the next occurrence is queued
+    repeating.cancel()
+    assert scheduler.pending == 0
+    repeating.cancel()  # idempotent
+    assert scheduler.pending == 0
+    scheduler.run()
+    assert fired == ["tick"] * 3
+
+
+def test_pending_cancel_after_pop_of_repeating_chain(scheduler):
+    # Cancel a repeating chain from inside its own callback: the firing
+    # event was already popped, and the freshly-requeued occurrence must
+    # be the one removed from the live count.
+    fired = []
+    handle_box = {}
+
+    def tick():
+        fired.append(scheduler.now)
+        if len(fired) == 2:
+            handle_box["handle"].cancel()
+
+    handle_box["handle"] = scheduler.schedule_repeating(1.0, tick)
+    scheduler.run(max_events=50)
+    assert len(fired) == 2
+    assert scheduler.pending == 0
+    assert _queue_scan(scheduler) == 0
+
+
+def test_pending_mass_cancel_then_requeue(scheduler):
+    # Cancel an entire batch, requeue a new batch at the same times, and
+    # drain: the counter must track the live entries, not the heap size.
+    first = [scheduler.schedule(float(i % 7) + 0.5, lambda: None)
+             for i in range(50)]
+    for handle in first:
+        handle.cancel()
+    assert scheduler.pending == 0
+    assert len(scheduler._queue) == 50  # lazily-cancelled entries remain
+    second = [scheduler.schedule(float(i % 7) + 0.5, lambda: None)
+              for i in range(25)]
+    assert scheduler.pending == 25
+    assert scheduler.pending == _queue_scan(scheduler)
+    scheduler.step()
+    assert scheduler.pending == 24
+    for handle in second:
+        handle.cancel()  # includes a stale cancel of the popped event
+    assert scheduler.pending == 0
+    scheduler.run()
+    assert scheduler.pending == 0
