@@ -20,6 +20,14 @@ The fault-model subcommands (``fault``, ``churn``) additionally accept
 ``--loss-rate P`` (probabilistic message loss on every link) and
 ``--op-deadline T`` (per-operation timeout before a client rejects with
 ``OperationTimeout``); other subcommands ignore both.
+
+Observability: ``--metrics-out PATH`` aggregates every simulation's
+metrics registry (across worker processes and cache hits) and writes the
+result as Prometheus text exposition — or JSON when PATH ends in
+``.json``.  ``--trace-spans N`` prints the N slowest operation spans
+(invoke → quorum rounds → retries → response/timeout); spans cannot
+cross the worker-process boundary, so it forces ``--jobs 1`` and
+``--no-cache`` like ``--profile`` does.
 """
 
 import argparse
@@ -62,6 +70,10 @@ from repro.experiments.pseudocycles import (
 from repro.experiments.quorum_tuning import TuningConfig, tuning_table
 from repro.experiments.results import ResultTable
 from repro.experiments.survival import SurvivalConfig, survival_table
+from repro.obs import runtime as obs_runtime
+from repro.obs.core import Observability
+from repro.obs.export import to_json, to_prometheus_text
+from repro.obs.spans import SpanRecorder
 
 
 def _emit(tables: List[ResultTable], output: Optional[str], stem: str) -> None:
@@ -266,6 +278,23 @@ def build_parser() -> argparse.ArgumentParser:
              "kernel runs in-process and is actually measured)",
     )
     parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="aggregate run metrics across all simulations (and worker "
+             "processes) and write them to PATH in Prometheus text "
+             "exposition format (JSON when PATH ends in .json)",
+    )
+    parser.add_argument(
+        "--trace-spans",
+        type=int,
+        metavar="N",
+        default=None,
+        help="record per-operation spans and print the N slowest "
+             "(forces --jobs 1 and --no-cache: spans cannot cross the "
+             "worker-process boundary)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the on-disk run cache",
@@ -287,9 +316,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
-    if args.profile:
+    if args.trace_spans is not None and args.trace_spans < 1:
+        print(
+            f"repro: error: --trace-spans must be positive, "
+            f"got {args.trace_spans}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.profile or args.trace_spans is not None:
         # Profiling a worker-process fan-out (or a cache hit) would show
         # only IPC and pickling; run everything in this process, uncached.
+        # Span recording has the same constraint: spans live on the
+        # recorder in *this* process and cannot cross the pool boundary.
         jobs = 1
         cache = None
     else:
@@ -305,6 +343,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     names = sorted(COMMANDS) if args.experiment == "all" else [args.experiment]
 
+    observe = args.metrics_out is not None or args.trace_spans is not None
+    session = None
+    if observe:
+        session = Observability(
+            spans=SpanRecorder() if args.trace_spans is not None else None,
+        )
+        obs_runtime.activate(session)
+
     def run_selected() -> None:
         for name in names:
             COMMANDS[name](
@@ -316,29 +362,46 @@ def main(argv: Optional[List[str]] = None) -> int:
                 op_deadline=args.op_deadline,
             )
 
-    if args.profile:
-        import cProfile
-        import io
-        import pstats
+    try:
+        if args.profile:
+            import cProfile
+            import io
+            import pstats
 
-        profiler = cProfile.Profile()
-        profiler.enable()
-        run_selected()
-        profiler.disable()
-        buffer = io.StringIO()
-        stats = pstats.Stats(profiler, stream=buffer)
-        stats.sort_stats("cumulative").print_stats(30)
-        report = buffer.getvalue()
-        print(report)
-        if args.output:
-            profile_path = os.path.join(
-                args.output, f"profile_{args.experiment}.txt"
-            )
-            with open(profile_path, "w", encoding="utf-8") as fh:
-                fh.write(report)
-            print(f"profile saved to {profile_path}")
-    else:
-        run_selected()
+            profiler = cProfile.Profile()
+            profiler.enable()
+            run_selected()
+            profiler.disable()
+            buffer = io.StringIO()
+            stats = pstats.Stats(profiler, stream=buffer)
+            stats.sort_stats("cumulative").print_stats(30)
+            report = buffer.getvalue()
+            print(report)
+            if args.output:
+                profile_path = os.path.join(
+                    args.output, f"profile_{args.experiment}.txt"
+                )
+                with open(profile_path, "w", encoding="utf-8") as fh:
+                    fh.write(report)
+                print(f"profile saved to {profile_path}")
+        else:
+            run_selected()
+    finally:
+        if session is not None:
+            obs_runtime.deactivate()
+    if session is not None:
+        if args.metrics_out is not None:
+            snapshot = session.metrics.snapshot()
+            if args.metrics_out.endswith(".json"):
+                rendered = to_json(snapshot)
+            else:
+                rendered = to_prometheus_text(snapshot)
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(rendered)
+            print(f"metrics written to {args.metrics_out}")
+        if args.trace_spans is not None:
+            print()
+            print(session.spans.render_slowest(args.trace_spans))
     return 0
 
 

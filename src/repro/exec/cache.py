@@ -24,8 +24,11 @@ from repro.exec.task import RunTask, task_key
 #: Bump when the stored payload layout changes (or when simulator
 #: behaviour changes in a way that invalidates prior results, as the
 #: retry-path overhaul did: format 2 results carry degradation metrics
-#: and reflect exponential-backoff retries).
-CACHE_FORMAT = 2
+#: and reflect exponential-backoff retries).  Format 3 payloads embed a
+#: metrics-registry snapshot (``"metrics"``), so cache hits replay their
+#: metrics into ``--metrics-out`` aggregation; older entries lack it and
+#: are invalidated.
+CACHE_FORMAT = 3
 
 #: Default location, relative to the current working directory (the repo
 #: root in normal use).

@@ -20,6 +20,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from repro.exec.cache import MISS, RunCache
 from repro.exec.task import RunTask, execute_task
+from repro.obs import runtime as obs_runtime
 
 #: Ceiling for the automatic CLI default — beyond this, per-process
 #: startup and result pickling dominate for the scaled-down sweeps.
@@ -103,7 +104,26 @@ def run_many(
             if cache is not None:
                 cache.put(task_list[index], result)
 
+    _merge_metrics(results)
     if progress is not None:
         for index, task in enumerate(task_list):
             progress(index, task, results[index])
     return results
+
+
+def _merge_metrics(results: Sequence[Any]) -> None:
+    """Fold worker metric snapshots into the active observability session.
+
+    Snapshots travel inside result payloads (under a ``"metrics"`` key),
+    so this covers pooled workers, serial execution and cache hits alike.
+    Merging happens here, in **task order**, which keeps the aggregate
+    registry bit-deterministic regardless of pool scheduling.
+    """
+    session = obs_runtime.active()
+    if session is None or not session.metrics.enabled:
+        return
+    for result in results:
+        if isinstance(result, dict):
+            snapshot = result.get("metrics")
+            if isinstance(snapshot, dict):
+                session.metrics.merge_snapshot(snapshot)

@@ -44,6 +44,8 @@ from repro.apps.graphs import (
 )
 from repro.exec.task import RunTask
 from repro.iterative.runner import Alg1Runner
+from repro.obs import runtime as obs_runtime
+from repro.obs.core import Observability
 from repro.registers.client import RetryPolicy
 from repro.sim.failures import FailureSchedule
 from repro.quorum.base import QuorumSystem
@@ -213,6 +215,14 @@ def run_alg1_task(task: RunTask) -> Dict[str, Any]:
     """
     params = task.params
     measure_pcs = bool(params.get("measure_pseudocycles", False))
+    # Each task collects into its own fresh registry and ships the
+    # snapshot home in the payload: identical for serial and pooled
+    # execution (worker processes never inherit the parent's session),
+    # and cached payloads replay their metrics on a hit.  Spans cannot
+    # cross the process boundary, so a span recorder is only picked up
+    # from the active session when the task runs in-process.
+    active = obs_runtime.active()
+    obs = Observability(spans=active.spans if active is not None else None)
     runner = Alg1Runner(
         ApspACO(build_graph(params["graph"])),
         build_quorum(params["quorum"]),
@@ -225,6 +235,7 @@ def run_alg1_task(task: RunTask) -> Dict[str, Any]:
         loss_rate=params.get("loss_rate", 0.0),
         max_sim_time=params.get("max_sim_time"),
         record_history=measure_pcs,
+        observability=obs,
     )
     install_faults(runner, params.get("faults"))
     result = runner.run(check_spec=False)
@@ -241,6 +252,7 @@ def run_alg1_task(task: RunTask) -> Dict[str, Any]:
         "messages_dropped": result.messages_dropped,
         "ops_under_failure": result.ops_under_failure,
         "hung_ops": runner.deployment.hung_ops,
+        "metrics": obs.metrics.snapshot(),
     }
     if measure_pcs:
         from repro.iterative.trace import measure_pseudocycles

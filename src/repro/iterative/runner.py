@@ -18,6 +18,8 @@ from repro.iterative.aco import ACO
 from repro.iterative.convergence import ConvergenceMonitor
 from repro.iterative.partition import block_partition
 from repro.iterative.rounds import RoundTracker
+from repro.obs.collect import collect_alg1
+from repro.obs.core import DISABLED, Observability
 from repro.quorum.base import QuorumSystem
 from repro.registers.client import OperationTimeout, RetryPolicy
 from repro.registers.deployment import RegisterDeployment
@@ -99,6 +101,7 @@ class Alg1Runner:
         loss_rate: float = 0.0,
         max_sim_time: Optional[float] = None,
         record_history: bool = True,
+        observability: Optional[Observability] = None,
     ) -> None:
         if max_rounds < 1:
             raise ValueError(f"max_rounds must be positive, got {max_rounds}")
@@ -118,6 +121,9 @@ class Alg1Runner:
         ):
             max_sim_time = 100.0 * max_rounds
         self.max_sim_time = max_sim_time
+        self.observability = (
+            observability if observability is not None else DISABLED
+        )
         p = num_processes if num_processes is not None else aco.m
         self.blocks = block_partition(aco.m, p)
         self.deployment = RegisterDeployment(
@@ -130,6 +136,7 @@ class Alg1Runner:
             retry_policy=retry_policy,
             loss_rate=loss_rate,
             record_history=record_history,
+            observability=self.observability,
         )
         self.register_names = [f"{register_prefix}{j}" for j in range(aco.m)]
         initial = aco.initial()
@@ -227,7 +234,7 @@ class Alg1Runner:
         if self._result_converged and self.tracker._seen_this_round:  # noqa: SLF001
             rounds += 1
         cache_hits = sum(c.cache_hits for c in self.deployment.clients)
-        return Alg1Result(
+        result = Alg1Result(
             converged=self._result_converged,
             rounds=rounds,
             total_iterations=self.tracker.total_iterations,
@@ -242,3 +249,6 @@ class Alg1Runner:
             messages_dropped=self.deployment.network.stats.dropped,
             ops_under_failure=self.deployment.total_ops_under_failure,
         )
+        if self.observability.metrics.enabled:
+            collect_alg1(self.observability.metrics, self, result)
+        return result

@@ -1,0 +1,64 @@
+"""Unified observability: metrics registry, operation spans, exporters.
+
+Layers (bottom-up):
+
+* :mod:`repro.obs.registry` — Counter/Gauge/Histogram instruments with
+  labels, snapshot/merge semantics and a no-op null variant,
+* :mod:`repro.obs.spans` — per-operation span tracing (invoke → quorum
+  rounds → retries → response/timeout) with a bounded ring of spans,
+* :mod:`repro.obs.export` — Prometheus text exposition and JSON renderers
+  (plus the validator the CI smoke uses),
+* :mod:`repro.obs.collect` — post-run collection of the simulator's
+  existing counters into a registry (the hot path is never instrumented),
+* :mod:`repro.obs.runtime` — the process-global session the CLI activates
+  and the run engine merges worker snapshots into,
+* :mod:`repro.obs.core` — the :class:`Observability` bundle that wires
+  through ``RegisterDeployment`` → clients → ``Alg1Runner``.
+"""
+
+from repro.obs.core import DISABLED, Observability
+from repro.obs.export import (
+    to_json,
+    to_prometheus_text,
+    validate_prometheus_text,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Family,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.spans import (
+    NULL_RECORDER,
+    NullSpanRecorder,
+    Span,
+    SpanEvent,
+    SpanRecorder,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DISABLED",
+    "Counter",
+    "Family",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "NullSpanRecorder",
+    "Observability",
+    "Span",
+    "SpanEvent",
+    "SpanRecorder",
+    "to_json",
+    "to_prometheus_text",
+    "validate_prometheus_text",
+]

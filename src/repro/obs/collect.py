@@ -1,0 +1,179 @@
+"""Post-run collection: existing simulation counters → registry instruments.
+
+The simulation kernel already counts everything the paper measures —
+``MessageStats`` on the network, ``events_processed``/``pending`` on the
+scheduler, per-server and per-client counters on the register layer.
+These collectors read those counters *after* a run and populate a
+:class:`~repro.obs.registry.MetricsRegistry`, which keeps the per-message
+hot path free of any metrics call: enabling observability costs one pass
+over already-maintained integers.
+
+Everything here is duck-typed on the objects' public counters, so this
+module imports nothing from the simulation stack and can never create an
+import cycle.
+"""
+
+from typing import Any
+
+
+def collect_network(metrics: Any, network: Any) -> None:
+    """Message totals (and, when collected, per-kind/per-node breakdowns).
+
+    Sends/deliveries/drops come from the existing
+    :class:`~repro.sim.metrics.MessageStats` hooks; the detailed
+    breakdowns are read only when the stats object actually collected
+    them (``detailed=True``), so a scalar-totals deployment exports
+    totals without tripping the detail guard.
+    """
+    stats = network.stats
+    metrics.counter(
+        "repro_messages_sent_total", "Messages sent on the simulated network."
+    ).inc(stats.sent)
+    metrics.counter(
+        "repro_messages_delivered_total", "Messages delivered to a node."
+    ).inc(stats.delivered)
+    metrics.counter(
+        "repro_messages_dropped_total",
+        "Messages destroyed by crashes, partitions or lossy links.",
+    ).inc(stats.dropped)
+    if not stats.detailed:
+        return
+    sent_by_kind = metrics.counter(
+        "repro_messages_sent_by_kind_total",
+        "Messages sent, by protocol message kind.",
+        labelnames=("kind",),
+    )
+    for kind, count in sorted(stats.by_kind.items()):
+        sent_by_kind.labels(kind).inc(count)
+    delivered_by_kind = metrics.counter(
+        "repro_messages_delivered_by_kind_total",
+        "Messages delivered, by protocol message kind.",
+        labelnames=("kind",),
+    )
+    for kind, count in sorted(stats.delivered_by_kind.items()):
+        delivered_by_kind.labels(kind).inc(count)
+    dropped_by_kind = metrics.counter(
+        "repro_messages_dropped_by_kind_total",
+        "Messages dropped, by protocol message kind.",
+        labelnames=("kind",),
+    )
+    for kind, count in sorted(stats.dropped_by_kind.items()):
+        dropped_by_kind.labels(kind).inc(count)
+    dropped_by_reason = metrics.counter(
+        "repro_messages_dropped_by_reason_total",
+        "Messages dropped, by cause (fault = crash/partition, loss = lossy link).",
+        labelnames=("reason",),
+    )
+    for reason, count in sorted(stats.dropped_by_reason.items()):
+        dropped_by_reason.labels(reason).inc(count)
+    deliveries_by_node = metrics.counter(
+        "repro_deliveries_by_node_total",
+        "Deliveries per node id — the quorum-load measure of Section 4.",
+        labelnames=("node",),
+    )
+    for node, count in sorted(stats.by_receiver.items()):
+        deliveries_by_node.labels(node).inc(count)
+
+
+def collect_scheduler(metrics: Any, scheduler: Any) -> None:
+    """Event throughput and end-of-run queue state."""
+    metrics.counter(
+        "repro_scheduler_events_total",
+        "Events executed by the discrete-event scheduler.",
+    ).inc(scheduler.events_processed)
+    metrics.gauge(
+        "repro_scheduler_queue_depth",
+        "Non-cancelled events still queued at collection time.",
+    ).set(scheduler.pending)
+    metrics.gauge(
+        "repro_sim_time", "Simulated clock at collection time."
+    ).set(scheduler.now)
+
+
+def collect_deployment(metrics: Any, deployment: Any) -> None:
+    """Everything a :class:`RegisterDeployment` counts, in one pass.
+
+    Network and scheduler totals, per-server replica counters (indexed by
+    server *position*, stable across runs), and client-side operation /
+    fault-tolerance aggregates.
+    """
+    collect_network(metrics, deployment.network)
+    collect_scheduler(metrics, deployment.scheduler)
+
+    reads_served = metrics.counter(
+        "repro_server_reads_served_total",
+        "ReadQuery messages answered, per replica server.",
+        labelnames=("server",),
+    )
+    writes_applied = metrics.counter(
+        "repro_server_writes_applied_total",
+        "WriteUpdate messages that installed a newer value, per server.",
+        labelnames=("server",),
+    )
+    stale_updates = metrics.counter(
+        "repro_server_stale_updates_total",
+        "WriteUpdate messages ignored as stale (reordering), per server.",
+        labelnames=("server",),
+    )
+    for index, server in enumerate(deployment.servers):
+        counters = server.metric_counters()
+        reads_served.labels(index).inc(counters["reads_served"])
+        writes_applied.labels(index).inc(counters["writes_applied"])
+        stale_updates.labels(index).inc(counters["stale_updates_ignored"])
+
+    ops = metrics.counter(
+        "repro_ops_invoked_total",
+        "Register operations invoked across all clients, by kind.",
+        labelnames=("kind",),
+    )
+    ops.labels("read").inc(sum(c.reads_performed for c in deployment.clients))
+    ops.labels("write").inc(
+        sum(c.writes_performed for c in deployment.clients)
+    )
+    metrics.counter(
+        "repro_ops_completed_total", "Operations that settled successfully."
+    ).inc(sum(c.ops_completed for c in deployment.clients))
+    metrics.counter(
+        "repro_op_retries_total",
+        "Quorum resamples by the retry/backoff layer.",
+    ).inc(deployment.total_retries)
+    metrics.counter(
+        "repro_op_timeouts_total",
+        "Operations rejected with OperationTimeout.",
+    ).inc(deployment.total_timeouts)
+    metrics.counter(
+        "repro_ops_under_failure_total",
+        "Operations completed while a crash or partition was active.",
+    ).inc(deployment.total_ops_under_failure)
+    metrics.counter(
+        "repro_monotone_cache_hits_total",
+        "Reads answered from the Section 6.2 monotone cache.",
+    ).inc(sum(c.cache_hits for c in deployment.clients))
+    metrics.gauge(
+        "repro_ops_pending", "Operations still in flight at collection time."
+    ).set(deployment.pending_ops)
+
+
+def collect_alg1(metrics: Any, runner: Any, result: Any) -> None:
+    """Alg. 1 run-level accounting on top of the deployment collection."""
+    collect_deployment(metrics, runner.deployment)
+    metrics.counter(
+        "repro_alg1_runs_total", "Alg. 1 executions collected."
+    ).inc(1)
+    metrics.counter(
+        "repro_alg1_runs_converged_total",
+        "Alg. 1 executions that reached the fixed point.",
+    ).inc(1 if result.converged else 0)
+    metrics.counter(
+        "repro_alg1_rounds_total",
+        "Completed rounds (every process finished an iteration) — the "
+        "pseudocycle-progress measure compared against Corollary 7.",
+    ).inc(result.rounds_completed)
+    metrics.counter(
+        "repro_alg1_iterations_total",
+        "Process loop iterations across all processes.",
+    ).inc(result.total_iterations)
+    metrics.counter(
+        "repro_alg1_regressions_total",
+        "Convergence-monitor regressions (non-monotone observable state).",
+    ).inc(result.regressions)

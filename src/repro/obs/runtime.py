@@ -1,0 +1,51 @@
+"""Process-global observability session.
+
+The run engine (:func:`repro.exec.engine.run_many`) and the experiment
+modules between it and the CLI are generic over result types; threading an
+:class:`~repro.obs.Observability` argument through every experiment
+function would couple all of them to the metrics layer.  Instead the CLI
+*activates* an observability session for the duration of a run, and the
+engine merges any worker metric snapshots it sees into the active session.
+
+Worker *processes* never inherit the session (it is per-process state);
+their metrics travel back inside result payloads and are merged by the
+parent.  Span recorders cannot cross the process boundary at all, which is
+why ``--trace-spans`` forces in-process execution.
+"""
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.core import Observability
+
+_active: Optional[Observability] = None
+
+
+def activate(obs: Observability) -> Optional[Observability]:
+    """Make ``obs`` the process's active session; returns the previous one."""
+    global _active
+    previous = _active
+    _active = obs
+    return previous
+
+
+def deactivate() -> None:
+    """Clear the active session."""
+    global _active
+    _active = None
+
+
+def active() -> Optional[Observability]:
+    """The active session, or None when observability is off."""
+    return _active
+
+
+@contextmanager
+def session(obs: Observability) -> Iterator[Observability]:
+    """Activate ``obs`` for the duration of a ``with`` block."""
+    previous = activate(obs)
+    try:
+        yield obs
+    finally:
+        global _active
+        _active = previous

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.history import ReadRecord, WriteRecord
 from repro.core.register import AbstractRegister
 from repro.core.timestamps import Timestamp
+from repro.obs.core import DISABLED, Observability
 from repro.quorum.base import QuorumSystem
 from repro.registers.messages import ReadQuery, ReadReply, WriteAck, WriteUpdate
 from repro.registers.space import RegisterSpace
@@ -111,6 +112,7 @@ class _PendingOp:
         "deadline_handle",
         "attempts",
         "started",
+        "span",
     )
 
     def __init__(
@@ -137,6 +139,7 @@ class _PendingOp:
         self.deadline_handle: Optional[EventHandle] = None
         self.attempts = 0
         self.started = 0.0
+        self.span = None
 
     def complete_against_quorum(self) -> bool:
         """True once every member of the current quorum has replied."""
@@ -165,6 +168,7 @@ class QuorumRegisterClient(Node):
         retry_interval: Optional[float] = None,
         retry_policy: Optional[RetryPolicy] = None,
         retry_rng: Optional[np.random.Generator] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         super().__init__()
         self.client_id = client_id
@@ -199,6 +203,25 @@ class QuorumRegisterClient(Node):
         self.timeouts = 0
         self.ops_completed = 0
         self.ops_completed_under_failure = 0
+        # Observability: per-op spans and the latency histogram are the
+        # only *live* instrumentation in the register stack (everything
+        # else is collected post-run).  Both sides are prefetched to a
+        # cheap truthiness/None check so disabled runs pay nothing on the
+        # per-operation path — and nothing at all per message.
+        self.observability = observability if observability is not None else DISABLED
+        self._trace_on = self.observability.spans.enabled
+        if self.observability.metrics.enabled:
+            latency = self.observability.metrics.histogram(
+                "repro_op_latency",
+                "Operation latency in simulated time units, by op kind.",
+                labelnames=("kind",),
+            )
+            self._latency = {
+                "read": latency.labels("read"),
+                "write": latency.labels("write"),
+            }
+        else:
+            self._latency = None
 
     @property
     def retry_interval(self) -> Optional[float]:
@@ -250,6 +273,11 @@ class QuorumRegisterClient(Node):
         servers = [self.server_ids[member] for member in op.unanswered()]
         if not servers:
             return
+        if op.span is not None:
+            op.span.event(
+                self.network.scheduler.now, "quorum_round",
+                members=len(servers), attempt=op.attempts,
+            )
         if op.is_read:
             message = ReadQuery(op.register, op.op_id)
         else:
@@ -263,6 +291,14 @@ class QuorumRegisterClient(Node):
         """Register the op, send the first round, arm retry and deadline."""
         self._pending[op.op_id] = op
         op.started = self.network.scheduler.now
+        if self._trace_on:
+            op.span = self.observability.spans.start(
+                "read" if op.is_read else "write",
+                op.started,
+                client=self.client_id,
+                register=op.register,
+                op_id=op.op_id,
+            )
         self._send_round(op)
         scheduler = self.network.scheduler
         if self.retry_policy is not None:
@@ -283,6 +319,10 @@ class QuorumRegisterClient(Node):
             return
         op.attempts += 1
         self.retries += 1
+        if op.span is not None:
+            op.span.event(
+                self.network.scheduler.now, "retry", attempt=op.attempts
+            )
         if op.is_read:
             op.quorum = self.quorum_system.read_quorum(self.rng)
         else:
@@ -305,6 +345,10 @@ class QuorumRegisterClient(Node):
             return
         self._teardown(op)
         self.timeouts += 1
+        if op.span is not None:
+            self.observability.spans.finish(
+                op.span, self.network.scheduler.now, status="timeout"
+            )
         kind = "read" if op.is_read else "write"
         op.future.fail(
             OperationTimeout(
@@ -380,6 +424,10 @@ class QuorumRegisterClient(Node):
             if server_index is None:
                 return  # reply from an unknown node
             op.replies[server_index] = message
+            if op.span is not None:
+                op.span.event(
+                    self.network.scheduler.now, "reply", server=server_index
+                )
             if op.complete_against_quorum():
                 self._finish(op)
 
@@ -389,6 +437,11 @@ class QuorumRegisterClient(Node):
         if self.network.failures.any_failures:
             self.ops_completed_under_failure += 1
         now = self.network.scheduler.now
+        if self._latency is not None:
+            kind = "read" if op.is_read else "write"
+            self._latency[kind].observe(now - op.started)
+        if op.span is not None:
+            self.observability.spans.finish(op.span, now, status="ok")
         if not op.is_read:
             op.record.respond(now)
             op.future.resolve(None)

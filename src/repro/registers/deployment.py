@@ -16,6 +16,7 @@ partition/heal events addressed by server index.
 
 from typing import Any, List, Optional
 
+from repro.obs.core import DISABLED, Observability
 from repro.quorum.base import QuorumSystem
 from repro.registers.client import (
     QuorumRegisterClient,
@@ -49,12 +50,16 @@ class RegisterDeployment:
         client_class: type = QuorumRegisterClient,
         record_history: bool = True,
         detailed_stats: bool = True,
+        observability: Optional[Observability] = None,
     ) -> None:
         if num_clients < 1:
             raise ValueError(f"need at least one client, got {num_clients}")
         self.quorum_system = quorum_system
         self.monotone = monotone
         self.record_history = record_history
+        self.observability = (
+            observability if observability is not None else DISABLED
+        )
         self.scheduler = scheduler or Scheduler()
         self.rng = rng_registry or RngRegistry(seed)
         self.delay_model = delay_model or ConstantDelay(1.0)
@@ -95,6 +100,7 @@ class RegisterDeployment:
                     if retry_policy is not None
                     else None
                 ),
+                observability=self.observability,
             )
             self.network.add_node(client)
             self.clients.append(client)

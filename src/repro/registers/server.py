@@ -46,6 +46,19 @@ class ReplicaServer(Node):
         """The value of this server's replica (for tests/inspection)."""
         return self._replica(register)[1]
 
+    def metric_counters(self) -> Dict[str, int]:
+        """This server's counters, keyed for the metrics collectors.
+
+        Read post-run by :func:`repro.obs.collect.collect_deployment`; the
+        dict shape is the contract, so any node exposing it can feed the
+        per-server instrument families.
+        """
+        return {
+            "reads_served": self.reads_served,
+            "writes_applied": self.writes_applied,
+            "stale_updates_ignored": self.stale_updates_ignored,
+        }
+
     def on_message(self, src: int, message: Any) -> None:
         # Replies go through network.send directly: Node.send's attachment
         # checks cost a function call per reply, and every message a

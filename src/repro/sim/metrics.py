@@ -14,10 +14,25 @@ The recorders sit on the per-message hot path, so a ``detailed=False``
 mode skips every per-kind/per-node ``Counter`` update and maintains only
 the three scalar totals — for benchmarks and throughput-bound runs that
 never read the breakdowns.
+
+Reading a breakdown that was never collected raises
+:class:`DetailNotCollected` instead of silently answering zero: a
+``detailed=False`` deployment must never feed empty load or per-kind
+numbers into the Section 6.4 / Section 4 tables as if they were measured.
 """
 
 from collections import Counter
 from typing import Dict, Optional, Tuple
+
+
+class DetailNotCollected(RuntimeError):
+    """A per-kind/per-node breakdown was read from scalar-totals stats.
+
+    Raised by :class:`MessageStats` accessors when ``detailed=False``:
+    the breakdown was never collected, so any answer would be a lie, not
+    a zero.  Construct the stats (or the deployment, via
+    ``detailed_stats=True``) in detailed mode to measure breakdowns.
+    """
 
 
 class MessageStats:
@@ -28,13 +43,13 @@ class MessageStats:
         "sent",
         "delivered",
         "dropped",
-        "by_sender",
-        "by_receiver",
-        "by_kind",
-        "delivered_by_kind",
-        "dropped_by_kind",
-        "dropped_by_receiver",
-        "dropped_by_reason",
+        "_by_sender",
+        "_by_receiver",
+        "_by_kind",
+        "_delivered_by_kind",
+        "_dropped_by_kind",
+        "_dropped_by_receiver",
+        "_dropped_by_reason",
         "_marks",
     )
 
@@ -43,22 +58,77 @@ class MessageStats:
         self.sent: int = 0
         self.delivered: int = 0
         self.dropped: int = 0
-        self.by_sender: Counter = Counter()
-        self.by_receiver: Counter = Counter()
-        self.by_kind: Counter = Counter()
-        self.delivered_by_kind: Counter = Counter()
-        self.dropped_by_kind: Counter = Counter()
-        self.dropped_by_receiver: Counter = Counter()
-        self.dropped_by_reason: Counter = Counter()
+        self._by_sender: Counter = Counter()
+        self._by_receiver: Counter = Counter()
+        self._by_kind: Counter = Counter()
+        self._delivered_by_kind: Counter = Counter()
+        self._dropped_by_kind: Counter = Counter()
+        self._dropped_by_receiver: Counter = Counter()
+        self._dropped_by_reason: Counter = Counter()
         self._marks: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Guarded breakdown accessors
+    # ------------------------------------------------------------------ #
+
+    def _breakdown(self, counter: Counter, name: str) -> Counter:
+        if not self.detailed:
+            raise DetailNotCollected(
+                f"MessageStats.{name} was never collected: this instance "
+                f"was built with detailed=False (scalar totals only). "
+                f"Use detailed=True / RegisterDeployment(detailed_stats="
+                f"True) to measure per-kind/per-node breakdowns."
+            )
+        return counter
+
+    @property
+    def by_sender(self) -> Counter:
+        """Sends per source node (detailed mode only)."""
+        return self._breakdown(self._by_sender, "by_sender")
+
+    @property
+    def by_receiver(self) -> Counter:
+        """Deliveries per destination node (detailed mode only)."""
+        return self._breakdown(self._by_receiver, "by_receiver")
+
+    @property
+    def by_kind(self) -> Counter:
+        """Sends per message kind (detailed mode only)."""
+        return self._breakdown(self._by_kind, "by_kind")
+
+    @property
+    def delivered_by_kind(self) -> Counter:
+        """Deliveries per message kind (detailed mode only)."""
+        return self._breakdown(self._delivered_by_kind, "delivered_by_kind")
+
+    @property
+    def dropped_by_kind(self) -> Counter:
+        """Drops per message kind (detailed mode only)."""
+        return self._breakdown(self._dropped_by_kind, "dropped_by_kind")
+
+    @property
+    def dropped_by_receiver(self) -> Counter:
+        """Drops per would-be receiver (detailed mode only)."""
+        return self._breakdown(
+            self._dropped_by_receiver, "dropped_by_receiver"
+        )
+
+    @property
+    def dropped_by_reason(self) -> Counter:
+        """Drops per cause, "fault" or "loss" (detailed mode only)."""
+        return self._breakdown(self._dropped_by_reason, "dropped_by_reason")
+
+    # ------------------------------------------------------------------ #
+    # Recording (hot path)
+    # ------------------------------------------------------------------ #
 
     def record_send(self, src: int, dst: int, kind: Optional[str]) -> None:
         """Record one message leaving ``src`` for ``dst``."""
         self.sent += 1
         if self.detailed:
-            self.by_sender[src] += 1
+            self._by_sender[src] += 1
             if kind is not None:
-                self.by_kind[kind] += 1
+                self._by_kind[kind] += 1
 
     def record_sends(self, src: int, count: int, kind: Optional[str]) -> None:
         """Record ``count`` messages leaving ``src`` in one update.
@@ -69,9 +139,9 @@ class MessageStats:
         """
         self.sent += count
         if self.detailed:
-            self.by_sender[src] += count
+            self._by_sender[src] += count
             if kind is not None:
-                self.by_kind[kind] += count
+                self._by_kind[kind] += count
 
     def record_delivery(
         self, src: int, dst: int, kind: Optional[str] = None
@@ -79,9 +149,9 @@ class MessageStats:
         """Record one message arriving at ``dst``."""
         self.delivered += 1
         if self.detailed:
-            self.by_receiver[dst] += 1
+            self._by_receiver[dst] += 1
             if kind is not None:
-                self.delivered_by_kind[kind] += 1
+                self._delivered_by_kind[kind] += 1
 
     def record_drop(
         self,
@@ -100,10 +170,14 @@ class MessageStats:
         """
         self.dropped += 1
         if self.detailed:
-            self.dropped_by_receiver[dst] += 1
-            self.dropped_by_reason[reason] += 1
+            self._dropped_by_receiver[dst] += 1
+            self._dropped_by_reason[reason] += 1
             if kind is not None:
-                self.dropped_by_kind[kind] += 1
+                self._dropped_by_kind[kind] += 1
+
+    # ------------------------------------------------------------------ #
+    # Derived readings
+    # ------------------------------------------------------------------ #
 
     def mark(self, name: str) -> None:
         """Remember the current sent-count under ``name`` (for deltas)."""
@@ -114,17 +188,27 @@ class MessageStats:
         return self.sent - self._marks.get(name, 0)
 
     def busiest_receiver(self) -> Tuple[Optional[int], int]:
-        """Return (node id, delivery count) of the most-accessed node."""
-        if not self.by_receiver:
+        """Return (node id, delivery count) of the most-accessed node.
+
+        Requires detailed mode; with ``detailed=False`` the per-receiver
+        breakdown was never collected and this raises
+        :class:`DetailNotCollected` rather than reporting ``(None, 0)``.
+        """
+        by_receiver = self._breakdown(self._by_receiver, "busiest_receiver")
+        if not by_receiver:
             return None, 0
-        node, count = self.by_receiver.most_common(1)[0]
+        node, count = by_receiver.most_common(1)[0]
         return node, count
 
     def receiver_load(self, node: int) -> float:
-        """Fraction of all deliveries that went to ``node``."""
+        """Fraction of all deliveries that went to ``node``.
+
+        Requires detailed mode (see :meth:`busiest_receiver`).
+        """
+        by_receiver = self._breakdown(self._by_receiver, "receiver_load")
         if self.delivered == 0:
             return 0.0
-        return self.by_receiver[node] / self.delivered
+        return by_receiver[node] / self.delivered
 
     def drop_rate(self) -> float:
         """Fraction of sent messages that were dropped."""
@@ -133,21 +217,24 @@ class MessageStats:
         return self.dropped / self.sent
 
     def reset(self) -> None:
-        """Zero every counter.
+        """Zero every counter — including the :meth:`mark` table.
 
-        Fields are reset explicitly (not via ``__init__``) so subclasses
-        adding state keep full control over their own reset behaviour.
+        Marks record absolute sent-counts, so a stale mark against a
+        zeroed ``sent`` would make :meth:`since_mark` go negative; the
+        table is cleared along with everything else.  Fields are reset
+        explicitly (not via ``__init__``) so subclasses adding state keep
+        full control over their own reset behaviour.
         """
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
-        self.by_sender.clear()
-        self.by_receiver.clear()
-        self.by_kind.clear()
-        self.delivered_by_kind.clear()
-        self.dropped_by_kind.clear()
-        self.dropped_by_receiver.clear()
-        self.dropped_by_reason.clear()
+        self._by_sender.clear()
+        self._by_receiver.clear()
+        self._by_kind.clear()
+        self._delivered_by_kind.clear()
+        self._dropped_by_kind.clear()
+        self._dropped_by_receiver.clear()
+        self._dropped_by_reason.clear()
         self._marks.clear()
 
     def __repr__(self) -> str:

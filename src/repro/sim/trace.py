@@ -6,9 +6,22 @@ sent), with an optional cap on retained events.  Query helpers slice the
 log by time window, node and message kind, and an ASCII timeline renderer
 aids debugging of protocol interleavings — the practical tooling a
 production simulator needs once a run misbehaves.
+
+The cap is a **ring buffer**: at ``max_events`` the *oldest* events are
+evicted so the log always holds the most recent tail of the run — the
+part that explains a late misbehaviour — with ``dropped_events`` counting
+evictions.  (The original implementation discarded the newest events,
+keeping the boring warm-up and losing the interesting tail.)
+
+For richer, per-operation views (invoke → quorum rounds → retries →
+response) see the span log in :mod:`repro.obs.spans`, which supersedes
+this flat tap for operation-level debugging; ``TraceLog`` remains the
+message-level view.
 """
 
-from typing import Any, Callable, List, Optional
+import math
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
 
 from repro.sim.network import Network
 
@@ -34,7 +47,7 @@ class TraceEvent:
 
 
 class TraceLog:
-    """A bounded, queryable log of network events."""
+    """A bounded, queryable log of network events (newest kept at the cap)."""
 
     def __init__(self, network: Network, max_events: Optional[int] = None,
                  keep_payloads: bool = False) -> None:
@@ -43,17 +56,18 @@ class TraceLog:
         self.network = network
         self.max_events = max_events
         self.keep_payloads = keep_payloads
-        self.events: List[TraceEvent] = []
+        self.events: Deque[TraceEvent] = deque(maxlen=max_events)
         self.dropped_events = 0
         network.add_tap(self._record)
 
     def _record(self, src: int, dst: int, message: Any) -> None:
-        if self.max_events is not None and len(self.events) >= self.max_events:
+        events = self.events
+        if self.max_events is not None and len(events) == self.max_events:
+            # The deque evicts the oldest event on append; count it.
             self.dropped_events += 1
-            return
         kind = getattr(message, "kind", None) or type(message).__name__
         payload = message if self.keep_payloads else None
-        self.events.append(
+        events.append(
             TraceEvent(self.network.scheduler.now, src, dst, kind, payload)
         )
 
@@ -62,9 +76,16 @@ class TraceLog:
     # ------------------------------------------------------------------ #
 
     def between(self, start: float, end: float) -> List[TraceEvent]:
-        """Events with start <= time < end."""
-        if end < start:
-            raise ValueError(f"empty window [{start}, {end})")
+        """Events with start <= time < end.
+
+        An inverted window (``end < start``) is simply empty and returns
+        ``[]``; :class:`ValueError` is reserved for bounds that cannot
+        define a window at all (NaN).
+        """
+        if math.isnan(start) or math.isnan(end):
+            raise ValueError(f"window bounds must not be NaN: [{start}, {end})")
+        if end <= start:
+            return []
         return [e for e in self.events if start <= e.time < end]
 
     def involving(self, node: int) -> List[TraceEvent]:
@@ -94,13 +115,21 @@ class TraceLog:
         self, limit: int = 50, start: float = 0.0,
         end: Optional[float] = None,
     ) -> str:
-        """A compact textual timeline of (up to ``limit``) events."""
+        """A compact textual timeline of (up to ``limit``) events.
+
+        The window filter matches :meth:`between`: an inverted window is
+        empty, and NaN bounds are rejected.
+        """
         if limit < 1:
             raise ValueError(f"limit must be positive, got {limit}")
-        window = [
-            e for e in self.events
-            if e.time >= start and (end is None or e.time < end)
-        ]
+        if math.isnan(start) or (end is not None and math.isnan(end)):
+            raise ValueError(
+                f"window bounds must not be NaN: [{start}, {end})"
+            )
+        if end is None:
+            window = [e for e in self.events if e.time >= start]
+        else:
+            window = [e for e in self.events if start <= e.time < end]
         lines = [f"timeline: {len(window)} events"
                  + (f" (showing first {limit})" if len(window) > limit else "")]
         for event in window[:limit]:
@@ -109,7 +138,10 @@ class TraceLog:
                 f"{event.kind}"
             )
         if self.dropped_events:
-            lines.append(f"  ... {self.dropped_events} events beyond cap")
+            lines.append(
+                f"  ... {self.dropped_events} earlier events evicted "
+                f"(cap {self.max_events})"
+            )
         return "\n".join(lines)
 
     def __len__(self) -> int:

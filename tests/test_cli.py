@@ -91,3 +91,52 @@ def test_main_uses_run_cache(tmp_path, monkeypatch, capsys):
     # --clear-cache wipes it before the (re-)run repopulates it.
     assert main(["survival", "--clear-cache"]) == 0
     capsys.readouterr()
+
+
+def test_parser_accepts_observability_flags():
+    args = build_parser().parse_args(
+        ["fault", "--metrics-out", "m.prom", "--trace-spans", "3"]
+    )
+    assert args.metrics_out == "m.prom"
+    assert args.trace_spans == 3
+    defaults = build_parser().parse_args(["fault"])
+    assert defaults.metrics_out is None
+    assert defaults.trace_spans is None
+
+
+def test_metrics_out_writes_valid_prometheus_text(tmp_path, capsys):
+    from repro.obs.export import validate_prometheus_text
+
+    path = tmp_path / "metrics.prom"
+    assert main(
+        ["fault", "--jobs", "2", "--no-cache", "--metrics-out", str(path)]
+    ) == 0
+    assert f"metrics written to {path}" in capsys.readouterr().out
+    parsed = validate_prometheus_text(path.read_text(encoding="utf-8"))
+    assert parsed["repro_messages_sent_total"]["type"] == "counter"
+    assert parsed["repro_messages_sent_total"]["samples"][0][1] > 0
+    assert parsed["repro_alg1_runs_total"]["samples"][0][1] > 1
+    assert parsed["repro_op_latency"]["type"] == "histogram"
+
+
+def test_metrics_out_json_variant(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "metrics.json"
+    assert main(["fault", "--no-cache", "--metrics-out", str(path)]) == 0
+    capsys.readouterr()
+    snapshot = json.loads(path.read_text(encoding="utf-8"))
+    names = [i["name"] for i in snapshot["instruments"]]
+    assert "repro_messages_sent_total" in names
+
+
+def test_trace_spans_prints_slowest_operations(capsys):
+    assert main(["fault", "--trace-spans", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "slowest 3 of" in out
+    assert "quorum_round" in out
+
+
+def test_trace_spans_rejects_non_positive(capsys):
+    assert main(["fault", "--trace-spans", "0"]) == 2
+    assert "--trace-spans must be positive" in capsys.readouterr().err

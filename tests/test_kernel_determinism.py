@@ -96,7 +96,7 @@ GOLDEN_TRACE = [
 ]
 
 
-def _capture_delivery_trace():
+def _capture_delivery_trace(observability=None):
     """Run the golden workload, recording every delivery as it happens."""
     deployment = RegisterDeployment(
         ProbabilisticQuorumSystem(6, 2),
@@ -104,6 +104,7 @@ def _capture_delivery_trace():
         delay_model=ExponentialDelay(1.0),
         seed=99,
         record_history=False,
+        observability=observability,
     )
     deployment.declare_register("x", writer=0)
     deployment.declare_register("y", writer=1)
@@ -178,8 +179,8 @@ GOLDEN_ALG1_FINGERPRINT = {
 }
 
 
-def test_golden_alg1_fingerprint_is_unchanged():
-    task = RunTask(
+def _golden_alg1_task():
+    return RunTask(
         kind="alg1",
         params={
             "graph": {"kind": "chain", "n": 8},
@@ -190,9 +191,49 @@ def test_golden_alg1_fingerprint_is_unchanged():
         },
         seed=derive_seed(2001, "golden-alg1"),
     )
-    result = run_alg1_task(task)
+
+
+def test_golden_alg1_fingerprint_is_unchanged():
+    result = run_alg1_task(_golden_alg1_task())
     observed = {key: result[key] for key in GOLDEN_ALG1_FINGERPRINT}
     assert observed == GOLDEN_ALG1_FINGERPRINT
+
+
+def test_observability_does_not_perturb_golden_run():
+    """Obs-on runs are event-for-event identical to obs-off runs.
+
+    Metrics are collected post-run from existing counters and spans stamp
+    simulated times without touching any RNG stream, so a fully
+    instrumented run must still match the golden fingerprint — and the
+    golden delivery trace must be unchanged under an active session with
+    span recording on.
+    """
+    from repro.obs import runtime as obs_runtime
+    from repro.obs.core import Observability
+    from repro.obs.spans import SpanRecorder
+
+    session = Observability(spans=SpanRecorder())
+    obs_runtime.activate(session)
+    try:
+        result = run_alg1_task(_golden_alg1_task())
+    finally:
+        obs_runtime.deactivate()
+    observed = {key: result[key] for key in GOLDEN_ALG1_FINGERPRINT}
+    assert observed == GOLDEN_ALG1_FINGERPRINT
+    # The instrumentation actually ran: the payload snapshot agrees with
+    # the fingerprint, and the golden run's spans were recorded.
+    merged = Observability()
+    merged.metrics.merge_snapshot(result["metrics"])
+    assert merged.metrics.sample("repro_messages_sent_total") == (
+        GOLDEN_ALG1_FINGERPRINT["messages"]
+    )
+    assert session.spans.finished > 0
+
+    # Same for the delivery trace, with spans wired into the deployment
+    # itself: the instrumented workload delivers the exact golden events.
+    traced = Observability(spans=SpanRecorder())
+    assert _capture_delivery_trace(observability=traced) == GOLDEN_TRACE
+    assert traced.spans.finished > 0
 
 
 # --------------------------------------------------------------------- #

@@ -1,7 +1,9 @@
 """Tests for MessageStats and FailureInjector."""
 
+import pytest
+
 from repro.sim.failures import FailureInjector
-from repro.sim.metrics import MessageStats
+from repro.sim.metrics import DetailNotCollected, MessageStats
 
 
 class TestMessageStats:
@@ -86,6 +88,53 @@ class TestMessageStats:
         # A reset instance behaves exactly like a fresh one.
         assert stats.busiest_receiver() == (None, 0)
         assert stats.drop_rate() == 0.0
+
+    def test_reset_clears_marks(self):
+        # Regression: a stale mark surviving reset() would make the delta
+        # against the zeroed sent-count go negative.
+        stats = MessageStats()
+        for _ in range(5):
+            stats.record_send(0, 1, None)
+        stats.mark("phase")
+        stats.reset()
+        stats.record_send(0, 1, None)
+        assert stats.since_mark("phase") == 1
+
+    def test_scalar_mode_counts_totals_only(self):
+        stats = MessageStats(detailed=False)
+        stats.record_send(0, 1, "read_query")
+        stats.record_sends(0, 3, "read_query")
+        stats.record_delivery(0, 1, kind="read_query")
+        stats.record_drop(0, 2, kind="read_query", reason="loss")
+        assert stats.sent == 4
+        assert stats.delivered == 1
+        assert stats.dropped == 1
+        assert stats.drop_rate() == 0.25
+        stats.mark("phase")
+        assert stats.since_mark("phase") == 0
+
+    def test_scalar_mode_breakdowns_raise_not_lie(self):
+        # detailed=False never collected the breakdowns; reading one must
+        # raise, not silently answer (None, 0) / 0.0 / empty.
+        stats = MessageStats(detailed=False)
+        stats.record_send(0, 1, "read_query")
+        stats.record_delivery(0, 1, kind="read_query")
+        for accessor in (
+            lambda: stats.by_sender,
+            lambda: stats.by_receiver,
+            lambda: stats.by_kind,
+            lambda: stats.delivered_by_kind,
+            lambda: stats.dropped_by_kind,
+            lambda: stats.dropped_by_receiver,
+            lambda: stats.dropped_by_reason,
+            stats.busiest_receiver,
+            lambda: stats.receiver_load(1),
+        ):
+            with pytest.raises(DetailNotCollected, match="detailed=False"):
+                accessor()
+        # DetailNotCollected is a RuntimeError, so legacy broad handlers
+        # still catch it.
+        assert issubclass(DetailNotCollected, RuntimeError)
 
 
 class TestFailureInjector:

@@ -62,8 +62,14 @@ def test_query_by_window_node_kind(traced_deployment):
     )
     assert len(trace.of_kind("read_query")) == 2
     assert len(trace.matching(lambda e: e.dst == client1)) == 2
+    # An inverted window is simply empty — not an error.
+    assert trace.between(2.0, 1.0) == []
+    assert trace.between(1.0, 1.0) == []
+    # ValueError is reserved for bounds that cannot define a window.
     with pytest.raises(ValueError):
-        trace.between(2.0, 1.0)
+        trace.between(float("nan"), 1.0)
+    with pytest.raises(ValueError):
+        trace.between(0.0, float("nan"))
 
 
 def test_payloads_kept_when_requested(traced_deployment):
@@ -105,6 +111,43 @@ def test_event_cap_counts_drops():
     assert trace.dropped_events > 0
     with pytest.raises(ValueError):
         TraceLog(deployment.network, max_events=0)
+
+
+def test_event_cap_keeps_newest_events():
+    """The cap is a ring buffer: the retained tail is the run's *end*."""
+    deployment = RegisterDeployment(
+        ProbabilisticQuorumSystem(6, 3), num_clients=1,
+        delay_model=ConstantDelay(1.0), seed=2,
+    )
+    deployment.declare_register("X", writer=0, initial_value=0)
+    full = TraceLog(deployment.network)          # uncapped reference
+    capped = TraceLog(deployment.network, max_events=3)
+    run_one_write_one_read_single(deployment)
+    expected = list(full.events)[-3:]
+    assert [
+        (e.time, e.src, e.dst, e.kind) for e in capped.events
+    ] == [(e.time, e.src, e.dst, e.kind) for e in expected]
+    assert capped.dropped_events == len(full.events) - 3
+    # Evicted (old) events are gone from queries; the tail is queryable.
+    last_time = expected[-1].time
+    assert capped.between(last_time, last_time + 1.0)
+
+
+def test_timeline_reports_evictions():
+    deployment = RegisterDeployment(
+        ProbabilisticQuorumSystem(6, 3), num_clients=1,
+        delay_model=ConstantDelay(1.0), seed=2,
+    )
+    deployment.declare_register("X", writer=0, initial_value=0)
+    trace = TraceLog(deployment.network, max_events=3)
+    run_one_write_one_read_single(deployment)
+    text = trace.render_timeline()
+    assert f"{trace.dropped_events} earlier events evicted (cap 3)" in text
+    # Window filtering matches between(): inverted windows are empty.
+    empty = trace.render_timeline(start=5.0, end=1.0)
+    assert "timeline: 0 events" in empty
+    with pytest.raises(ValueError):
+        trace.render_timeline(start=float("nan"))
 
 
 def test_timeline_rendering(traced_deployment):
