@@ -1,0 +1,24 @@
+"""Adaptive adversary strategies for the simulated network.
+
+See :mod:`repro.adversary.base` for the interception model and
+:mod:`repro.adversary.strategies` for the concrete strategies.
+"""
+
+from repro.adversary.base import DROP, Adversary
+from repro.adversary.strategies import (
+    CrashTargeterAdversary,
+    PartitionOscillatorAdversary,
+    RandomHostileAdversary,
+    StaleFavoringAdversary,
+    build_adversary,
+)
+
+__all__ = [
+    "DROP",
+    "Adversary",
+    "CrashTargeterAdversary",
+    "PartitionOscillatorAdversary",
+    "RandomHostileAdversary",
+    "StaleFavoringAdversary",
+    "build_adversary",
+]

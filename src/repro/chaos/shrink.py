@@ -1,0 +1,177 @@
+"""Deterministic shrinking of violating chaos configurations.
+
+A chaos campaign that finds a spec violation hands back a task with a
+randomized pile of faults, adversary knobs and load parameters — most of
+which are irrelevant to the bug.  :func:`shrink_violation` reduces that
+task to a minimal configuration that still violates, via delta debugging
+(ddmin) over the failure-schedule event list plus a fixed sequence of
+single-knob reductions (drop the adversary, zero the loss rate, halve
+numeric budgets, halve the round budget).
+
+Everything here is deterministic: candidate order is fixed, every
+candidate run re-executes the worker with the task's own seed (simulation
+results are pure functions of their task), and the output is plain data —
+so the same violating task always shrinks to the byte-identical minimal
+repro, and the repro file replays the violation anywhere.
+"""
+
+import copy
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.exec.task import RunTask, execute_task
+
+
+def _violates(task: RunTask) -> Tuple[bool, Optional[Dict[str, Any]]]:
+    """Run the task; report whether it still produces a spec violation."""
+    payload = execute_task(task)
+    violation = payload.get("spec_violation")
+    return violation is not None, violation
+
+
+def _with_params(task: RunTask, params: Dict[str, Any]) -> RunTask:
+    return RunTask(kind=task.kind, params=params, seed=task.seed)
+
+
+def _minimize_events(
+    events: List[Dict[str, Any]],
+    still_violates: Callable[[List[Dict[str, Any]]], bool],
+) -> List[Dict[str, Any]]:
+    """ddmin over a failure-schedule event list (complement-only variant).
+
+    Tries removing progressively finer chunks of the timeline; keeps any
+    removal that preserves the violation.  Candidate order is fully
+    determined by the list, so shrinking is deterministic.
+    """
+    if events and still_violates([]):
+        return []
+    granularity = 2
+    while len(events) >= 2:
+        chunk = math.ceil(len(events) / granularity)
+        reduced = False
+        for start in range(0, len(events), chunk):
+            candidate = events[:start] + events[start + chunk:]
+            if candidate != events and still_violates(candidate):
+                events = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(len(events), granularity * 2)
+    return events
+
+
+def shrink_violation(
+    task: RunTask, max_runs: int = 200
+) -> Dict[str, Any]:
+    """Reduce a violating task to a minimal still-violating configuration.
+
+    Returns a plain-data report::
+
+        {"task": <minimal task descriptor>,
+         "violation": <the minimal task's violation payload>,
+         "shrink": {"candidate_runs": ..., "reductions": [...]}}
+
+    ``max_runs`` bounds the number of candidate simulations; on exhaustion
+    the best reduction found so far is returned.  Raises ``ValueError``
+    if the input task does not violate in the first place.
+    """
+    violates_now, violation = _violates(task)
+    if not violates_now:
+        raise ValueError(
+            "shrink_violation needs a violating task; this one passed"
+        )
+    runs = 1
+    reductions: List[str] = []
+    params: Dict[str, Any] = copy.deepcopy(dict(task.params))
+
+    def try_params(candidate: Dict[str, Any], label: str) -> bool:
+        nonlocal runs, params, violation
+        if runs >= max_runs:
+            return False
+        runs += 1
+        ok, caught = _violates(_with_params(task, candidate))
+        if ok:
+            params = candidate
+            violation = caught
+            reductions.append(label)
+        return ok
+
+    # 1. ddmin the failure timeline (campaigns script faults as explicit
+    #    "schedule" event lists, so this covers the whole fault surface).
+    faults = params.get("faults")
+    if isinstance(faults, dict) and faults.get("kind") == "schedule":
+        events = list(faults.get("events", []))
+
+        def events_violate(candidate_events: List[Dict[str, Any]]) -> bool:
+            nonlocal runs
+            if runs >= max_runs:
+                return False
+            runs += 1
+            candidate = copy.deepcopy(params)
+            if candidate_events:
+                candidate["faults"] = {
+                    "kind": "schedule", "events": candidate_events
+                }
+            else:
+                candidate.pop("faults", None)
+            ok, _ = _violates(_with_params(task, candidate))
+            return ok
+
+        minimal_events = _minimize_events(events, events_violate)
+        if len(minimal_events) < len(events):
+            if minimal_events:
+                params["faults"] = {
+                    "kind": "schedule", "events": minimal_events
+                }
+            else:
+                params.pop("faults", None)
+            reductions.append(
+                f"faults: {len(events)} -> {len(minimal_events)} events"
+            )
+            # Re-establish the violation payload for the reduced params.
+            runs += 1
+            _, violation = _violates(_with_params(task, params))
+
+    # 2. Drop whole optional subsystems, then shrink their knobs.
+    if params.get("adversary") is not None:
+        candidate = copy.deepcopy(params)
+        del candidate["adversary"]
+        try_params(candidate, "remove adversary")
+    adversary = params.get("adversary")
+    if isinstance(adversary, dict):
+        for knob in ("drop_budget", "k"):
+            value = adversary.get(knob)
+            while isinstance(value, int) and value > 1 and runs < max_runs:
+                candidate = copy.deepcopy(params)
+                candidate["adversary"][knob] = value // 2
+                if not try_params(
+                    candidate, f"adversary.{knob}: {value} -> {value // 2}"
+                ):
+                    break
+                value = value // 2
+
+    if params.get("loss_rate"):
+        candidate = copy.deepcopy(params)
+        candidate.pop("loss_rate")
+        try_params(candidate, "remove loss")
+
+    # 3. Shrink the run itself: fewer rounds means a shorter repro trace.
+    rounds = params.get("max_rounds")
+    while isinstance(rounds, int) and rounds > 2 and runs < max_runs:
+        candidate = copy.deepcopy(params)
+        candidate["max_rounds"] = rounds // 2
+        if not try_params(
+            candidate, f"max_rounds: {rounds} -> {rounds // 2}"
+        ):
+            break
+        rounds = rounds // 2
+
+    minimal = _with_params(task, params)
+    return {
+        "task": minimal.descriptor(),
+        "violation": violation,
+        "shrink": {"candidate_runs": runs, "reductions": reductions},
+    }

@@ -6,9 +6,17 @@ Usage::
     python -m repro.cli survival | freshness | messages | load | ablations
     python -m repro.cli pseudocycles | fault | latency | tuning | churn
     python -m repro.cli all [--full] [--output DIR] [--jobs N]
+    python -m repro.cli chaos [--runs N] [--chaos-seed S] [--repro-out PATH]
+    python -m repro.cli chaos --repro PATH        # replay a minimal repro
 
 Each subcommand prints the reproduced table(s) and, with ``--output``,
 also writes text and CSV copies.
+
+``chaos`` runs a randomized adversarial campaign: every run executes
+under fault injection, an adversary strategy and the online spec monitor;
+a spec violation fails the campaign (exit 1) and writes a shrunken,
+deterministic minimal-repro file replayable with ``--repro PATH`` (exit 0
+when the violation reproduces, 2 when it does not).
 
 Simulation runs fan out over ``--jobs`` worker processes (default: the
 CPU count, capped; also settable via the ``REPRO_JOBS`` environment
@@ -226,6 +234,83 @@ COMMANDS: Dict[str, Callable[..., None]] = {
 }
 
 
+def _run_chaos(args, jobs: int, session) -> int:
+    """The ``chaos`` subcommand: campaign mode or ``--repro`` replay mode.
+
+    Kept out of COMMANDS (and of ``all``): chaos is a robustness harness
+    with its own exit-code contract, not a paper artifact.
+    """
+    from repro.chaos import (
+        CampaignConfig,
+        replay_repro,
+        run_campaign,
+    )
+    from repro.chaos.campaign import write_repro
+    from repro.obs.collect import collect_chaos
+
+    if args.repro is not None:
+        reproduced, payload = replay_repro(args.repro)
+        violation = payload.get("spec_violation")
+        if reproduced:
+            print(f"repro {args.repro}: violation reproduced")
+            print(f"  condition: {violation.get('condition')}")
+            print(f"  register:  {violation.get('register')}")
+            print(f"  message:   {violation.get('message')}")
+            for op in violation.get("ops", []):
+                print(f"  op: {op}")
+            return 0
+        print(f"repro {args.repro}: violation did NOT reproduce")
+        return 2
+
+    broken = (
+        {"kind": "regressing", "after": args.broken_after}
+        if args.broken_after is not None
+        else None
+    )
+    config = CampaignConfig(
+        runs=args.runs,
+        seed=args.chaos_seed,
+        jobs=jobs,
+        broken_client=broken,
+    )
+    print(
+        f"chaos campaign: {config.runs} runs, seed {config.seed}, "
+        f"{jobs} worker(s)"
+    )
+    result = run_campaign(config)
+    if session is not None and session.metrics.enabled:
+        collect_chaos(session.metrics, result)
+    retries = sum(r["retries"] for r in result.records)
+    timeouts = sum(r["timeouts"] for r in result.records)
+    dropped = sum(r["messages_dropped"] for r in result.records)
+    print(
+        f"passed {result.passed}/{len(result.records)}; degradation: "
+        f"{retries} retries, {timeouts} timeouts, {dropped} drops"
+    )
+    if not result.violations:
+        return 0
+    for index, violation in result.violations:
+        print(
+            f"run {index}: SpecViolation [{violation.get('condition')}] "
+            f"{violation.get('message')}"
+        )
+    out_path = args.repro_out
+    if out_path is None:
+        out_dir = args.output or os.path.join("benchmarks", "output")
+        out_path = os.path.join(
+            out_dir, f"chaos_repro_seed{config.seed}.json"
+        )
+    if result.repro is not None:
+        write_repro(result.repro, out_path)
+        shrink = result.repro["shrink"]
+        print(
+            f"minimal repro written to {out_path} "
+            f"({shrink['candidate_runs']} shrink runs; "
+            f"replay: python -m repro.cli chaos --repro {out_path})"
+        )
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -233,8 +318,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all"],
-        help="which artifact to regenerate",
+        choices=sorted(COMMANDS) + ["all", "chaos"],
+        help="which artifact to regenerate ('chaos' runs the randomized "
+             "adversarial campaign instead)",
     )
     parser.add_argument(
         "--full",
@@ -295,6 +381,44 @@ def build_parser() -> argparse.ArgumentParser:
              "worker-process boundary)",
     )
     parser.add_argument(
+        "--runs",
+        type=int,
+        metavar="N",
+        default=20,
+        help="chaos only: number of randomized campaign runs (default 20)",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        metavar="S",
+        default=0,
+        help="chaos only: campaign seed (same seed => byte-identical "
+             "campaign, including any minimal repro file)",
+    )
+    parser.add_argument(
+        "--repro",
+        metavar="PATH",
+        default=None,
+        help="chaos only: replay a minimal-repro file instead of running "
+             "a campaign (exit 0 when the violation reproduces, 2 when not)",
+    )
+    parser.add_argument(
+        "--repro-out",
+        metavar="PATH",
+        default=None,
+        help="chaos only: where to write the shrunken minimal repro on "
+             "violation (default benchmarks/output/chaos_repro_seedS.json)",
+    )
+    parser.add_argument(
+        "--broken-after",
+        type=int,
+        metavar="N",
+        default=None,
+        help="chaos only: inject a deliberately broken client whose reads "
+             "regress after N correct ones (validates the violation "
+             "pipeline end to end)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the on-disk run cache",
@@ -351,7 +475,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         obs_runtime.activate(session)
 
+    exit_code = 0
+
     def run_selected() -> None:
+        nonlocal exit_code
+        if args.experiment == "chaos":
+            exit_code = _run_chaos(args, jobs, session)
+            return
         for name in names:
             COMMANDS[name](
                 args.full,
@@ -402,7 +532,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.trace_spans is not None:
             print()
             print(session.spans.render_slowest(args.trace_spans))
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -24,7 +24,12 @@ class HistoryError(RuntimeError):
     """Raised on malformed history usage (e.g. responding twice)."""
 
 
-_op_counter = itertools.count()
+# Fallback id source for records constructed outside a RegisterHistory
+# (tests build records directly).  Histories assign ids from their own
+# per-instance counter: a module-level counter would leak across runs in
+# one process, giving back-to-back in-process runs different op ids than
+# fresh-process runs and breaking byte-stable repro files.
+_unowned_op_counter = itertools.count(1_000_000_000)
 
 
 class OperationRecord:
@@ -32,8 +37,12 @@ class OperationRecord:
 
     __slots__ = ("op_id", "process", "invoke_time", "response_time")
 
-    def __init__(self, process: int, invoke_time: float) -> None:
-        self.op_id: int = next(_op_counter)
+    def __init__(
+        self, process: int, invoke_time: float, op_id: Optional[int] = None
+    ) -> None:
+        self.op_id: int = (
+            op_id if op_id is not None else next(_unowned_op_counter)
+        )
         self.process = process
         self.invoke_time = invoke_time
         self.response_time: Optional[float] = None
@@ -60,9 +69,14 @@ class WriteRecord(OperationRecord):
     __slots__ = ("value", "timestamp")
 
     def __init__(
-        self, process: int, invoke_time: float, value: Any, timestamp: Timestamp
+        self,
+        process: int,
+        invoke_time: float,
+        value: Any,
+        timestamp: Timestamp,
+        op_id: Optional[int] = None,
     ) -> None:
-        super().__init__(process, invoke_time)
+        super().__init__(process, invoke_time, op_id)
         self.value = value
         self.timestamp = timestamp
 
@@ -79,8 +93,10 @@ class ReadRecord(OperationRecord):
 
     __slots__ = ("value", "timestamp")
 
-    def __init__(self, process: int, invoke_time: float) -> None:
-        super().__init__(process, invoke_time)
+    def __init__(
+        self, process: int, invoke_time: float, op_id: Optional[int] = None
+    ) -> None:
+        super().__init__(process, invoke_time, op_id)
         self.value: Any = None
         self.timestamp: Optional[Timestamp] = None
 
@@ -109,8 +125,17 @@ class RegisterHistory:
 
     def __init__(self, name: str = "X", initial_value: Any = None) -> None:
         self.name = name
+        # Per-history op ids: id 0 is always the virtual initial write and
+        # real operations count up from 1, so two runs in one process (or
+        # in different processes) assign identical ids to identical
+        # histories.
+        self._op_counter = itertools.count()
         self.initial_write = WriteRecord(
-            process=-1, invoke_time=0.0, value=initial_value, timestamp=Timestamp.ZERO
+            process=-1,
+            invoke_time=0.0,
+            value=initial_value,
+            timestamp=Timestamp.ZERO,
+            op_id=next(self._op_counter),
         )
         self.initial_write.respond(0.0)
         self.writes: List[WriteRecord] = [self.initial_write]
@@ -131,14 +156,16 @@ class RegisterHistory:
             raise HistoryError(
                 f"duplicate write timestamp {timestamp} on register {self.name}"
             )
-        record = WriteRecord(process, time, value, timestamp)
+        record = WriteRecord(
+            process, time, value, timestamp, op_id=next(self._op_counter)
+        )
         self.writes.append(record)
         self._writes_by_ts[timestamp] = record
         return record
 
     def begin_read(self, process: int, time: float) -> ReadRecord:
         """Record a read invocation."""
-        record = ReadRecord(process, time)
+        record = ReadRecord(process, time, op_id=next(self._op_counter))
         self.reads.append(record)
         return record
 

@@ -22,13 +22,41 @@ and E-THM4 compare against the paper's analytic bounds.
 
 import math
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.history import ReadRecord, RegisterHistory, WriteRecord
 
 
 class SpecViolation(AssertionError):
-    """Raised by a checker when a safety condition fails."""
+    """Raised by a checker when a safety condition fails.
+
+    Structured: beyond the human-readable message, a violation names the
+    ``condition`` that failed ("R1", "R2", "R4", "liveness", ...), the
+    ``register`` it failed on, and the offending operation records
+    (``ops``), so chaos campaigns and the online monitor can serialise
+    exactly what went wrong instead of parsing exception text.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        condition: str = "",
+        register: str = "",
+        ops: Sequence[Any] = (),
+    ) -> None:
+        super().__init__(message)
+        self.condition = condition
+        self.register = register
+        self.ops = list(ops)
+
+    def payload(self) -> Dict[str, Any]:
+        """A JSON-able description (for repro files and worker results)."""
+        return {
+            "condition": self.condition,
+            "register": self.register,
+            "message": str(self),
+            "ops": [repr(op) for op in self.ops],
+        }
 
 
 # --------------------------------------------------------------------- #
@@ -41,7 +69,10 @@ def check_r1_every_invocation_responded(history: RegisterHistory) -> None:
     for op in history.operations():
         if op.pending:
             raise SpecViolation(
-                f"[R1] violated on {history.name}: operation {op!r} never responded"
+                f"[R1] violated on {history.name}: operation {op!r} never responded",
+                condition="R1",
+                register=history.name,
+                ops=[op],
             )
 
 
@@ -58,7 +89,10 @@ def check_r2_reads_from_some_write(history: RegisterHistory) -> None:
         if history.reads_from_spec(read) is None:
             raise SpecViolation(
                 f"[R2] violated on {history.name}: {read!r} returned a value "
-                "no write (begun before the read ended) ever wrote"
+                "no write (begun before the read ended) ever wrote",
+                condition="R2",
+                register=history.name,
+                ops=[read],
             )
 
 
@@ -73,7 +107,10 @@ def check_r4_monotone_reads(history: RegisterHistory) -> None:
             if last_ts is not None and read.timestamp < last_ts:
                 raise SpecViolation(
                     f"[R4] violated on {history.name}: process {process} read "
-                    f"ts={read.timestamp.seq} after having read ts={last_ts.seq}"
+                    f"ts={read.timestamp.seq} after having read ts={last_ts.seq}",
+                    condition="R4",
+                    register=history.name,
+                    ops=[read],
                 )
             last_ts = read.timestamp
     # No violation found.

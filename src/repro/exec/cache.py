@@ -27,8 +27,10 @@ from repro.exec.task import RunTask, task_key
 #: and reflect exponential-backoff retries).  Format 3 payloads embed a
 #: metrics-registry snapshot (``"metrics"``), so cache hits replay their
 #: metrics into ``--metrics-out`` aggregation; older entries lack it and
-#: are invalidated.
-CACHE_FORMAT = 3
+#: are invalidated.  Format 4 payloads carry the robustness fields
+#: (``spec_violation``, ``faults_injected``, and adversary/monitor
+#: summaries when enabled); older entries lack them and are invalidated.
+CACHE_FORMAT = 4
 
 #: Default location, relative to the current working directory (the repo
 #: root in normal use).

@@ -33,6 +33,7 @@ return plain dicts for the same reason.
 
 from typing import Any, Dict, Optional
 
+from repro.adversary import build_adversary
 from repro.apps.apsp import ApspACO
 from repro.apps.graphs import (
     Graph,
@@ -42,6 +43,8 @@ from repro.apps.graphs import (
     random_graph,
     ring_graph,
 )
+from repro.core.monitor import OnlineSpecMonitor
+from repro.core.spec import SpecViolation
 from repro.exec.task import RunTask
 from repro.iterative.runner import Alg1Runner
 from repro.obs import runtime as obs_runtime
@@ -204,17 +207,59 @@ def install_faults(runner: Alg1Runner, spec: Optional[Dict[str, Any]]) -> None:
     deployment.install_schedule(schedule)
 
 
+def build_broken_client(spec: Optional[Dict[str, Any]]) -> Optional[type]:
+    """Instantiate a deliberately-broken client class from its spec.
+
+    Currently: ``{"kind": "regressing", "after": N}`` — reads regress
+    after N correct ones (see :mod:`repro.chaos.broken`).  Used by chaos
+    campaigns to validate that the violation pipeline actually fires.
+    """
+    if spec is None:
+        return None
+    kind = _kind(spec, "broken_client")
+    if kind == "regressing":
+        from repro.chaos.broken import RegressingClient
+
+        return RegressingClient.configured(int(spec.get("after", 3)))
+    raise SpecError(f"unknown broken_client kind {kind!r}")
+
+
 def run_alg1_task(task: RunTask) -> Dict[str, Any]:
     """Execute one Alg. 1 run described by ``task.params``.
 
     Recognised params: ``graph``, ``quorum``, ``delay`` (specs, above),
     ``monotone``, ``max_rounds``, and optionally ``retry_interval``,
     ``retry`` (a policy spec), ``loss_rate``, ``max_sim_time``,
-    ``faults``, and ``measure_pseudocycles`` (which forces history
-    recording to reconstruct the update sequence).
+    ``faults``, ``adversary`` (a strategy spec, see
+    :func:`repro.adversary.build_adversary`), ``check_spec_online``
+    (attach an :class:`~repro.core.monitor.OnlineSpecMonitor`; forces
+    history recording), ``broken_client`` (see
+    :func:`build_broken_client`) and ``measure_pseudocycles`` (which
+    forces history recording to reconstruct the update sequence).
+
+    The payload always carries a ``spec_violation`` key: None on a clean
+    run, the violation's structured :meth:`~repro.core.spec.SpecViolation.payload`
+    when online monitoring aborted the run.
     """
     params = task.params
     measure_pcs = bool(params.get("measure_pseudocycles", False))
+    check_online = bool(params.get("check_spec_online", False))
+    monitor = (
+        OnlineSpecMonitor(monotone=params["monotone"]) if check_online else None
+    )
+    # The adversary's time-driven strategies bound their repeating chains
+    # by the run's horizon, mirroring the Alg1Runner max_sim_time default.
+    horizon = params.get("max_sim_time")
+    if horizon is None and (
+        params.get("retry_interval") is not None
+        or params.get("retry") is not None
+    ):
+        horizon = 100.0 * params["max_rounds"]
+    adversary = (
+        build_adversary(params["adversary"], horizon)
+        if params.get("adversary") is not None
+        else None
+    )
     # Each task collects into its own fresh registry and ships the
     # snapshot home in the payload: identical for serial and pooled
     # execution (worker processes never inherit the parent's session),
@@ -234,27 +279,70 @@ def run_alg1_task(task: RunTask) -> Dict[str, Any]:
         retry_policy=build_retry_policy(params.get("retry")),
         loss_rate=params.get("loss_rate", 0.0),
         max_sim_time=params.get("max_sim_time"),
-        record_history=measure_pcs,
+        record_history=measure_pcs or check_online,
         observability=obs,
+        spec_monitor=monitor,
+        adversary=adversary,
+        client_class=build_broken_client(params.get("broken_client")),
     )
     install_faults(runner, params.get("faults"))
-    result = runner.run(check_spec=False)
-    out: Dict[str, Any] = {
-        "converged": result.converged,
-        "rounds": result.rounds,
-        "total_iterations": result.total_iterations,
-        "sim_time": result.sim_time,
-        "messages": result.messages,
-        "regressions": result.regressions,
-        "cache_hits": result.cache_hits,
-        "retries": result.retries,
-        "timeouts": result.timeouts,
-        "messages_dropped": result.messages_dropped,
-        "ops_under_failure": result.ops_under_failure,
-        "hung_ops": runner.deployment.hung_ops,
-        "metrics": obs.metrics.snapshot(),
+    violation: Optional[SpecViolation] = None
+    try:
+        result = runner.run(check_spec=False)
+    except SpecViolation as caught:
+        violation = caught
+    deployment = runner.deployment
+    if violation is not None:
+        # The run aborted at the violating event; report the state the
+        # simulation reached, so degradation stays comparable.
+        out: Dict[str, Any] = {
+            "converged": False,
+            "rounds": runner.tracker.rounds_completed,
+            "total_iterations": runner.tracker.total_iterations,
+            "sim_time": deployment.scheduler.now,
+            "messages": deployment.network.stats.sent,
+            "regressions": runner.monitor.regressions,
+            "cache_hits": sum(c.cache_hits for c in deployment.clients),
+            "retries": deployment.total_retries,
+            "timeouts": deployment.total_timeouts,
+            "messages_dropped": deployment.network.stats.dropped,
+            "ops_under_failure": deployment.total_ops_under_failure,
+        }
+    else:
+        out = {
+            "converged": result.converged,
+            "rounds": result.rounds,
+            "total_iterations": result.total_iterations,
+            "sim_time": result.sim_time,
+            "messages": result.messages,
+            "regressions": result.regressions,
+            "cache_hits": result.cache_hits,
+            "retries": result.retries,
+            "timeouts": result.timeouts,
+            "messages_dropped": result.messages_dropped,
+            "ops_under_failure": result.ops_under_failure,
+        }
+    out["hung_ops"] = deployment.hung_ops
+    out["spec_violation"] = (
+        violation.payload() if violation is not None else None
+    )
+    if adversary is not None:
+        out["adversary"] = adversary.summary()
+    if check_online:
+        out["monitor"] = {
+            "reads_checked": monitor.reads_checked,
+            "writes_checked": monitor.writes_checked,
+            "retries_seen": monitor.retries_seen,
+            "timeouts_seen": monitor.timeouts_seen,
+        }
+    out["faults_injected"] = {
+        "crashes": deployment.failures.crashes_injected,
+        "recoveries": deployment.failures.recoveries,
+        "partitions": deployment.failures.partitions_installed,
+        "heals": deployment.failures.heals,
     }
-    if measure_pcs:
+    out["metrics"] = obs.metrics.snapshot()
+    if measure_pcs and violation is None:
         from repro.iterative.trace import measure_pseudocycles
 
         out["pseudocycles"] = measure_pseudocycles(runner)

@@ -102,6 +102,9 @@ class Alg1Runner:
         max_sim_time: Optional[float] = None,
         record_history: bool = True,
         observability: Optional[Observability] = None,
+        spec_monitor: Optional[Any] = None,
+        adversary: Optional[Any] = None,
+        client_class: Optional[type] = None,
     ) -> None:
         if max_rounds < 1:
             raise ValueError(f"max_rounds must be positive, got {max_rounds}")
@@ -124,8 +127,12 @@ class Alg1Runner:
         self.observability = (
             observability if observability is not None else DISABLED
         )
+        self.spec_monitor = spec_monitor
         p = num_processes if num_processes is not None else aco.m
         self.blocks = block_partition(aco.m, p)
+        deployment_kwargs: Dict[str, Any] = {}
+        if client_class is not None:
+            deployment_kwargs["client_class"] = client_class
         self.deployment = RegisterDeployment(
             quorum_system,
             num_clients=p,
@@ -137,6 +144,9 @@ class Alg1Runner:
             loss_rate=loss_rate,
             record_history=record_history,
             observability=self.observability,
+            spec_monitor=spec_monitor,
+            adversary=adversary,
+            **deployment_kwargs,
         )
         self.register_names = [f"{register_prefix}{j}" for j in range(aco.m)]
         initial = aco.initial()
@@ -222,6 +232,10 @@ class Alg1Runner:
             # Hit the simulated-time cap (e.g. stalled by crashes): tear
             # the process loops down so the run reports honestly.
             self._halt()
+        if self.spec_monitor is not None:
+            # Online monitoring raised at the violating event during the
+            # run; finalize adds the end-of-run liveness check ([R1]).
+            self.spec_monitor.finalize(self.deployment)
         if check_spec:
             for name in self.register_names:
                 history = self.deployment.space.history(name)

@@ -154,6 +154,44 @@ def collect_deployment(metrics: Any, deployment: Any) -> None:
     ).set(deployment.pending_ops)
 
 
+def collect_chaos(metrics: Any, result: Any) -> None:
+    """Campaign-level accounting for a chaos run (repro.chaos.campaign).
+
+    Duck-typed on :class:`~repro.chaos.campaign.CampaignResult`: per-run
+    pass/fail totals plus aggregate degradation (retries, timeouts,
+    message drops) and the fault dose actually injected, so a chaos
+    campaign exports through the same ``--metrics-out`` pipeline as every
+    other experiment.
+    """
+    metrics.counter(
+        "repro_chaos_runs_total", "Chaos campaign runs executed."
+    ).inc(len(result.records))
+    metrics.counter(
+        "repro_chaos_violations_total",
+        "Chaos runs that raised a SpecViolation.",
+    ).inc(len(result.violations))
+    degradation = metrics.counter(
+        "repro_chaos_degradation_total",
+        "Aggregate degradation observed across the campaign, by kind.",
+        labelnames=("kind",),
+    )
+    for kind in ("retries", "timeouts", "messages_dropped", "hung_ops"):
+        degradation.labels(kind).inc(
+            sum(int(record.get(kind, 0)) for record in result.records)
+        )
+    dose = metrics.counter(
+        "repro_chaos_faults_injected_total",
+        "Faults actually injected across the campaign, by kind.",
+        labelnames=("kind",),
+    )
+    totals: dict = {}
+    for record in result.records:
+        for kind, count in (record.get("faults_injected") or {}).items():
+            totals[kind] = totals.get(kind, 0) + int(count)
+    for kind in sorted(totals):
+        dose.labels(kind).inc(totals[kind])
+
+
 def collect_alg1(metrics: Any, runner: Any, result: Any) -> None:
     """Alg. 1 run-level accounting on top of the deployment collection."""
     collect_deployment(metrics, runner.deployment)

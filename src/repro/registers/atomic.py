@@ -62,10 +62,12 @@ class MultiWriterClient(QuorumRegisterClient):
     ``writer=None`` (any client may write).
     """
 
-    _op_ids = itertools.count(10_000_000)  # disjoint from base-class ids
-
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        # Two-phase op ids stay disjoint from the base-class ids issued by
+        # the same instance: replies are routed by probing _two_phase
+        # first, and an id collision would cross-wire the two tables.
+        self._op_ids = itertools.count(10_000_000)
         self._two_phase: Dict[int, _TwoPhaseOp] = {}
         # Largest sequence number this client has ever issued per register.
         # Over a probabilistic system the query phase can miss this
@@ -160,9 +162,19 @@ class MultiWriterClient(QuorumRegisterClient):
         now = self.network.scheduler.now
         if op.kind == "write":
             op.record.respond(now)
+            if self._monitor_on:
+                self.spec_monitor.on_write_complete(
+                    self.client_id, op.record,
+                    self.space.info(op.register).history,
+                )
             op.future.resolve(None)
         else:
             op.record.complete(now, op.value, op.timestamp)
+            if self._monitor_on:
+                self.spec_monitor.on_read_complete(
+                    self.client_id, op.record,
+                    self.space.info(op.register).history,
+                )
             op.future.resolve(op.value)
 
 

@@ -155,8 +155,6 @@ class _PendingOp:
 class QuorumRegisterClient(Node):
     """The shared register subsystem attached to one application process."""
 
-    _op_ids = itertools.count(1)
-
     def __init__(
         self,
         client_id: int,
@@ -169,8 +167,13 @@ class QuorumRegisterClient(Node):
         retry_policy: Optional[RetryPolicy] = None,
         retry_rng: Optional[np.random.Generator] = None,
         observability: Optional[Observability] = None,
+        spec_monitor: Optional[Any] = None,
     ) -> None:
         super().__init__()
+        # Per-instance message op ids: a class-level counter would leak
+        # across deployments in one process, making back-to-back runs
+        # carry different wire-level op ids than fresh-process runs.
+        self._op_ids = itertools.count(1)
         self.client_id = client_id
         self.space = space
         self.quorum_system = quorum_system
@@ -210,6 +213,11 @@ class QuorumRegisterClient(Node):
         # per-operation path — and nothing at all per message.
         self.observability = observability if observability is not None else DISABLED
         self._trace_on = self.observability.spans.enabled
+        # Online spec monitor (repro.core.monitor): same null-object idiom
+        # as observability — one prefetched boolean guards every hook, so
+        # unmonitored runs take no extra branches on the completion path.
+        self.spec_monitor = spec_monitor
+        self._monitor_on = spec_monitor is not None and spec_monitor.enabled
         if self.observability.metrics.enabled:
             latency = self.observability.metrics.histogram(
                 "repro_op_latency",
@@ -319,6 +327,10 @@ class QuorumRegisterClient(Node):
             return
         op.attempts += 1
         self.retries += 1
+        if self._monitor_on:
+            self.spec_monitor.on_retry(
+                op.register, "read" if op.is_read else "write", op.attempts
+            )
         if op.span is not None:
             op.span.event(
                 self.network.scheduler.now, "retry", attempt=op.attempts
@@ -345,6 +357,10 @@ class QuorumRegisterClient(Node):
             return
         self._teardown(op)
         self.timeouts += 1
+        if self._monitor_on:
+            self.spec_monitor.on_timeout(
+                op.register, "read" if op.is_read else "write"
+            )
         if op.span is not None:
             self.observability.spans.finish(
                 op.span, self.network.scheduler.now, status="timeout"
@@ -444,6 +460,11 @@ class QuorumRegisterClient(Node):
             self.observability.spans.finish(op.span, now, status="ok")
         if not op.is_read:
             op.record.respond(now)
+            if self._monitor_on:
+                self.spec_monitor.on_write_complete(
+                    self.client_id, op.record,
+                    self.space.info(op.register).history,
+                )
             op.future.resolve(None)
             return
         # Read: return the highest-timestamped value among quorum replies,
@@ -461,6 +482,10 @@ class QuorumRegisterClient(Node):
             else:
                 self._cache[op.register] = (timestamp, value)
         op.record.complete(now, value, timestamp)
+        if self._monitor_on:
+            self.spec_monitor.on_read_complete(
+                self.client_id, op.record, self.space.info(op.register).history
+            )
         op.future.resolve(value)
 
     def handle(self, register: str) -> "RegisterHandle":

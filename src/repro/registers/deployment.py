@@ -51,12 +51,20 @@ class RegisterDeployment:
         record_history: bool = True,
         detailed_stats: bool = True,
         observability: Optional[Observability] = None,
+        spec_monitor: Optional[Any] = None,
+        adversary: Optional[Any] = None,
     ) -> None:
         if num_clients < 1:
             raise ValueError(f"need at least one client, got {num_clients}")
+        if spec_monitor is not None and not record_history:
+            raise ValueError(
+                "spec_monitor needs record_history=True: the [R2] online "
+                "check resolves timestamps against the register history"
+            )
         self.quorum_system = quorum_system
         self.monotone = monotone
         self.record_history = record_history
+        self.spec_monitor = spec_monitor
         self.observability = (
             observability if observability is not None else DISABLED
         )
@@ -101,9 +109,18 @@ class RegisterDeployment:
                     else None
                 ),
                 observability=self.observability,
+                spec_monitor=spec_monitor,
             )
             self.network.add_node(client)
             self.clients.append(client)
+
+        # The adversary attaches last: it observes a fully-built topology
+        # (server ids, injector, scheduler) and starts intercepting from
+        # the first message.  None keeps the network's fast path intact.
+        self.adversary = adversary
+        if adversary is not None:
+            adversary.attach(self)
+            self.network.set_adversary(adversary)
 
     @property
     def num_servers(self) -> int:

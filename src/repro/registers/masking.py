@@ -43,9 +43,20 @@ class ByzantineReplicaServer(ReplicaServer):
         self.lies_told = 0
 
     def on_message(self, src: int, message: Any) -> None:
+        # Byzantine is not a licence to ignore fail-stop faults: a crashed
+        # replica tells no lies.  The guard matters when messages are
+        # injected directly (tests, adversaries) rather than arriving via
+        # Network._deliver, which screens crashed destinations itself.
+        if self.network.failures.is_crashed(self.node_id):
+            return
+        # Replies below go through network.send — the same delivery path
+        # (crash/partition checks, loss, delay, adversary) as the honest
+        # ReplicaServer — so a lying replica gets no magic channel: its
+        # poison is droppable and delayable like any other reply.
         if isinstance(message, ReadQuery):
             self.lies_told += 1
-            self.send(
+            self.network.send(
+                self.node_id,
                 src,
                 ReadReply(
                     message.register,
@@ -57,7 +68,9 @@ class ByzantineReplicaServer(ReplicaServer):
         elif isinstance(message, WriteUpdate):
             # Acknowledge but never store: the writer cannot tell the
             # replica is faulty, yet the data is gone.
-            self.send(src, WriteAck(message.register, message.op_id))
+            self.network.send(
+                self.node_id, src, WriteAck(message.register, message.op_id)
+            )
 
 
 class MaskingClient(QuorumRegisterClient):
@@ -111,6 +124,10 @@ class MaskingClient(QuorumRegisterClient):
         else:
             timestamp, value = previous
         op.record.complete(now, value, timestamp)
+        if self._monitor_on:
+            self.spec_monitor.on_read_complete(
+                self.client_id, op.record, self.space.info(op.register).history
+            )
         op.future.resolve(value)
 
 

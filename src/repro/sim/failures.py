@@ -30,6 +30,13 @@ class FailureInjector:
         # common all-healthy case the per-message fault check is then a
         # single attribute read.
         self.active: bool = False
+        # Lifetime event counters (chaos campaigns report these as the
+        # fault "dose" a run actually received; repeating schedule entries
+        # make the static timeline length an undercount).
+        self.crashes_injected = 0
+        self.recoveries = 0
+        self.partitions_installed = 0
+        self.heals = 0
 
     def _refresh_active(self) -> None:
         self.active = bool(self._crashed) or self._partition is not None
@@ -51,26 +58,35 @@ class FailureInjector:
 
     def crash(self, node_id: int) -> None:
         """Crash a node; idempotent."""
+        if node_id not in self._crashed:
+            self.crashes_injected += 1
         self._crashed.add(node_id)
         self.active = True
 
     def crash_many(self, node_ids: Iterable[int]) -> None:
         """Crash several nodes at once."""
+        before = len(self._crashed)
         self._crashed.update(node_ids)
+        self.crashes_injected += len(self._crashed) - before
         self._refresh_active()
 
     def recover(self, node_id: int) -> None:
         """Recover a crashed node; no-op if it was up."""
+        if node_id in self._crashed:
+            self.recoveries += 1
         self._crashed.discard(node_id)
         self._refresh_active()
 
     def recover_many(self, node_ids: Iterable[int]) -> None:
         """Recover several nodes at once."""
+        before = len(self._crashed)
         self._crashed.difference_update(node_ids)
+        self.recoveries += before - len(self._crashed)
         self._refresh_active()
 
     def recover_all(self) -> None:
         """Bring every node back up."""
+        self.recoveries += len(self._crashed)
         self._crashed.clear()
         self._refresh_active()
 
@@ -80,10 +96,13 @@ class FailureInjector:
         Nodes absent from every group remain able to talk to everyone.
         """
         self._partition = [frozenset(group) for group in groups]
+        self.partitions_installed += 1
         self.active = True
 
     def heal_partition(self) -> None:
         """Remove any active partition."""
+        if self._partition is not None:
+            self.heals += 1
         self._partition = None
         self._refresh_active()
 

@@ -118,6 +118,22 @@ class Network:
         self._nodes: Dict[int, Node] = {}
         self._next_id = 0
         self._taps: list = []
+        # Adversary hook (repro.adversary): consulted per message *after*
+        # the loss draw and fault check, so attaching one never perturbs
+        # the loss or delay streams of messages it passes through, and its
+        # drop budget is spent only on otherwise-deliverable traffic.
+        self._adversary: Optional[Any] = None
+
+    def set_adversary(self, adversary: Optional[Any]) -> None:
+        """Install (or with None remove) a message-level adversary.
+
+        The adversary's ``intercept(src, dst, message, kind, now)`` is
+        called for every otherwise-deliverable message and returns None to
+        pass it through, the string ``"drop"`` to destroy it (recorded
+        with drop reason ``"adversary"``), or a non-negative float of
+        *extra* delay added on top of the sampled one.
+        """
+        self._adversary = adversary
 
     def set_message_loss(
         self, loss_rate: float, rng: Optional[np.random.Generator] = None
@@ -177,13 +193,24 @@ class Network:
         if lost:
             self.stats.record_drop(src, dst, kind, reason="loss")
             return
+        extra = 0.0
+        adversary = self._adversary
+        if adversary is not None:
+            action = adversary.intercept(
+                src, dst, message, kind, self.scheduler.now
+            )
+            if action == "drop":
+                self.stats.record_drop(src, dst, kind, reason="adversary")
+                return
+            if action is not None:
+                extra = action
         delay = self.delay_model.sample(self.rng, src, dst)
         if delay <= 0:
             raise ValueError(f"delay model produced non-positive delay {delay}")
         # Deliveries are never cancelled (in-flight crashes are checked at
         # delivery time), so skip the EventHandle allocation entirely.
         self.scheduler.schedule_uncancellable(
-            delay, self._deliver, src, dst, message, kind
+            delay + extra, self._deliver, src, dst, message, kind
         )
 
     def _deliver(self, src: int, dst: int, message: Any, kind: str) -> None:
@@ -223,7 +250,9 @@ class Network:
         failures = self.failures
         faults_active = failures.active
         loss_rate = self.loss_rate
-        if not taps and not faults_active and loss_rate == 0.0:
+        adversary = self._adversary
+        extras: Dict[int, float] = {}
+        if not taps and not faults_active and loss_rate == 0.0 and adversary is None:
             # Healthy, loss-free, untapped network — the overwhelmingly
             # common case: every destination is deliverable, so batch the
             # stats update too and skip the per-destination loop.
@@ -233,6 +262,7 @@ class Network:
             loss_draws = (
                 self._loss_rng.random(len(dsts)) if loss_rate > 0.0 else None
             )
+            now = self.scheduler.now
             deliverable = []
             for index, dst in enumerate(dsts):
                 stats.record_send(src, dst, kind)
@@ -245,17 +275,26 @@ class Network:
                 if loss_draws is not None and loss_draws[index] < loss_rate:
                     stats.record_drop(src, dst, kind, reason="loss")
                     continue
+                if adversary is not None:
+                    action = adversary.intercept(src, dst, message, kind, now)
+                    if action == "drop":
+                        stats.record_drop(src, dst, kind, reason="adversary")
+                        continue
+                    if action is not None and action > 0.0:
+                        extras[len(deliverable)] = action
                 deliverable.append(dst)
         if not deliverable:
             return
         delays = self.delay_model.sample_batch(self.rng, src, deliverable)
         schedule = self.scheduler.schedule_uncancellable
         deliver = self._deliver
-        for dst, delay in zip(deliverable, delays):
+        for index, (dst, delay) in enumerate(zip(deliverable, delays)):
             if delay <= 0:
                 raise ValueError(
                     f"delay model produced non-positive delay {delay}"
                 )
+            if extras:
+                delay += extras.get(index, 0.0)
             schedule(delay, deliver, src, dst, message, kind)
 
     def __repr__(self) -> str:

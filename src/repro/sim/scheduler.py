@@ -188,13 +188,16 @@ class Scheduler:
         callback: Callable,
         *args: Any,
         first_delay: Optional[float] = None,
+        until: Optional[float] = None,
     ) -> RepeatingHandle:
         """Run ``callback(*args)`` every ``interval`` time units until cancelled.
 
         The first occurrence fires after ``first_delay`` (default: one
-        ``interval``).  Repeating events keep the queue non-empty forever,
-        so runs driving them must bound themselves with ``until`` /
-        ``max_events`` / ``stop_when``.
+        ``interval``).  With ``until`` set, the chain stops by itself once
+        the next occurrence would fire past that simulated time — without
+        it, repeating events keep the queue non-empty forever, so runs
+        driving them must bound themselves with ``until`` / ``max_events``
+        / ``stop_when``.
         """
         if interval <= 0:
             raise SchedulerError(
@@ -205,10 +208,16 @@ class Scheduler:
         def fire() -> None:
             if handle.cancelled:
                 return
-            handle._current = self.schedule(interval, fire)
+            if until is None or self._now + interval <= until:
+                handle._current = self.schedule(interval, fire)
+            else:
+                handle.cancelled = True
             callback(*args)
 
         delay = interval if first_delay is None else first_delay
+        if until is not None and self._now + delay > until:
+            handle.cancelled = True
+            return handle
         handle._current = self.schedule(delay, fire)
         return handle
 

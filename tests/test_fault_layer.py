@@ -432,3 +432,84 @@ class TestRunnerUnderFaults:
         assert result["timeouts"] > 0
         assert result["retries"] > 0
         assert result["hung_ops"] == 0
+
+
+class TestRepeatingScheduleRetryOverlap:
+    def test_repeating_outages_overlap_inflight_retry_windows(self):
+        # Repeating crash/recover cycles (period 8: down for t in [2,6),
+        # up for [6,10), ...) against a 3-second retry interval: retries
+        # routinely fire while an outage installed *after* the op began
+        # is active.  With k = n the quorum is always all four servers,
+        # so every retry round must re-send only to the members still
+        # unanswered — never re-spray the full quorum — and every op must
+        # settle once its window heals.
+        deployment = make_deployment(4, 4, RetryPolicy.fixed(3.0), seed=5)
+        deployment.install_schedule(
+            FailureSchedule(
+                [
+                    FailureEvent(2.0, "crash", nodes=(0, 1), every=8.0),
+                    FailureEvent(6.0, "recover", nodes=(0, 1), every=8.0),
+                ]
+            )
+        )
+        results = []
+
+        def proc():
+            for _ in range(15):
+                results.append((yield deployment.handle(0, "X").read()))
+            return "done"
+
+        done = spawn(deployment.scheduler, proc())
+        deployment.run(until=400.0)
+        assert done.result() == "done"
+        assert results == [0] * 15
+        client = deployment.clients[0]
+        assert client.retries > 0
+        assert client.pending_ops == 0
+        assert deployment.hung_ops == 0
+        # Re-targeting accounting: beyond the 4 first-attempt queries per
+        # read, each retry round may only have re-sent to the (at most
+        # two) crashed members that had not answered.
+        queries = deployment.network.stats.by_kind["read_query"]
+        assert 15 * 4 < queries <= 15 * 4 + 2 * client.retries
+
+    def test_monitor_liveness_clean_under_repeating_churn(self):
+        # Same overlap shape through the worker path with the online
+        # monitor armed: repeated outages degrade (retries, timeouts) but
+        # never hang an op or trip the liveness check.
+        result = execute_task(
+            RunTask(
+                kind="alg1",
+                params={
+                    "graph": {"kind": "chain", "n": 4},
+                    "quorum": {"kind": "probabilistic", "n": 6, "k": 2},
+                    "delay": {"kind": "exponential", "mean": 1.0},
+                    "monotone": True,
+                    "max_rounds": 60,
+                    "max_sim_time": 400.0,
+                    "retry": {
+                        "interval": 1.5,
+                        "max_interval": 6.0,
+                        "deadline": 12.0,
+                    },
+                    "check_spec_online": True,
+                    "faults": {
+                        "kind": "schedule",
+                        "events": [
+                            {"time": 3.0, "action": "crash",
+                             "nodes": [0, 1, 2], "every": 9.0},
+                            {"time": 7.0, "action": "recover",
+                             "nodes": [0, 1, 2], "every": 9.0},
+                        ],
+                    },
+                },
+                seed=11,
+            )
+        )
+        assert result["spec_violation"] is None
+        assert result["hung_ops"] == 0
+        assert result["retries"] > 0
+        # The repeating entries fired more often than the two scripted
+        # events — the injected-dose counters see every repetition.
+        assert result["faults_injected"]["crashes"] > 3
+        assert result["faults_injected"]["recoveries"] > 3

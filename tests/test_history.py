@@ -136,3 +136,33 @@ def test_latest_write_before(history):
     assert history.latest_write_before(1.5) is history.initial_write
     assert history.latest_write_before(2.5) is w1
     assert history.latest_write_before(10.0) is w2
+
+
+class TestPerHistoryOpIds:
+    def test_op_ids_do_not_leak_across_histories(self):
+        # Regression: op ids were once drawn from a module-level counter,
+        # so back-to-back in-process runs numbered their operations
+        # differently from fresh-process runs — breaking byte-stable
+        # repro files.  Each history must own its counter.
+        def id_sequence():
+            history = RegisterHistory("X", initial_value=0)
+            ids = [history.initial_write.op_id]
+            write = history.begin_write(0, 1.0, "v", Timestamp(1, 0))
+            ids.append(write.op_id)
+            ids.append(history.begin_read(1, 2.0).op_id)
+            return ids
+
+        first = id_sequence()
+        second = id_sequence()
+        assert first == second
+        assert len(set(first)) == len(first)  # still unique within one
+
+    def test_directly_built_records_use_unowned_range(self):
+        # Records constructed outside any history draw from a separate
+        # high range, so they can never collide with history-owned ids.
+        from repro.core.history import ReadRecord
+
+        history = RegisterHistory("X", initial_value=0)
+        owned = history.begin_read(1, 1.0)
+        unowned = ReadRecord(1, 1.0)
+        assert owned.op_id < 1_000_000_000 <= unowned.op_id

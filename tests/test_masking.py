@@ -131,3 +131,85 @@ def test_lies_told_counter():
     server = deployment.servers[0]
     assert isinstance(server, ByzantineReplicaServer)
     assert server.lies_told > 0
+
+
+# --------------------------------------------------------------------- #
+# Crash + Byzantine interplay: fail-stop faults silence liars too
+# --------------------------------------------------------------------- #
+
+
+def make_retrying_deployment(byzantine=(0,), seed=1):
+    from repro.registers.client import RetryPolicy
+
+    deployment = RegisterDeployment(
+        ProbabilisticQuorumSystem(12, 6), num_clients=2,
+        delay_model=ConstantDelay(1.0), seed=seed,
+        retry_policy=RetryPolicy.fixed(3.0),
+    )
+    deployment.declare_register("X", writer=0, initial_value=0)
+    replace_with_byzantine(deployment, byzantine)
+    return deployment
+
+
+def test_crashed_byzantine_replica_stops_lying():
+    # Crash the liar before any traffic and keep it down: quorums
+    # touching it stall and retry around it, and no poison ever reaches
+    # a reader — a crashed replica tells no lies.
+    deployment = make_retrying_deployment()
+    deployment.crash_server(0)
+    seen = write_then_read_loop(deployment, writes=10, reads=40)
+    assert "POISON" not in seen
+    assert deployment.servers[0].lies_told == 0
+    assert deployment.total_retries > 0  # crash actually bit the quorums
+    assert deployment.pending_ops == 0
+
+
+def test_recovered_byzantine_replica_resumes_lying():
+    # The fail-stop and Byzantine fault models compose rather than
+    # cancelling out: once the crashed liar recovers, its poison flows
+    # again (including into reads that stalled across the outage).
+    deployment = make_retrying_deployment()
+    deployment.crash_server(0)
+    deployment.scheduler.schedule_at(
+        10.0, lambda: deployment.recover_server(0)
+    )
+    seen = write_then_read_loop(deployment, writes=10, reads=40)
+    assert "POISON" in seen
+    assert deployment.servers[0].lies_told > 0
+    assert deployment.pending_ops == 0
+
+
+def test_crashed_byzantine_ignores_injected_messages():
+    # The fail-stop guard must hold even for messages injected directly
+    # into on_message (bypassing Network delivery screening).
+    from repro.registers.messages import ReadQuery
+
+    deployment = make_retrying_deployment()
+    byzantine = deployment.servers[0]
+    client_node = deployment.clients[0].node_id
+    deployment.crash_server(0)
+    sent_before = deployment.network.stats.sent
+    byzantine.on_message(client_node, ReadQuery("X", 1))
+    assert byzantine.lies_told == 0
+    assert deployment.network.stats.sent == sent_before
+    deployment.recover_server(0)
+    byzantine.on_message(client_node, ReadQuery("X", 2))
+    assert byzantine.lies_told == 1
+    assert deployment.network.stats.sent == sent_before + 1
+
+
+def test_byzantine_replies_traverse_normal_delivery_checks():
+    # A liar gets no magic channel: its reply goes through network.send,
+    # so an active partition between it and the client drops the poison
+    # like any honest reply.
+    from repro.registers.messages import ReadQuery
+
+    deployment = make_retrying_deployment()
+    byzantine = deployment.servers[0]
+    client_node = deployment.clients[0].node_id
+    deployment.failures.partition([[byzantine.node_id], [client_node]])
+    dropped_before = deployment.network.stats.dropped
+    byzantine.on_message(client_node, ReadQuery("X", 1))
+    assert byzantine.lies_told == 1  # it tried...
+    assert deployment.network.stats.dropped == dropped_before + 1
+    assert deployment.network.stats.dropped_by_reason["fault"] >= 1
