@@ -1,0 +1,22 @@
+"""Build hook for the optional native kernel extension.
+
+All project metadata lives in ``pyproject.toml``; this file exists only
+to declare the C extension, marked ``optional`` so an install on a box
+with no C toolchain still succeeds — the runtime then falls back to the
+pure-python kernel (see ``repro.sim.kernel``).
+
+Source checkouts (``PYTHONPATH=src``) build the same extension in place
+with ``python -m repro._native.build`` instead.
+"""
+
+from setuptools import Extension, setup
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro._native._kernel",
+            sources=["src/repro/_native/_kernelmodule.c"],
+            optional=True,
+        )
+    ],
+)

@@ -1,0 +1,1695 @@
+/* Native simulation-kernel core (REPRO_KERNEL=native).
+ *
+ * A CPython extension housing the event-heap scheduler hot path of the
+ * simulator: push/pop/cancel with (time, seq) ordering, the inlined
+ * run() drain loops, the handle-free uncancellable delivery entries, a
+ * scalar-totals MessageStats core, and a C delivery trampoline that
+ * re-enters Python only at the algorithm-callback boundary
+ * (``node.on_message``).
+ *
+ * Contract: byte-identical behaviour to the pure-python kernel in
+ * ``repro.sim.scheduler`` / ``repro.sim.metrics`` / ``Network._deliver``.
+ * Event ordering is a strict total order on (time, seq) — seq is unique —
+ * so the C binary heap pops events in exactly the order heapq does, even
+ * though the internal array layout may differ.  All times are IEEE-754
+ * doubles on both sides, so ``now + delay`` produces the same bits.
+ *
+ * RNG draws never happen here: delays are sampled in Python (numpy) and
+ * handed over as plain floats, which keeps the determinism contract
+ * trivially aligned with the pure-python backend.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+#include <stddef.h>
+
+/* ------------------------------------------------------------------ */
+/* Interned strings / cached exception types                          */
+/* ------------------------------------------------------------------ */
+
+static PyObject *str_active;        /* "active"          */
+static PyObject *str_can_deliver;   /* "can_deliver"     */
+static PyObject *str_on_message;    /* "on_message"      */
+static PyObject *str_record_drop;   /* "record_drop"     */
+static PyObject *str_record_delivery; /* "record_delivery" */
+static PyObject *str_record_send;   /* "record_send"     */
+static PyObject *str_fault;         /* "fault"           */
+static PyObject *str_loss;          /* "loss"            */
+static PyObject *str_adversary;     /* "adversary"       */
+static PyObject *str_drop_action;   /* "drop"            */
+static PyObject *str_kind_attr;     /* "kind"            */
+static PyObject *str_dunder_name;   /* "__name__"        */
+static PyObject *str_sample;        /* "sample"          */
+static PyObject *str_random;        /* "random"          */
+static PyObject *str_intercept;     /* "intercept"       */
+static PyObject *str_loss_rate;     /* "loss_rate"       */
+static PyObject *str_taps_attr;     /* "_taps"           */
+static PyObject *str_adversary_attr; /* "_adversary"     */
+static PyObject *str_loss_rng_attr; /* "_loss_rng"       */
+static PyObject *str_deliver_attr;  /* "_deliver"        */
+static PyObject *str_delay_model;   /* "delay_model"     */
+static PyObject *str_rng_attr;      /* "rng"             */
+static PyObject *scheduler_error = NULL;  /* repro.sim.scheduler.SchedulerError */
+
+/* Lazily resolve SchedulerError so importing this module never requires
+ * the Python package to be importable first (and vice versa). */
+static PyObject *
+get_scheduler_error(void)
+{
+    if (scheduler_error == NULL) {
+        PyObject *mod = PyImport_ImportModule("repro.sim.scheduler");
+        if (mod == NULL) {
+            /* Fall back to RuntimeError (SchedulerError's base) rather
+             * than failing to report the real usage error. */
+            PyErr_Clear();
+            scheduler_error = PyExc_RuntimeError;
+            Py_INCREF(scheduler_error);
+            return scheduler_error;
+        }
+        scheduler_error = PyObject_GetAttrString(mod, "SchedulerError");
+        Py_DECREF(mod);
+        if (scheduler_error == NULL) {
+            PyErr_Clear();
+            scheduler_error = PyExc_RuntimeError;
+            Py_INCREF(scheduler_error);
+        }
+    }
+    return scheduler_error;
+}
+
+/* ------------------------------------------------------------------ */
+/* StatsCore: the MessageStats(detailed=False) scalar-totals fast path */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    long long sent;
+    long long delivered;
+    long long dropped;
+} StatsCore;
+
+static PyTypeObject StatsCore_Type;
+
+#define StatsCore_Check(op) PyObject_TypeCheck((op), &StatsCore_Type)
+
+static PyObject *
+statscore_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    StatsCore *self = (StatsCore *)type->tp_alloc(type, 0);
+    if (self != NULL) {
+        self->sent = 0;
+        self->delivered = 0;
+        self->dropped = 0;
+    }
+    return (PyObject *)self;
+}
+
+static int
+statscore_init(StatsCore *self, PyObject *args, PyObject *kwds)
+{
+    /* Accept and ignore a ``detailed`` keyword for signature parity with
+     * MessageStats; the core is always scalar-totals (detailed=False). */
+    static char *kwlist[] = {"detailed", NULL};
+    int detailed = 0;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|p", kwlist, &detailed))
+        return -1;
+    if (detailed) {
+        PyErr_SetString(PyExc_ValueError,
+                        "the native stats core is scalar-totals only; "
+                        "use repro.sim.metrics.MessageStats for "
+                        "detailed=True");
+        return -1;
+    }
+    return 0;
+}
+
+static PyObject *
+statscore_record_send(StatsCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs < 2 || nargs > 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "record_send expects (src, dst, kind)");
+        return NULL;
+    }
+    self->sent += 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+statscore_record_sends(StatsCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs < 2 || nargs > 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "record_sends expects (src, count, kind)");
+        return NULL;
+    }
+    long long count = PyLong_AsLongLong(args[1]);
+    if (count == -1 && PyErr_Occurred())
+        return NULL;
+    self->sent += count;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+statscore_record_delivery(StatsCore *self, PyObject *const *args,
+                          Py_ssize_t nargs)
+{
+    if (nargs < 2 || nargs > 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "record_delivery expects (src, dst[, kind])");
+        return NULL;
+    }
+    self->delivered += 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+statscore_record_drop(StatsCore *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"src", "dst", "kind", "reason", NULL};
+    PyObject *src, *dst, *kind = Py_None, *reason = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OO|OO", kwlist,
+                                     &src, &dst, &kind, &reason))
+        return NULL;
+    self->dropped += 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+statscore_get_detailed(StatsCore *self, void *closure)
+{
+    Py_RETURN_FALSE;
+}
+
+static PyObject *
+statscore_repr(StatsCore *self)
+{
+    return PyUnicode_FromFormat(
+        "MessageStats(sent=%lld, delivered=%lld, dropped=%lld)",
+        self->sent, self->delivered, self->dropped);
+}
+
+static PyMemberDef statscore_members[] = {
+    {"sent", T_LONGLONG, offsetof(StatsCore, sent), 0,
+     "total messages sent"},
+    {"delivered", T_LONGLONG, offsetof(StatsCore, delivered), 0,
+     "total messages delivered"},
+    {"dropped", T_LONGLONG, offsetof(StatsCore, dropped), 0,
+     "total messages dropped"},
+    {NULL}
+};
+
+static PyGetSetDef statscore_getset[] = {
+    {"detailed", (getter)statscore_get_detailed, NULL,
+     "always False: the native core keeps scalar totals only", NULL},
+    {NULL}
+};
+
+static PyMethodDef statscore_methods[] = {
+    {"record_send", (PyCFunction)statscore_record_send, METH_FASTCALL,
+     "Record one message leaving src for dst."},
+    {"record_sends", (PyCFunction)statscore_record_sends, METH_FASTCALL,
+     "Record count messages leaving src in one update."},
+    {"record_delivery", (PyCFunction)statscore_record_delivery,
+     METH_FASTCALL, "Record one message arriving at dst."},
+    {"record_drop", (PyCFunction)statscore_record_drop,
+     METH_VARARGS | METH_KEYWORDS,
+     "Record a message lost to a crash, partition or lossy link."},
+    {NULL}
+};
+
+static PyTypeObject StatsCore_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._native._kernel.StatsCore",
+    .tp_basicsize = sizeof(StatsCore),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE,
+    .tp_doc = "Scalar-totals message counters (the detailed=False fast path).",
+    .tp_new = statscore_new,
+    .tp_init = (initproc)statscore_init,
+    .tp_repr = (reprfunc)statscore_repr,
+    .tp_members = statscore_members,
+    .tp_getset = statscore_getset,
+    .tp_methods = statscore_methods,
+};
+
+/* ------------------------------------------------------------------ */
+/* DeliveryCore: Network._deliver without a Python frame               */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *stats;    /* StatsCore or a python MessageStats */
+    PyObject *failures; /* FailureInjector */
+    PyObject *nodes;    /* the Network's {node_id: Node} dict (shared) */
+} DeliveryCore;
+
+static PyTypeObject DeliveryCore_Type;
+
+static PyObject *
+deliverycore_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    PyObject *stats, *failures, *nodes;
+    if (!PyArg_ParseTuple(args, "OOO!", &stats, &failures,
+                          &PyDict_Type, &nodes))
+        return NULL;
+    DeliveryCore *self = (DeliveryCore *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    Py_INCREF(stats);
+    self->stats = stats;
+    Py_INCREF(failures);
+    self->failures = failures;
+    Py_INCREF(nodes);
+    self->nodes = nodes;
+    return (PyObject *)self;
+}
+
+static int
+deliverycore_traverse(DeliveryCore *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->stats);
+    Py_VISIT(self->failures);
+    Py_VISIT(self->nodes);
+    return 0;
+}
+
+static int
+deliverycore_clear(DeliveryCore *self)
+{
+    Py_CLEAR(self->stats);
+    Py_CLEAR(self->failures);
+    Py_CLEAR(self->nodes);
+    return 0;
+}
+
+static void
+deliverycore_dealloc(DeliveryCore *self)
+{
+    PyObject_GC_UnTrack(self);
+    deliverycore_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* The body of Network._deliver, mirrored exactly:
+ *
+ *     failures = self.failures
+ *     if failures.active and not failures.can_deliver(src, dst):
+ *         self.stats.record_drop(src, dst, kind, reason="fault")
+ *         return
+ *     self.stats.record_delivery(src, dst, kind)
+ *     self._nodes[dst].on_message(src, message)
+ *
+ * Returns 0 on success, -1 with an exception set on failure.
+ */
+static int
+delivery_invoke(DeliveryCore *self, PyObject *src, PyObject *dst,
+                PyObject *message, PyObject *kind)
+{
+    PyObject *active = PyObject_GetAttr(self->failures, str_active);
+    if (active == NULL)
+        return -1;
+    int is_active = PyObject_IsTrue(active);
+    Py_DECREF(active);
+    if (is_active < 0)
+        return -1;
+    if (is_active) {
+        PyObject *ok = PyObject_CallMethodObjArgs(
+            self->failures, str_can_deliver, src, dst, NULL);
+        if (ok == NULL)
+            return -1;
+        int deliverable = PyObject_IsTrue(ok);
+        Py_DECREF(ok);
+        if (deliverable < 0)
+            return -1;
+        if (!deliverable) {
+            if (StatsCore_Check(self->stats)) {
+                ((StatsCore *)self->stats)->dropped += 1;
+            }
+            else {
+                PyObject *res = PyObject_CallMethodObjArgs(
+                    self->stats, str_record_drop, src, dst, kind,
+                    str_fault, NULL);
+                if (res == NULL)
+                    return -1;
+                Py_DECREF(res);
+            }
+            return 0;
+        }
+    }
+    if (StatsCore_Check(self->stats)) {
+        ((StatsCore *)self->stats)->delivered += 1;
+    }
+    else {
+        PyObject *res = PyObject_CallMethodObjArgs(
+            self->stats, str_record_delivery, src, dst, kind, NULL);
+        if (res == NULL)
+            return -1;
+        Py_DECREF(res);
+    }
+    PyObject *node = PyDict_GetItemWithError(self->nodes, dst);
+    if (node == NULL) {
+        if (!PyErr_Occurred())
+            PyErr_SetObject(PyExc_KeyError, dst);
+        return -1;
+    }
+    /* Borrowed node ref stays alive: the nodes dict is never mutated
+     * from inside on_message (nodes are only added during set-up). */
+    Py_INCREF(node);
+    PyObject *res = PyObject_CallMethodObjArgs(
+        node, str_on_message, src, message, NULL);
+    Py_DECREF(node);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+static PyObject *
+deliverycore_call(DeliveryCore *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *src, *dst, *message, *kind;
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) != 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "delivery takes no keyword arguments");
+        return NULL;
+    }
+    if (!PyArg_UnpackTuple(args, "delivery", 4, 4,
+                           &src, &dst, &message, &kind))
+        return NULL;
+    if (delivery_invoke(self, src, dst, message, kind) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMemberDef deliverycore_members[] = {
+    {"stats", T_OBJECT_EX, offsetof(DeliveryCore, stats), READONLY,
+     "the stats object deliveries are recorded on"},
+    {"failures", T_OBJECT_EX, offsetof(DeliveryCore, failures), READONLY,
+     "the FailureInjector consulted per delivery"},
+    {NULL}
+};
+
+static PyTypeObject DeliveryCore_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._native._kernel.DeliveryCore",
+    .tp_basicsize = sizeof(DeliveryCore),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Network._deliver as a C callable: fault check, stats "
+              "update, then node.on_message(src, message).",
+    .tp_new = deliverycore_new,
+    .tp_dealloc = (destructor)deliverycore_dealloc,
+    .tp_traverse = (traverseproc)deliverycore_traverse,
+    .tp_clear = (inquiry)deliverycore_clear,
+    .tp_call = (ternaryfunc)deliverycore_call,
+    .tp_members = deliverycore_members,
+};
+
+/* ------------------------------------------------------------------ */
+/* EventHandle                                                         */
+/* ------------------------------------------------------------------ */
+
+struct SchedulerCore;
+
+typedef struct {
+    PyObject_HEAD
+    double time;
+    long long seq;
+    PyObject *callback;
+    PyObject *args;             /* always a tuple */
+    struct SchedulerCore *owner; /* strong reference (cycle: GC-tracked) */
+    char cancelled;
+    char dequeued;
+} KernelHandle;
+
+static PyTypeObject KernelHandle_Type;
+
+static int
+kernelhandle_traverse(KernelHandle *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->callback);
+    Py_VISIT(self->args);
+    Py_VISIT((PyObject *)self->owner);
+    return 0;
+}
+
+static int
+kernelhandle_clear(KernelHandle *self)
+{
+    Py_CLEAR(self->callback);
+    Py_CLEAR(self->args);
+    Py_CLEAR(self->owner);
+    return 0;
+}
+
+static void
+kernelhandle_dealloc(KernelHandle *self)
+{
+    PyObject_GC_UnTrack(self);
+    kernelhandle_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* forward declaration: cancel touches the owner's live counter */
+static PyObject *kernelhandle_cancel(KernelHandle *self,
+                                     PyObject *Py_UNUSED(ignored));
+
+static PyObject *
+kernelhandle_repr(KernelHandle *self)
+{
+    const char *state = self->cancelled ? "cancelled" : "pending";
+    PyObject *name = NULL;
+    if (self->callback != NULL)
+        name = PyObject_GetAttrString(self->callback, "__name__");
+    if (name == NULL) {
+        PyErr_Clear();
+        name = PyObject_Repr(self->callback ? self->callback : Py_None);
+        if (name == NULL)
+            return NULL;
+    }
+    PyObject *time = PyFloat_FromDouble(self->time);
+    if (time == NULL) {
+        Py_DECREF(name);
+        return NULL;
+    }
+    PyObject *out = PyUnicode_FromFormat(
+        "EventHandle(t=%R, seq=%lld, %U, %s)",
+        time, self->seq, name, state);
+    Py_DECREF(time);
+    Py_DECREF(name);
+    return out;
+}
+
+static PyObject *
+kernelhandle_get_cancelled(KernelHandle *self, void *closure)
+{
+    return PyBool_FromLong(self->cancelled);
+}
+
+static PyObject *
+kernelhandle_get_dequeued(KernelHandle *self, void *closure)
+{
+    return PyBool_FromLong(self->dequeued);
+}
+
+static PyObject *
+kernelhandle_richcompare(PyObject *a, PyObject *b, int op)
+{
+    if (op != Py_LT || !PyObject_TypeCheck(a, &KernelHandle_Type)
+        || !PyObject_TypeCheck(b, &KernelHandle_Type))
+        Py_RETURN_NOTIMPLEMENTED;
+    KernelHandle *ha = (KernelHandle *)a, *hb = (KernelHandle *)b;
+    int lt = (ha->time < hb->time)
+             || (ha->time == hb->time && ha->seq < hb->seq);
+    return PyBool_FromLong(lt);
+}
+
+static PyMemberDef kernelhandle_members[] = {
+    {"time", T_DOUBLE, offsetof(KernelHandle, time), READONLY,
+     "absolute simulated firing time"},
+    {"seq", T_LONGLONG, offsetof(KernelHandle, seq), READONLY,
+     "scheduling sequence number (tie-breaker)"},
+    {"callback", T_OBJECT_EX, offsetof(KernelHandle, callback), READONLY,
+     "the scheduled callable"},
+    {"args", T_OBJECT_EX, offsetof(KernelHandle, args), READONLY,
+     "the callable's argument tuple"},
+    {NULL}
+};
+
+static PyGetSetDef kernelhandle_getset[] = {
+    {"cancelled", (getter)kernelhandle_get_cancelled, NULL,
+     "True once cancel() was called", NULL},
+    {"_dequeued", (getter)kernelhandle_get_dequeued, NULL,
+     "True once the heap entry was popped", NULL},
+    {NULL}
+};
+
+static PyMethodDef kernelhandle_methods[] = {
+    {"cancel", (PyCFunction)kernelhandle_cancel, METH_NOARGS,
+     "Prevent the event from firing.  Idempotent."},
+    {NULL}
+};
+
+static PyTypeObject KernelHandle_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._native._kernel.EventHandle",
+    .tp_basicsize = sizeof(KernelHandle),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A cancellable reference to a scheduled event.",
+    .tp_dealloc = (destructor)kernelhandle_dealloc,
+    .tp_traverse = (traverseproc)kernelhandle_traverse,
+    .tp_clear = (inquiry)kernelhandle_clear,
+    .tp_repr = (reprfunc)kernelhandle_repr,
+    .tp_richcompare = kernelhandle_richcompare,
+    .tp_members = kernelhandle_members,
+    .tp_getset = kernelhandle_getset,
+    .tp_methods = kernelhandle_methods,
+};
+
+/* ------------------------------------------------------------------ */
+/* SchedulerCore                                                       */
+/* ------------------------------------------------------------------ */
+
+/* One heap slot.  Two layouts share the struct (the heap is hot; a
+ * union of PyObject* slots keeps it 32 bytes):
+ *   handle entry:        obj = KernelHandle*,  args = NULL
+ *   uncancellable entry: obj = callback,       args = tuple
+ */
+typedef struct {
+    double time;
+    long long seq;
+    PyObject *obj;
+    PyObject *args;
+} KEvent;
+
+typedef struct SchedulerCore {
+    PyObject_HEAD
+    KEvent *heap;
+    Py_ssize_t len;
+    Py_ssize_t cap;
+    double now;
+    long long seq;
+    long long processed;
+    long long live;
+    int stopped;
+} SchedulerCore;
+
+static PyTypeObject SchedulerCore_Type;
+
+static inline int
+ev_lt(const KEvent *a, const KEvent *b)
+{
+    return a->time < b->time || (a->time == b->time && a->seq < b->seq);
+}
+
+static int
+heap_grow(SchedulerCore *self)
+{
+    Py_ssize_t cap = self->cap ? self->cap * 2 : 64;
+    KEvent *heap = PyMem_Realloc(self->heap, (size_t)cap * sizeof(KEvent));
+    if (heap == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->heap = heap;
+    self->cap = cap;
+    return 0;
+}
+
+/* Push: steals no references — the caller hands over ownership of
+ * ev.obj / ev.args on success and keeps it on failure. */
+static int
+heap_push(SchedulerCore *self, KEvent ev)
+{
+    if (self->len == self->cap && heap_grow(self) < 0)
+        return -1;
+    Py_ssize_t i = self->len++;
+    KEvent *heap = self->heap;
+    while (i > 0) {
+        Py_ssize_t parent = (i - 1) >> 1;
+        if (ev_lt(&ev, &heap[parent])) {
+            heap[i] = heap[parent];
+            i = parent;
+        }
+        else
+            break;
+    }
+    heap[i] = ev;
+    return 0;
+}
+
+/* Pop the root; the caller owns the returned event's references.
+ * Precondition: len > 0. */
+static KEvent
+heap_pop(SchedulerCore *self)
+{
+    KEvent *heap = self->heap;
+    KEvent top = heap[0];
+    KEvent last = heap[--self->len];
+    Py_ssize_t n = self->len;
+    if (n > 0) {
+        Py_ssize_t i = 0;
+        for (;;) {
+            Py_ssize_t child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && ev_lt(&heap[child + 1], &heap[child]))
+                child += 1;
+            if (ev_lt(&heap[child], &last)) {
+                heap[i] = heap[child];
+                i = child;
+            }
+            else
+                break;
+        }
+        heap[i] = last;
+    }
+    return top;
+}
+
+static PyObject *
+kernelhandle_cancel(KernelHandle *self, PyObject *Py_UNUSED(ignored))
+{
+    if (self->cancelled)
+        Py_RETURN_NONE;
+    self->cancelled = 1;
+    /* Keep the owner's live-event counter exact: a handle leaves the
+     * live count exactly once — here, or when it is popped and run. */
+    if (self->owner != NULL && !self->dequeued)
+        self->owner->live -= 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+schedulercore_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    SchedulerCore *self = (SchedulerCore *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->heap = NULL;
+    self->len = 0;
+    self->cap = 0;
+    self->now = 0.0;
+    self->seq = 0;
+    self->processed = 0;
+    self->live = 0;
+    self->stopped = 0;
+    return (PyObject *)self;
+}
+
+static int
+schedulercore_traverse(SchedulerCore *self, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < self->len; i++) {
+        Py_VISIT(self->heap[i].obj);
+        Py_VISIT(self->heap[i].args);
+    }
+    return 0;
+}
+
+static int
+schedulercore_clear(SchedulerCore *self)
+{
+    Py_ssize_t n = self->len;
+    self->len = 0;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        Py_CLEAR(self->heap[i].obj);
+        Py_CLEAR(self->heap[i].args);
+    }
+    return 0;
+}
+
+static void
+schedulercore_dealloc(SchedulerCore *self)
+{
+    PyObject_GC_UnTrack(self);
+    schedulercore_clear(self);
+    PyMem_Free(self->heap);
+    self->heap = NULL;
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* Build the args tuple for a schedule call's trailing *args. */
+static PyObject *
+pack_args(PyObject *const *args, Py_ssize_t start, Py_ssize_t nargs)
+{
+    PyObject *tuple = PyTuple_New(nargs - start);
+    if (tuple == NULL)
+        return NULL;
+    for (Py_ssize_t i = start; i < nargs; i++) {
+        PyObject *item = args[i];
+        Py_INCREF(item);
+        PyTuple_SET_ITEM(tuple, i - start, item);
+    }
+    return tuple;
+}
+
+/* Shared push path for schedule / schedule_at / call_soon. */
+static PyObject *
+push_handle_event(SchedulerCore *self, double time, PyObject *callback,
+                  PyObject *argtuple /* stolen on success */)
+{
+    KernelHandle *handle =
+        PyObject_GC_New(KernelHandle, &KernelHandle_Type);
+    if (handle == NULL) {
+        Py_DECREF(argtuple);
+        return NULL;
+    }
+    handle->time = time;
+    handle->seq = self->seq;
+    Py_INCREF(callback);
+    handle->callback = callback;
+    handle->args = argtuple;  /* stolen */
+    Py_INCREF(self);
+    handle->owner = self;
+    handle->cancelled = 0;
+    handle->dequeued = 0;
+    PyObject_GC_Track((PyObject *)handle);
+
+    KEvent ev;
+    ev.time = time;
+    ev.seq = self->seq;
+    Py_INCREF(handle);
+    ev.obj = (PyObject *)handle;
+    ev.args = NULL;
+    if (heap_push(self, ev) < 0) {
+        Py_DECREF(handle);  /* the heap's ref */
+        Py_DECREF(handle);  /* the return ref */
+        return NULL;
+    }
+    self->seq += 1;
+    self->live += 1;
+    return (PyObject *)handle;
+}
+
+static PyObject *
+schedulercore_schedule(SchedulerCore *self, PyObject *const *args,
+                       Py_ssize_t nargs)
+{
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule expects (delay, callback, *args)");
+        return NULL;
+    }
+    double delay = PyFloat_AsDouble(args[0]);
+    if (delay == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (delay < 0) {
+        PyErr_Format(get_scheduler_error(),
+                     "cannot schedule into the past (delay=%R)", args[0]);
+        return NULL;
+    }
+    PyObject *argtuple = pack_args(args, 2, nargs);
+    if (argtuple == NULL)
+        return NULL;
+    return push_handle_event(self, self->now + delay, args[1], argtuple);
+}
+
+static PyObject *
+schedulercore_schedule_at(SchedulerCore *self, PyObject *const *args,
+                          Py_ssize_t nargs)
+{
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule_at expects (time, callback, *args)");
+        return NULL;
+    }
+    double time = PyFloat_AsDouble(args[0]);
+    if (time == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (time < self->now) {
+        PyObject *now_obj = PyFloat_FromDouble(self->now);
+        if (now_obj == NULL)
+            return NULL;
+        PyErr_Format(get_scheduler_error(),
+                     "cannot schedule at t=%R before current time t=%R",
+                     args[0], now_obj);
+        Py_DECREF(now_obj);
+        return NULL;
+    }
+    PyObject *argtuple = pack_args(args, 2, nargs);
+    if (argtuple == NULL)
+        return NULL;
+    return push_handle_event(self, time, args[1], argtuple);
+}
+
+static PyObject *
+schedulercore_call_soon(SchedulerCore *self, PyObject *const *args,
+                        Py_ssize_t nargs)
+{
+    if (nargs < 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "call_soon expects (callback, *args)");
+        return NULL;
+    }
+    PyObject *argtuple = pack_args(args, 1, nargs);
+    if (argtuple == NULL)
+        return NULL;
+    return push_handle_event(self, self->now, args[0], argtuple);
+}
+
+static PyObject *
+schedulercore_schedule_uncancellable(SchedulerCore *self,
+                                     PyObject *const *args,
+                                     Py_ssize_t nargs)
+{
+    if (nargs < 2) {
+        PyErr_SetString(
+            PyExc_TypeError,
+            "schedule_uncancellable expects (delay, callback, *args)");
+        return NULL;
+    }
+    double delay = PyFloat_AsDouble(args[0]);
+    if (delay == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (delay < 0) {
+        PyErr_Format(get_scheduler_error(),
+                     "cannot schedule into the past (delay=%R)", args[0]);
+        return NULL;
+    }
+    PyObject *argtuple = pack_args(args, 2, nargs);
+    if (argtuple == NULL)
+        return NULL;
+    KEvent ev;
+    ev.time = self->now + delay;
+    ev.seq = self->seq;
+    Py_INCREF(args[1]);
+    ev.obj = args[1];
+    ev.args = argtuple;
+    if (heap_push(self, ev) < 0) {
+        Py_DECREF(ev.obj);
+        Py_DECREF(ev.args);
+        return NULL;
+    }
+    self->seq += 1;
+    self->live += 1;
+    Py_RETURN_NONE;
+}
+
+/* schedule_deliveries(delays, callback, src, dsts, message, kind)
+ *
+ * The batched tail of Network.broadcast: one C call pushes one
+ * uncancellable delivery per (delay, dst) pair, validating delays and
+ * consuming seq numbers exactly as a Python loop of
+ * schedule_uncancellable(delay, callback, src, dst, message, kind)
+ * calls would.
+ */
+static PyObject *
+schedulercore_schedule_deliveries(SchedulerCore *self,
+                                  PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 6) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule_deliveries expects (delays, callback, "
+                        "src, dsts, message, kind)");
+        return NULL;
+    }
+    PyObject *delays = PySequence_Fast(args[0], "delays must be a sequence");
+    if (delays == NULL)
+        return NULL;
+    PyObject *dsts = PySequence_Fast(args[3], "dsts must be a sequence");
+    if (dsts == NULL) {
+        Py_DECREF(delays);
+        return NULL;
+    }
+    PyObject *callback = args[1], *src = args[2];
+    PyObject *message = args[4], *kind = args[5];
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(delays);
+    if (PySequence_Fast_GET_SIZE(dsts) != n) {
+        Py_DECREF(delays);
+        Py_DECREF(dsts);
+        PyErr_SetString(PyExc_ValueError,
+                        "delays and dsts must have equal length");
+        return NULL;
+    }
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *delay_obj = PySequence_Fast_GET_ITEM(delays, i);
+        double delay = PyFloat_AsDouble(delay_obj);
+        if (delay == -1.0 && PyErr_Occurred())
+            goto fail;
+        if (delay <= 0) {
+            PyErr_Format(PyExc_ValueError,
+                         "delay model produced non-positive delay %S",
+                         delay_obj);
+            goto fail;
+        }
+        PyObject *dst = PySequence_Fast_GET_ITEM(dsts, i);
+        PyObject *argtuple = PyTuple_Pack(4, src, dst, message, kind);
+        if (argtuple == NULL)
+            goto fail;
+        KEvent ev;
+        ev.time = self->now + delay;
+        ev.seq = self->seq;
+        Py_INCREF(callback);
+        ev.obj = callback;
+        ev.args = argtuple;
+        if (heap_push(self, ev) < 0) {
+            Py_DECREF(ev.obj);
+            Py_DECREF(ev.args);
+            goto fail;
+        }
+        self->seq += 1;
+        self->live += 1;
+    }
+    Py_DECREF(delays);
+    Py_DECREF(dsts);
+    Py_RETURN_NONE;
+fail:
+    Py_DECREF(delays);
+    Py_DECREF(dsts);
+    return NULL;
+}
+
+/* Invoke callback(*args); the DeliveryCore case skips tp_call. */
+static inline int
+dispatch(PyObject *callback, PyObject *args)
+{
+    if (Py_TYPE(callback) == &DeliveryCore_Type
+        && PyTuple_GET_SIZE(args) == 4) {
+        return delivery_invoke((DeliveryCore *)callback,
+                               PyTuple_GET_ITEM(args, 0),
+                               PyTuple_GET_ITEM(args, 1),
+                               PyTuple_GET_ITEM(args, 2),
+                               PyTuple_GET_ITEM(args, 3));
+    }
+    PyObject *res = PyObject_Call(callback, args, NULL);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+static PyObject *
+schedulercore_step(SchedulerCore *self, PyObject *Py_UNUSED(ignored))
+{
+    while (self->len > 0) {
+        KEvent ev = heap_pop(self);
+        PyObject *callback, *args;
+        KernelHandle *handle = NULL;
+        if (ev.args == NULL) {
+            handle = (KernelHandle *)ev.obj;
+            handle->dequeued = 1;
+            if (handle->cancelled) {
+                Py_DECREF(ev.obj);
+                continue;
+            }
+            callback = handle->callback;
+            args = handle->args;
+        }
+        else {
+            callback = ev.obj;
+            args = ev.args;
+        }
+        self->live -= 1;
+        self->now = ev.time;
+        self->processed += 1;
+        int rc = dispatch(callback, args);
+        Py_DECREF(ev.obj);
+        Py_XDECREF(ev.args);
+        if (rc < 0)
+            return NULL;
+        Py_RETURN_TRUE;
+    }
+    Py_RETURN_FALSE;
+}
+
+static PyObject *
+schedulercore_run(SchedulerCore *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"until", "max_events", "stop_when", NULL};
+    PyObject *until_obj = Py_None;
+    PyObject *max_events_obj = Py_None;
+    PyObject *stop_when = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|OOO", kwlist,
+                                     &until_obj, &max_events_obj,
+                                     &stop_when))
+        return NULL;
+
+    self->stopped = 0;
+
+    int have_until = until_obj != Py_None;
+    double until = 0.0;
+    if (have_until) {
+        until = PyFloat_AsDouble(until_obj);
+        if (until == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    int have_max = max_events_obj != Py_None;
+    long long max_events = 0;
+    if (have_max) {
+        max_events = PyLong_AsLongLong(max_events_obj);
+        if (max_events == -1 && PyErr_Occurred())
+            return NULL;
+    }
+    int have_stop_when = stop_when != Py_None;
+
+    if (!have_until && !have_max && !have_stop_when) {
+        /* Fast drain loop: no limit checks, one pop per event. */
+        while (self->len > 0) {
+            if (self->stopped)
+                break;
+            KEvent ev = heap_pop(self);
+            PyObject *callback, *cbargs;
+            if (ev.args == NULL) {
+                KernelHandle *handle = (KernelHandle *)ev.obj;
+                handle->dequeued = 1;
+                if (handle->cancelled) {
+                    Py_DECREF(ev.obj);
+                    continue;
+                }
+                callback = handle->callback;
+                cbargs = handle->args;
+            }
+            else {
+                callback = ev.obj;
+                cbargs = ev.args;
+            }
+            self->live -= 1;
+            self->now = ev.time;
+            self->processed += 1;
+            int rc = dispatch(callback, cbargs);
+            Py_DECREF(ev.obj);
+            Py_XDECREF(ev.args);
+            if (rc < 0)
+                return NULL;
+        }
+        return PyFloat_FromDouble(self->now);
+    }
+
+    long long executed = 0;
+    while (self->len > 0) {
+        if (self->stopped)
+            break;
+        /* Peek the head; cancelled handle entries are drained without
+         * consuming any of the run limits. */
+        KEvent *head = &self->heap[0];
+        double head_time;
+        if (head->args == NULL) {
+            KernelHandle *handle = (KernelHandle *)head->obj;
+            if (handle->cancelled) {
+                handle->dequeued = 1;
+                KEvent ev = heap_pop(self);
+                Py_DECREF(ev.obj);
+                continue;
+            }
+            head_time = handle->time;
+        }
+        else
+            head_time = head->time;
+        if (have_until && head_time > until) {
+            self->now = until;
+            break;
+        }
+        if (have_max && executed >= max_events)
+            break;
+        KEvent ev = heap_pop(self);
+        PyObject *callback, *cbargs;
+        if (ev.args == NULL) {
+            KernelHandle *handle = (KernelHandle *)ev.obj;
+            handle->dequeued = 1;
+            callback = handle->callback;
+            cbargs = handle->args;
+        }
+        else {
+            callback = ev.obj;
+            cbargs = ev.args;
+        }
+        self->live -= 1;
+        self->now = head_time;
+        self->processed += 1;
+        int rc = dispatch(callback, cbargs);
+        Py_DECREF(ev.obj);
+        Py_XDECREF(ev.args);
+        if (rc < 0)
+            return NULL;
+        executed += 1;
+        if (have_stop_when) {
+            PyObject *verdict = PyObject_CallNoArgs(stop_when);
+            if (verdict == NULL)
+                return NULL;
+            int stop = PyObject_IsTrue(verdict);
+            Py_DECREF(verdict);
+            if (stop < 0)
+                return NULL;
+            if (stop)
+                break;
+        }
+    }
+    return PyFloat_FromDouble(self->now);
+}
+
+static PyObject *
+schedulercore_stop(SchedulerCore *self, PyObject *Py_UNUSED(ignored))
+{
+    self->stopped = 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+schedulercore_get_now(SchedulerCore *self, void *closure)
+{
+    return PyFloat_FromDouble(self->now);
+}
+
+static PyObject *
+schedulercore_get_events_processed(SchedulerCore *self, void *closure)
+{
+    return PyLong_FromLongLong(self->processed);
+}
+
+static PyObject *
+schedulercore_get_pending(SchedulerCore *self, void *closure)
+{
+    return PyLong_FromLongLong(self->live);
+}
+
+/* Debug/introspection snapshot mirroring the pure-python Scheduler's
+ * ``_queue`` list: (time, seq, handle) for cancellable entries and
+ * (time, seq, callback, args) for uncancellable ones, in heap (not
+ * sorted) order.  Built fresh per access — tests only. */
+static PyObject *
+schedulercore_get_queue(SchedulerCore *self, void *closure)
+{
+    PyObject *out = PyList_New(self->len);
+    if (out == NULL)
+        return NULL;
+    for (Py_ssize_t i = 0; i < self->len; i++) {
+        KEvent *ev = &self->heap[i];
+        PyObject *time = PyFloat_FromDouble(ev->time);
+        PyObject *seq = PyLong_FromLongLong(ev->seq);
+        PyObject *entry = NULL;
+        if (time != NULL && seq != NULL) {
+            if (ev->args == NULL)
+                entry = PyTuple_Pack(3, time, seq, ev->obj);
+            else
+                entry = PyTuple_Pack(4, time, seq, ev->obj, ev->args);
+        }
+        Py_XDECREF(time);
+        Py_XDECREF(seq);
+        if (entry == NULL) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, i, entry);
+    }
+    return out;
+}
+
+static PyGetSetDef schedulercore_getset[] = {
+    {"now", (getter)schedulercore_get_now, NULL,
+     "Current simulated time.", NULL},
+    {"events_processed", (getter)schedulercore_get_events_processed, NULL,
+     "Number of events executed so far.", NULL},
+    {"pending", (getter)schedulercore_get_pending, NULL,
+     "Number of non-cancelled events still queued (O(1) live counter).",
+     NULL},
+    {"_queue", (getter)schedulercore_get_queue, NULL,
+     "Debug snapshot of the heap entries (tests only).", NULL},
+    {NULL}
+};
+
+static PyMethodDef schedulercore_methods[] = {
+    {"schedule", (PyCFunction)schedulercore_schedule, METH_FASTCALL,
+     "Schedule callback(*args) to run delay time units from now."},
+    {"schedule_at", (PyCFunction)schedulercore_schedule_at, METH_FASTCALL,
+     "Schedule callback(*args) at an absolute simulated time."},
+    {"call_soon", (PyCFunction)schedulercore_call_soon, METH_FASTCALL,
+     "Schedule callback(*args) at the current time (after queued events)."},
+    {"schedule_uncancellable",
+     (PyCFunction)schedulercore_schedule_uncancellable, METH_FASTCALL,
+     "Schedule an event that can never be cancelled; returns no handle."},
+    {"schedule_deliveries",
+     (PyCFunction)schedulercore_schedule_deliveries, METH_FASTCALL,
+     "Push one uncancellable delivery per (delay, dst) pair in one call."},
+    {"step", (PyCFunction)schedulercore_step, METH_NOARGS,
+     "Execute the next event.  Returns False when the queue is empty."},
+    {"run", (PyCFunction)schedulercore_run,
+     METH_VARARGS | METH_KEYWORDS,
+     "Run events until the queue drains or a limit is reached."},
+    {"stop", (PyCFunction)schedulercore_stop, METH_NOARGS,
+     "Request that run() return after the current event."},
+    {NULL}
+};
+
+static PyTypeObject SchedulerCore_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._native._kernel.SchedulerCore",
+    .tp_basicsize = sizeof(SchedulerCore),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE
+                | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Native discrete-event scheduler core (C event heap).",
+    .tp_new = schedulercore_new,
+    .tp_dealloc = (destructor)schedulercore_dealloc,
+    .tp_traverse = (traverseproc)schedulercore_traverse,
+    .tp_clear = (inquiry)schedulercore_clear,
+    .tp_getset = schedulercore_getset,
+    .tp_methods = schedulercore_methods,
+};
+
+/* ------------------------------------------------------------------ */
+/* SendCore: Network.send without a Python frame                       */
+/* ------------------------------------------------------------------ */
+
+/* The full body of Network.send, transcribed statement for statement —
+ * including the operation order the streams depend on: stats/taps
+ * first, then the loss draw (always, so the loss stream advances
+ * identically however many nodes are crashed), then the fault check,
+ * the loss verdict, the adversary, and finally the delay sample and
+ * heap push.  Mutable knobs (loss_rate, _taps, _adversary, _loss_rng,
+ * _deliver, delay_model, rng) are re-read from the Network on every
+ * call so set_message_loss / set_adversary / trace monkeypatches keep
+ * working; only the identity-stable collaborators (stats, failures,
+ * nodes dict, scheduler) are bound at construction.
+ */
+typedef struct {
+    PyObject_HEAD
+    PyObject *network;    /* the owning Network (cycle; GC-tracked) */
+    PyObject *stats;
+    PyObject *failures;
+    PyObject *nodes;      /* the Network's {node_id: Node} dict (shared) */
+    SchedulerCore *sched; /* must be a native SchedulerCore */
+} SendCore;
+
+static PyTypeObject SendCore_Type;
+
+/* message.kind if truthy, else type(message).__name__ — _kind_of(). */
+static PyObject *
+kind_of(PyObject *message)
+{
+    PyObject *kind = PyObject_GetAttr(message, str_kind_attr);
+    if (kind == NULL) {
+        if (!PyErr_ExceptionMatches(PyExc_AttributeError))
+            return NULL;
+        PyErr_Clear();
+        return PyObject_GetAttr((PyObject *)Py_TYPE(message),
+                                str_dunder_name);
+    }
+    int truth = PyObject_IsTrue(kind);
+    if (truth < 0) {
+        Py_DECREF(kind);
+        return NULL;
+    }
+    if (truth)
+        return kind;
+    Py_DECREF(kind);
+    return PyObject_GetAttr((PyObject *)Py_TYPE(message), str_dunder_name);
+}
+
+/* stats.record_drop(src, dst, kind, reason) — scalar-fast when native. */
+static int
+stats_record_drop(PyObject *stats, PyObject *src, PyObject *dst,
+                  PyObject *kind, PyObject *reason)
+{
+    if (StatsCore_Check(stats)) {
+        ((StatsCore *)stats)->dropped += 1;
+        return 0;
+    }
+    PyObject *res = PyObject_CallMethodObjArgs(
+        stats, str_record_drop, src, dst, kind, reason, NULL);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+static PyObject *
+sendcore_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    PyObject *network;
+    if (!PyArg_ParseTuple(args, "O", &network))
+        return NULL;
+    PyObject *stats = PyObject_GetAttrString(network, "stats");
+    if (stats == NULL)
+        return NULL;
+    PyObject *failures = PyObject_GetAttrString(network, "failures");
+    if (failures == NULL) {
+        Py_DECREF(stats);
+        return NULL;
+    }
+    PyObject *nodes = PyObject_GetAttrString(network, "_nodes");
+    if (nodes == NULL || !PyDict_Check(nodes)) {
+        Py_DECREF(stats);
+        Py_DECREF(failures);
+        Py_XDECREF(nodes);
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError,
+                            "network._nodes must be a dict");
+        return NULL;
+    }
+    PyObject *sched = PyObject_GetAttrString(network, "scheduler");
+    if (sched == NULL || !PyObject_TypeCheck(sched, &SchedulerCore_Type)) {
+        Py_DECREF(stats);
+        Py_DECREF(failures);
+        Py_DECREF(nodes);
+        Py_XDECREF(sched);
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError,
+                            "SendCore needs a native SchedulerCore");
+        return NULL;
+    }
+    SendCore *self = (SendCore *)type->tp_alloc(type, 0);
+    if (self == NULL) {
+        Py_DECREF(stats);
+        Py_DECREF(failures);
+        Py_DECREF(nodes);
+        Py_DECREF(sched);
+        return NULL;
+    }
+    Py_INCREF(network);
+    self->network = network;
+    self->stats = stats;
+    self->failures = failures;
+    self->nodes = nodes;
+    self->sched = (SchedulerCore *)sched;
+    return (PyObject *)self;
+}
+
+static int
+sendcore_traverse(SendCore *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->network);
+    Py_VISIT(self->stats);
+    Py_VISIT(self->failures);
+    Py_VISIT(self->nodes);
+    Py_VISIT((PyObject *)self->sched);
+    return 0;
+}
+
+static int
+sendcore_clear(SendCore *self)
+{
+    Py_CLEAR(self->network);
+    Py_CLEAR(self->stats);
+    Py_CLEAR(self->failures);
+    Py_CLEAR(self->nodes);
+    Py_CLEAR(self->sched);
+    return 0;
+}
+
+static void
+sendcore_dealloc(SendCore *self)
+{
+    PyObject_GC_UnTrack(self);
+    sendcore_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+sendcore_call(SendCore *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *src, *dst, *message;
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) != 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "send takes no keyword arguments");
+        return NULL;
+    }
+    if (!PyArg_UnpackTuple(args, "send", 3, 3, &src, &dst, &message))
+        return NULL;
+
+    int known = PyDict_Contains(self->nodes, dst);
+    if (known < 0)
+        return NULL;
+    if (!known) {
+        PyErr_Format(PyExc_KeyError, "unknown destination node %S", dst);
+        return NULL;
+    }
+    PyObject *kind = kind_of(message);
+    if (kind == NULL)
+        return NULL;
+
+    if (StatsCore_Check(self->stats)) {
+        ((StatsCore *)self->stats)->sent += 1;
+    }
+    else {
+        PyObject *res = PyObject_CallMethodObjArgs(
+            self->stats, str_record_send, src, dst, kind, NULL);
+        if (res == NULL)
+            goto fail;
+        Py_DECREF(res);
+    }
+
+    PyObject *taps = PyObject_GetAttr(self->network, str_taps_attr);
+    if (taps == NULL)
+        goto fail;
+    if (PyList_Check(taps)) {
+        for (Py_ssize_t i = 0; i < PyList_GET_SIZE(taps); i++) {
+            PyObject *tap = PyList_GET_ITEM(taps, i);
+            Py_INCREF(tap);
+            PyObject *res = PyObject_CallFunctionObjArgs(
+                tap, src, dst, message, NULL);
+            Py_DECREF(tap);
+            if (res == NULL) {
+                Py_DECREF(taps);
+                goto fail;
+            }
+            Py_DECREF(res);
+        }
+    }
+    Py_DECREF(taps);
+
+    /* One loss draw per send whenever loss is on, before any fault
+     * check, so the loss stream advances identically however many
+     * nodes happen to be crashed. */
+    PyObject *rate_obj = PyObject_GetAttr(self->network, str_loss_rate);
+    if (rate_obj == NULL)
+        goto fail;
+    double loss_rate = PyFloat_AsDouble(rate_obj);
+    Py_DECREF(rate_obj);
+    if (loss_rate == -1.0 && PyErr_Occurred())
+        goto fail;
+    int lost = 0;
+    if (loss_rate > 0.0) {
+        PyObject *loss_rng = PyObject_GetAttr(self->network,
+                                              str_loss_rng_attr);
+        if (loss_rng == NULL)
+            goto fail;
+        PyObject *draw = PyObject_CallMethodObjArgs(loss_rng, str_random,
+                                                    NULL);
+        Py_DECREF(loss_rng);
+        if (draw == NULL)
+            goto fail;
+        double value = PyFloat_AsDouble(draw);
+        Py_DECREF(draw);
+        if (value == -1.0 && PyErr_Occurred())
+            goto fail;
+        lost = value < loss_rate;
+    }
+
+    PyObject *active = PyObject_GetAttr(self->failures, str_active);
+    if (active == NULL)
+        goto fail;
+    int is_active = PyObject_IsTrue(active);
+    Py_DECREF(active);
+    if (is_active < 0)
+        goto fail;
+    if (is_active) {
+        PyObject *ok = PyObject_CallMethodObjArgs(
+            self->failures, str_can_deliver, src, dst, NULL);
+        if (ok == NULL)
+            goto fail;
+        int deliverable = PyObject_IsTrue(ok);
+        Py_DECREF(ok);
+        if (deliverable < 0)
+            goto fail;
+        if (!deliverable) {
+            if (stats_record_drop(self->stats, src, dst, kind,
+                                  str_fault) < 0)
+                goto fail;
+            Py_DECREF(kind);
+            Py_RETURN_NONE;
+        }
+    }
+    if (lost) {
+        if (stats_record_drop(self->stats, src, dst, kind, str_loss) < 0)
+            goto fail;
+        Py_DECREF(kind);
+        Py_RETURN_NONE;
+    }
+
+    double extra = 0.0;
+    PyObject *adversary = PyObject_GetAttr(self->network,
+                                           str_adversary_attr);
+    if (adversary == NULL)
+        goto fail;
+    if (adversary != Py_None) {
+        PyObject *now_obj = PyFloat_FromDouble(self->sched->now);
+        if (now_obj == NULL) {
+            Py_DECREF(adversary);
+            goto fail;
+        }
+        PyObject *action = PyObject_CallMethodObjArgs(
+            adversary, str_intercept, src, dst, message, kind, now_obj,
+            NULL);
+        Py_DECREF(now_obj);
+        Py_DECREF(adversary);
+        if (action == NULL)
+            goto fail;
+        int dropped = PyObject_RichCompareBool(action, str_drop_action,
+                                               Py_EQ);
+        if (dropped < 0) {
+            Py_DECREF(action);
+            goto fail;
+        }
+        if (dropped) {
+            Py_DECREF(action);
+            if (stats_record_drop(self->stats, src, dst, kind,
+                                  str_adversary) < 0)
+                goto fail;
+            Py_DECREF(kind);
+            Py_RETURN_NONE;
+        }
+        if (action != Py_None) {
+            extra = PyFloat_AsDouble(action);
+            if (extra == -1.0 && PyErr_Occurred()) {
+                Py_DECREF(action);
+                goto fail;
+            }
+        }
+        Py_DECREF(action);
+    }
+    else {
+        Py_DECREF(adversary);
+    }
+
+    PyObject *delay_model = PyObject_GetAttr(self->network,
+                                             str_delay_model);
+    if (delay_model == NULL)
+        goto fail;
+    PyObject *rng = PyObject_GetAttr(self->network, str_rng_attr);
+    if (rng == NULL) {
+        Py_DECREF(delay_model);
+        goto fail;
+    }
+    PyObject *delay_obj = PyObject_CallMethodObjArgs(
+        delay_model, str_sample, rng, src, dst, NULL);
+    Py_DECREF(delay_model);
+    Py_DECREF(rng);
+    if (delay_obj == NULL)
+        goto fail;
+    double delay = PyFloat_AsDouble(delay_obj);
+    if (delay == -1.0 && PyErr_Occurred()) {
+        Py_DECREF(delay_obj);
+        goto fail;
+    }
+    if (delay <= 0) {
+        PyErr_Format(PyExc_ValueError,
+                     "delay model produced non-positive delay %S",
+                     delay_obj);
+        Py_DECREF(delay_obj);
+        goto fail;
+    }
+    Py_DECREF(delay_obj);
+
+    /* scheduler.schedule_uncancellable(delay + extra, _deliver, src,
+     * dst, message, kind) — inlined: time = now + (delay + extra),
+     * matching the Python operation order bit for bit. */
+    PyObject *deliver = PyObject_GetAttr(self->network, str_deliver_attr);
+    if (deliver == NULL)
+        goto fail;
+    PyObject *argtuple = PyTuple_Pack(4, src, dst, message, kind);
+    if (argtuple == NULL) {
+        Py_DECREF(deliver);
+        goto fail;
+    }
+    KEvent ev;
+    ev.time = self->sched->now + (delay + extra);
+    ev.seq = self->sched->seq;
+    ev.obj = deliver;
+    ev.args = argtuple;
+    if (heap_push(self->sched, ev) < 0) {
+        Py_DECREF(deliver);
+        Py_DECREF(argtuple);
+        goto fail;
+    }
+    self->sched->seq += 1;
+    self->sched->live += 1;
+    Py_DECREF(kind);
+    Py_RETURN_NONE;
+
+fail:
+    Py_DECREF(kind);
+    return NULL;
+}
+
+static PyTypeObject SendCore_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._native._kernel.SendCore",
+    .tp_basicsize = sizeof(SendCore),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Network.send as a C callable: stats, taps, loss draw, "
+              "fault check, adversary, delay sample, heap push.",
+    .tp_new = sendcore_new,
+    .tp_dealloc = (destructor)sendcore_dealloc,
+    .tp_traverse = (traverseproc)sendcore_traverse,
+    .tp_clear = (inquiry)sendcore_clear,
+    .tp_call = (ternaryfunc)sendcore_call,
+};
+
+/* ------------------------------------------------------------------ */
+/* Module                                                              */
+/* ------------------------------------------------------------------ */
+
+static struct PyModuleDef kernelmodule = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro._native._kernel",
+    .m_doc = "Native simulation-kernel hot path (scheduler heap, "
+             "scalar stats, delivery trampoline).",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__kernel(void)
+{
+    str_active = PyUnicode_InternFromString("active");
+    str_can_deliver = PyUnicode_InternFromString("can_deliver");
+    str_on_message = PyUnicode_InternFromString("on_message");
+    str_record_drop = PyUnicode_InternFromString("record_drop");
+    str_record_delivery = PyUnicode_InternFromString("record_delivery");
+    str_record_send = PyUnicode_InternFromString("record_send");
+    str_fault = PyUnicode_InternFromString("fault");
+    str_loss = PyUnicode_InternFromString("loss");
+    str_adversary = PyUnicode_InternFromString("adversary");
+    str_drop_action = PyUnicode_InternFromString("drop");
+    str_kind_attr = PyUnicode_InternFromString("kind");
+    str_dunder_name = PyUnicode_InternFromString("__name__");
+    str_sample = PyUnicode_InternFromString("sample");
+    str_random = PyUnicode_InternFromString("random");
+    str_intercept = PyUnicode_InternFromString("intercept");
+    str_loss_rate = PyUnicode_InternFromString("loss_rate");
+    str_taps_attr = PyUnicode_InternFromString("_taps");
+    str_adversary_attr = PyUnicode_InternFromString("_adversary");
+    str_loss_rng_attr = PyUnicode_InternFromString("_loss_rng");
+    str_deliver_attr = PyUnicode_InternFromString("_deliver");
+    str_delay_model = PyUnicode_InternFromString("delay_model");
+    str_rng_attr = PyUnicode_InternFromString("rng");
+    if (str_active == NULL || str_can_deliver == NULL
+        || str_on_message == NULL || str_record_drop == NULL
+        || str_record_delivery == NULL || str_record_send == NULL
+        || str_fault == NULL || str_loss == NULL || str_adversary == NULL
+        || str_drop_action == NULL || str_kind_attr == NULL
+        || str_dunder_name == NULL || str_sample == NULL
+        || str_random == NULL || str_intercept == NULL
+        || str_loss_rate == NULL || str_taps_attr == NULL
+        || str_adversary_attr == NULL || str_loss_rng_attr == NULL
+        || str_deliver_attr == NULL || str_delay_model == NULL
+        || str_rng_attr == NULL)
+        return NULL;
+
+    if (PyType_Ready(&StatsCore_Type) < 0
+        || PyType_Ready(&DeliveryCore_Type) < 0
+        || PyType_Ready(&KernelHandle_Type) < 0
+        || PyType_Ready(&SchedulerCore_Type) < 0
+        || PyType_Ready(&SendCore_Type) < 0)
+        return NULL;
+
+    PyObject *module = PyModule_Create(&kernelmodule);
+    if (module == NULL)
+        return NULL;
+
+    Py_INCREF(&StatsCore_Type);
+    if (PyModule_AddObject(module, "StatsCore",
+                           (PyObject *)&StatsCore_Type) < 0)
+        goto fail;
+    Py_INCREF(&DeliveryCore_Type);
+    if (PyModule_AddObject(module, "DeliveryCore",
+                           (PyObject *)&DeliveryCore_Type) < 0)
+        goto fail;
+    Py_INCREF(&KernelHandle_Type);
+    if (PyModule_AddObject(module, "EventHandle",
+                           (PyObject *)&KernelHandle_Type) < 0)
+        goto fail;
+    Py_INCREF(&SchedulerCore_Type);
+    if (PyModule_AddObject(module, "SchedulerCore",
+                           (PyObject *)&SchedulerCore_Type) < 0)
+        goto fail;
+    Py_INCREF(&SendCore_Type);
+    if (PyModule_AddObject(module, "SendCore",
+                           (PyObject *)&SendCore_Type) < 0)
+        goto fail;
+    if (PyModule_AddIntConstant(module, "KERNEL_ABI", 1) < 0)
+        goto fail;
+    return module;
+fail:
+    Py_DECREF(module);
+    return NULL;
+}

@@ -82,6 +82,7 @@ from repro.obs import runtime as obs_runtime
 from repro.obs.core import Observability
 from repro.obs.export import to_json, to_prometheus_text
 from repro.obs.spans import SpanRecorder
+from repro.sim import kernel
 
 
 def _emit(tables: List[ResultTable], output: Optional[str], stem: str) -> None:
@@ -341,6 +342,16 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: CPU count capped at 8; env REPRO_JOBS)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=["python", "native"],
+        default=None,
+        help="simulation kernel backend: the pure-python reference or the "
+             "compiled native extension (default: env REPRO_KERNEL, else "
+             "python; native falls back to python with a warning when the "
+             "extension is not built — results are byte-identical either "
+             "way)",
+    )
+    parser.add_argument(
         "--loss-rate",
         type=float,
         metavar="P",
@@ -433,6 +444,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.kernel is not None:
+        kernel.select_backend(args.kernel)
+    # Resolve eagerly: a native request that falls back should warn up
+    # front, not only when (if ever) the first scheduler is built — a
+    # fully cache-served run never builds one.
+    resolved = kernel.selected_backend()
+    if args.kernel is not None:
+        if args.kernel != resolved:
+            # selected_backend() already printed why; state the outcome.
+            print(
+                f"repro: --kernel {args.kernel} is unavailable; running "
+                f"with the pure-python kernel (results are identical)",
+                file=sys.stderr,
+            )
     if args.output:
         os.makedirs(args.output, exist_ok=True)
     try:

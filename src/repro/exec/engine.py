@@ -21,6 +21,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence
 from repro.exec.cache import MISS, RunCache
 from repro.exec.task import RunTask, execute_task
 from repro.obs import runtime as obs_runtime
+from repro.sim import kernel
 
 #: Ceiling for the automatic CLI default — beyond this, per-process
 #: startup and result pickling dominate for the scaled-down sweeps.
@@ -53,6 +54,19 @@ def _chunksize(pending: int, jobs: int) -> int:
     """Amortise IPC overhead while keeping the pool load-balanced: about
     four waves of chunks per worker."""
     return max(1, math.ceil(pending / (jobs * 4)))
+
+
+def _init_worker(backend: str) -> None:
+    """Pool initializer: carry the kernel-backend choice into the worker.
+
+    The choice may live only in this process (``--kernel`` calls
+    :func:`repro.sim.kernel.select_backend` without touching the
+    environment), so env inheritance alone is not enough.  Results are
+    byte-identical across backends either way — propagating merely keeps
+    the speedup; it can never change a number, so run-cache keys ignore
+    the backend.
+    """
+    kernel.select_backend(backend)
 
 
 def run_many(
@@ -89,7 +103,11 @@ def run_many(
             fresh: Iterable[Any] = map(execute_task, pending_tasks)
         else:
             workers = min(jobs_resolved, len(pending_tasks))
-            executor = ProcessPoolExecutor(max_workers=workers)
+            executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(kernel.requested_backend(),),
+            )
             try:
                 fresh = executor.map(
                     execute_task,

@@ -25,6 +25,7 @@ from repro.registers.client import (
 )
 from repro.registers.server import ReplicaServer
 from repro.registers.space import RegisterSpace
+from repro.sim import kernel
 from repro.sim.delays import ConstantDelay, DelayModel
 from repro.sim.failures import FailureInjector, FailureSchedule
 from repro.sim.network import Network
@@ -68,7 +69,7 @@ class RegisterDeployment:
         self.observability = (
             observability if observability is not None else DISABLED
         )
-        self.scheduler = scheduler or Scheduler()
+        self.scheduler = scheduler or kernel.make_scheduler()
         self.rng = rng_registry or RngRegistry(seed)
         self.delay_model = delay_model or ConstantDelay(1.0)
         self.failures = FailureInjector()

@@ -1,0 +1,200 @@
+"""Kernel backend selection: pure-python reference vs compiled native.
+
+The simulation hot path (event heap, drain loop, delivery bookkeeping)
+exists twice: the always-available pure-python reference in
+:mod:`repro.sim.scheduler` / :mod:`repro.sim.metrics`, and an optional C
+extension under :mod:`repro._native`.  Both produce **byte-identical**
+traces — RNG draws stay in Python on both paths, and the native heap
+preserves the exact ``(time, seq)`` total order — so the backend is a
+pure speed knob, never a semantics knob.
+
+Selection, in priority order:
+
+1. an explicit ``backend=`` argument to the factories below,
+2. a process-wide override installed by :func:`select_backend`
+   (the CLI's ``--kernel`` flag lands here),
+3. the ``REPRO_KERNEL`` environment variable,
+4. default: ``python``.
+
+Requesting ``native`` when the extension is not built falls back to
+pure python with a one-line warning on stderr (once per process) — a
+toolchain-less machine must keep working.
+"""
+
+import os
+import sys
+from typing import Optional
+
+from repro.sim.metrics import MessageStats
+from repro.sim.scheduler import Scheduler
+
+KERNEL_ENV = "REPRO_KERNEL"
+BACKENDS = ("python", "native")
+
+_override: Optional[str] = None
+_warned_fallback = False
+
+
+def _normalize(backend: str) -> str:
+    name = backend.strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return name
+
+
+def native_available() -> bool:
+    """True iff the compiled kernel extension imports."""
+    from repro._native import load_kernel
+
+    return load_kernel() is not None
+
+
+def native_import_error() -> Optional[str]:
+    """Why the native kernel is unavailable (None when it loaded)."""
+    from repro._native import import_error
+
+    return import_error()
+
+
+def select_backend(backend: Optional[str]) -> None:
+    """Install a process-wide backend override (None clears it)."""
+    global _override
+    _override = None if backend is None else _normalize(backend)
+
+
+def requested_backend() -> str:
+    """The backend asked for, before availability is considered."""
+    if _override is not None:
+        return _override
+    env = os.environ.get(KERNEL_ENV)
+    if env:
+        return _normalize(env)
+    return "python"
+
+
+def selected_backend() -> str:
+    """The backend that will actually be used.
+
+    Resolves ``native`` down to ``python`` (warning once) when the
+    extension is not importable.
+    """
+    requested = requested_backend()
+    if requested == "native" and not native_available():
+        global _warned_fallback
+        if not _warned_fallback:
+            _warned_fallback = True
+            print(
+                "repro: native kernel unavailable "
+                f"({native_import_error()}); falling back to pure-python "
+                "backend",
+                file=sys.stderr,
+            )
+        return "python"
+    return requested
+
+
+def make_scheduler(backend: Optional[str] = None):
+    """Build a scheduler on the selected (or given) backend."""
+    resolved = selected_backend() if backend is None else _resolve(backend)
+    if resolved == "native":
+        from repro._native.wrapper import NativeScheduler
+
+        return NativeScheduler()
+    return Scheduler()
+
+
+def make_message_stats(detailed: bool = True, backend: Optional[str] = None):
+    """Build message stats on the selected (or given) backend.
+
+    Detailed (per-kind/per-node) collection is a pure-python feature on
+    both backends — the native scalar counters only replace the
+    ``detailed=False`` totals path, which is the only mode the hot
+    benchmarks and large sweeps run in.
+    """
+    resolved = selected_backend() if backend is None else _resolve(backend)
+    if resolved == "native" and not detailed:
+        from repro._native.wrapper import NativeMessageStats
+
+        return NativeMessageStats(detailed=False)
+    return MessageStats(detailed=detailed)
+
+
+def make_delivery_core(stats, failures, nodes):
+    """Build the native delivery trampoline, or None on pure python.
+
+    The trampoline is a C callable with ``Network._deliver``'s exact
+    semantics; :class:`~repro.sim.network.Network` installs it as its
+    ``_deliver`` instance attribute so existing trace taps that wrap
+    ``network._deliver`` keep working on both backends.
+    """
+    if selected_backend() != "native":
+        return None
+    from repro._native import load_kernel
+
+    return load_kernel().DeliveryCore(stats, failures, nodes)
+
+
+def make_send_core(network):
+    """Build the native send fast path, or None on pure python.
+
+    A C callable with ``Network.send``'s exact semantics (stats, taps,
+    loss draw, fault check, adversary, delay sample, heap push), only
+    built when the network's scheduler is itself native so the delivery
+    event can be pushed straight into the C heap.  Installed as the
+    network's ``send`` instance attribute.
+    """
+    if selected_backend() != "native":
+        return None
+    from repro._native import load_kernel
+
+    module = load_kernel()
+    if not isinstance(network.scheduler, module.SchedulerCore):
+        return None
+    return module.SendCore(network)
+
+
+def _resolve(backend: str) -> str:
+    resolved = _normalize(backend)
+    if resolved == "native" and not native_available():
+        raise RuntimeError(
+            f"native kernel backend requested explicitly but unavailable: "
+            f"{native_import_error()}"
+        )
+    return resolved
+
+
+def kernel_info() -> dict:
+    """Diagnostics: requested/selected backends and native status."""
+    return {
+        "requested": requested_backend(),
+        "selected": selected_backend(),
+        "native_available": native_available(),
+        "native_import_error": native_import_error(),
+        "env": os.environ.get(KERNEL_ENV),
+    }
+
+
+class use_backend:
+    """Context manager forcing a backend (tests compare both in-process).
+
+    .. code-block:: python
+
+        with use_backend("native"):
+            deployment = RegisterDeployment.build(...)
+    """
+
+    def __init__(self, backend: Optional[str]) -> None:
+        self._backend = backend
+        self._previous: Optional[str] = None
+
+    def __enter__(self):
+        self._previous = _override
+        select_backend(self._backend)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _override
+        _override = self._previous
+        return None

@@ -29,9 +29,9 @@ from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.sim import kernel
 from repro.sim.delays import DelayModel
 from repro.sim.failures import FailureInjector
-from repro.sim.metrics import MessageStats
 from repro.sim.rng import derive_seed
 from repro.sim.scheduler import Scheduler
 
@@ -109,7 +109,7 @@ class Network:
         self.delay_model = delay_model
         self.rng = rng
         self.failures = failures or FailureInjector()
-        self.stats = MessageStats(detailed=detailed_stats)
+        self.stats = kernel.make_message_stats(detailed=detailed_stats)
         self.loss_rate = loss_rate
         # Loss draws come from their own stream so that turning loss on
         # (or off) leaves the delay sequence bit-identical.  The default
@@ -123,6 +123,21 @@ class Network:
         # the loss or delay streams of messages it passes through, and its
         # drop budget is spent only on otherwise-deliverable traffic.
         self._adversary: Optional[Any] = None
+        # Native kernel backend: replace the _deliver bound method with
+        # the C trampoline (same semantics, no interpreter frame per
+        # delivery).  It is installed as an *instance attribute* so trace
+        # taps that wrap ``network._deliver`` keep working unchanged.
+        deliver_core = kernel.make_delivery_core(
+            self.stats, self.failures, self._nodes
+        )
+        if deliver_core is not None:
+            self._deliver = deliver_core
+        # Same trick for the send hot path: a C callable shadowing the
+        # bound method, re-reading the mutable knobs (loss, taps,
+        # adversary) from this Network on every call.
+        send_core = kernel.make_send_core(self)
+        if send_core is not None:
+            self.send = send_core
 
     def set_adversary(self, adversary: Optional[Any]) -> None:
         """Install (or with None remove) a message-level adversary.
@@ -286,8 +301,17 @@ class Network:
         if not deliverable:
             return
         delays = self.delay_model.sample_batch(self.rng, src, deliverable)
-        schedule = self.scheduler.schedule_uncancellable
         deliver = self._deliver
+        schedule_batch = getattr(
+            self.scheduler, "schedule_deliveries", None
+        )
+        if schedule_batch is not None and not extras:
+            # Native scheduler: one C call pushes the whole batch,
+            # validating delays and consuming seq numbers exactly as the
+            # loop below would.
+            schedule_batch(delays, deliver, src, deliverable, message, kind)
+            return
+        schedule = self.scheduler.schedule_uncancellable
         for index, (dst, delay) in enumerate(zip(deliverable, delays)):
             if delay <= 0:
                 raise ValueError(

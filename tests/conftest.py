@@ -5,14 +5,33 @@ import pytest
 
 from repro.quorum.probabilistic import ProbabilisticQuorumSystem
 from repro.registers.deployment import RegisterDeployment
+from repro.sim import kernel
 from repro.sim.delays import ConstantDelay, ExponentialDelay
 from repro.sim.rng import RngRegistry
-from repro.sim.scheduler import Scheduler
+
+BACKENDS = ["python", "native"]
+
+
+def backend_param(backend):
+    """Wrap a backend name in a param that skips when unavailable."""
+    marks = []
+    if backend == "native" and not kernel.native_available():
+        marks.append(pytest.mark.skip(
+            reason=f"native kernel not built: {kernel.native_import_error()}"
+        ))
+    return pytest.param(backend, id=backend, marks=marks)
+
+
+@pytest.fixture(params=[backend_param(b) for b in BACKENDS])
+def kernel_backend(request):
+    """Run the test once per kernel backend (native skips if unbuilt)."""
+    with kernel.use_backend(request.param):
+        yield request.param
 
 
 @pytest.fixture
-def scheduler():
-    return Scheduler()
+def scheduler(kernel_backend):
+    return kernel.make_scheduler(kernel_backend)
 
 
 @pytest.fixture

@@ -19,11 +19,14 @@ A fourth group covers the loss-RNG independence fix: enabling message loss
 on a directly constructed ``Network`` must not perturb the delay stream.
 """
 
+import random
+
 import numpy as np
 import pytest
 
 from repro.exec.task import RunTask
 from repro.exec.workers import run_alg1_task
+from repro.sim import kernel
 from repro.quorum.probabilistic import ProbabilisticQuorumSystem
 from repro.registers.deployment import RegisterDeployment
 from repro.sim.delays import (
@@ -147,12 +150,14 @@ def _capture_delivery_trace(observability=None):
     return trace
 
 
-def test_golden_delivery_trace_is_unchanged():
+def test_golden_delivery_trace_is_unchanged(kernel_backend):
     """The optimised kernel delivers the exact golden event sequence.
 
     Event-for-event identity (index, time, kind, src, dst) with the
     pre-optimisation kernel: any change to heap ordering, RNG stream
-    consumption or message dispatch shows up here first.
+    consumption or message dispatch shows up here first.  Parametrized
+    over both kernel backends — the native heap, drain loop and delivery
+    trampoline must reproduce the same 48 deliveries bit-for-bit.
     """
     assert _capture_delivery_trace() == GOLDEN_TRACE
 
@@ -193,7 +198,7 @@ def _golden_alg1_task():
     )
 
 
-def test_golden_alg1_fingerprint_is_unchanged():
+def test_golden_alg1_fingerprint_is_unchanged(kernel_backend):
     result = run_alg1_task(_golden_alg1_task())
     observed = {key: result[key] for key in GOLDEN_ALG1_FINGERPRINT}
     assert observed == GOLDEN_ALG1_FINGERPRINT
@@ -346,6 +351,122 @@ def test_loss_rng_default_is_deterministic_per_seed():
     _, trace_a = _run_ping_storm(loss_rate=0.25)
     _, trace_b = _run_ping_storm(loss_rate=0.25)
     assert trace_a == trace_b
+
+
+# --------------------------------------------------------------------- #
+# Cross-backend equivalence (python vs native, in one process)
+# --------------------------------------------------------------------- #
+
+needs_native = pytest.mark.skipif(
+    not kernel.native_available(),
+    reason=f"native kernel not built: {kernel.native_import_error()}",
+)
+
+
+@needs_native
+def test_backends_agree_on_goldens_in_one_process():
+    """Both kernel backends, run in this one process, are byte-identical.
+
+    Stronger than the per-backend golden tests above: the python and
+    native runs happen back to back in the same interpreter, so any
+    cross-contamination (shared module state, backend leaking into a
+    factory) would show here, and the traces are compared directly to
+    each other as well as to the goldens.
+    """
+    with kernel.use_backend("python"):
+        trace_python = _capture_delivery_trace()
+        result_python = run_alg1_task(_golden_alg1_task())
+    with kernel.use_backend("native"):
+        trace_native = _capture_delivery_trace()
+        result_native = run_alg1_task(_golden_alg1_task())
+    assert trace_python == trace_native == GOLDEN_TRACE
+    assert result_python == result_native
+    observed = {key: result_native[key] for key in GOLDEN_ALG1_FINGERPRINT}
+    assert observed == GOLDEN_ALG1_FINGERPRINT
+
+
+def _churn_trace(backend):
+    """Drive a scheduler through a scripted cancel/requeue churn.
+
+    Every observable the kernel exposes is recorded: each fired callback
+    logs ``(now, events_processed, label)``, every scripted action logs
+    the live count, and the drain phases exercise ``until``,
+    ``max_events``, ``stop_when`` and ``stop()``.  The script consumes
+    its own RNG identically for both backends, so the traces must match
+    event for event.
+    """
+    scheduler = kernel.make_scheduler(backend)
+    rand = random.Random(777)
+    fired = []
+    live_handles = []
+
+    def note(label):
+        fired.append(
+            (round(scheduler.now, 12), scheduler.events_processed, label)
+        )
+
+    def nested(label, depth):
+        note(label)
+        if depth > 0:
+            # Events scheduled from inside events, including same-time
+            # call_soon entries, keep seq allocation flowing identically.
+            scheduler.call_soon(note, f"{label}/soon")
+            handle = scheduler.schedule(0.25, nested, f"{label}/n", depth - 1)
+            if depth % 2 == 0:
+                handle.cancel()
+
+    for step in range(300):
+        action = rand.random()
+        delay = rand.random() * 4.0 + 1e-6
+        if action < 0.40 or not live_handles:
+            live_handles.append(
+                scheduler.schedule(delay, nested, f"s{step}", step % 3)
+            )
+        elif action < 0.60:
+            victim = live_handles.pop(rand.randrange(len(live_handles)))
+            victim.cancel()
+            victim.cancel()  # idempotent double-cancel
+        elif action < 0.75:
+            scheduler.schedule_uncancellable(delay, note, f"u{step}")
+        elif action < 0.85:
+            scheduler.step()
+            live_handles = [h for h in live_handles if not h._dequeued]
+        else:
+            fired.append(("pending", scheduler.pending))
+    fired.append(("drain-until", scheduler.run(until=scheduler.now + 1.5)))
+    fired.append(("drain-max", scheduler.run(max_events=25)))
+    stop_at = scheduler.events_processed + 10
+    fired.append(
+        (
+            "drain-pred",
+            scheduler.run(
+                stop_when=lambda: scheduler.events_processed >= stop_at
+            ),
+        )
+    )
+    fired.append(("drain-all", scheduler.run()))
+    fired.append(
+        ("final", round(scheduler.now, 12), scheduler.events_processed,
+         scheduler.pending)
+    )
+    return fired
+
+
+@needs_native
+def test_cancel_requeue_churn_is_event_for_event_identical():
+    """The native heap survives heavy churn bit-identically to heapq.
+
+    Lazily-cancelled entries, stale cancels of popped events, nested
+    scheduling and every run() bound produce the same event sequence on
+    both backends.
+    """
+    python_trace = _churn_trace("python")
+    native_trace = _churn_trace("native")
+    assert len(python_trace) == len(native_trace)
+    for index, (expected, got) in enumerate(
+        zip(python_trace, native_trace)
+    ):
+        assert expected == got, f"traces diverge at event {index}"
 
 
 def test_broadcast_matches_serial_sends():
