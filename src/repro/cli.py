@@ -20,9 +20,15 @@ when the violation reproduces, 2 when it does not).
 
 Simulation runs fan out over ``--jobs`` worker processes (default: the
 CPU count, capped; also settable via the ``REPRO_JOBS`` environment
-variable) and are memoised in an on-disk run cache under
-``benchmarks/output/.cache/``.  ``--no-cache`` bypasses the cache;
-``--clear-cache`` wipes it before running.
+variable).  The worker pool is **persistent and warm**: it spins up on
+the first sweep and is reused across every subsequent sweep of the
+invocation (all of ``all``'s experiments share one pool), then shut down
+explicitly on exit.  Results stream back as they complete and are
+memoised incrementally in an on-disk run cache under
+``benchmarks/output/.cache/`` — a worker crash mid-sweep keeps every
+completed result and finishes the remainder serially with a warning.
+``--no-cache`` bypasses the cache; ``--clear-cache`` wipes it before
+running.
 
 The fault-model subcommands (``fault``, ``churn``) additionally accept
 ``--loss-rate P`` (probabilistic message loss on every link) and
@@ -52,6 +58,7 @@ from repro.experiments.ablations import (
 )
 from repro.exec.cache import RunCache
 from repro.exec.engine import default_jobs, resolve_jobs
+from repro.exec.pool import shutdown_pool
 from repro.experiments.figure2 import Figure2Config, figure2_table, run_figure2
 from repro.experiments.freshness import FreshnessConfig, freshness_table
 from repro.experiments.load_availability import (
@@ -542,6 +549,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             run_selected()
     finally:
+        # Explicit warm-pool lifecycle exit: atexit would catch this too,
+        # but a CLI invocation should not hold worker processes (or their
+        # memory) past the last table it prints.
+        shutdown_pool()
         if session is not None:
             obs_runtime.deactivate()
     if session is not None:

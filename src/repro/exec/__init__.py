@@ -2,13 +2,16 @@
 
 Turns every experiment sweep into a list of self-contained, picklable
 :class:`~repro.exec.task.RunTask` descriptors executed by
-:func:`~repro.exec.engine.run_many` — serially or over a process pool,
-with bit-identical results either way — optionally backed by the on-disk
-:class:`~repro.exec.cache.RunCache`.
+:func:`~repro.exec.engine.run_many` — serially or over the persistent
+warm worker pool (:mod:`repro.exec.pool`), with bit-identical results
+either way — optionally backed by the on-disk
+:class:`~repro.exec.cache.RunCache` (written incrementally as results
+stream in, so a crashed sweep keeps everything that completed).
 """
 
 from repro.exec.cache import DEFAULT_CACHE_DIR, MISS, RunCache
 from repro.exec.engine import default_jobs, resolve_jobs, run_many
+from repro.exec.pool import pool_info, shutdown_pool
 from repro.exec.task import (
     RunTask,
     UnknownTaskKind,
@@ -26,7 +29,9 @@ __all__ = [
     "WORKER_REGISTRY",
     "default_jobs",
     "execute_task",
+    "pool_info",
     "resolve_jobs",
     "run_many",
+    "shutdown_pool",
     "task_key",
 ]

@@ -3,9 +3,21 @@
 Every experiment in this reproduction is an embarrassingly parallel sweep
 of self-contained simulations — each task carries its own derived seed, so
 execution order and placement cannot change any number.  ``run_many``
-exploits that: it executes a task list serially (``jobs=1``) or over a
-``ProcessPoolExecutor`` with chunking, returns results **in task order**,
-and is bit-identical either way.
+exploits that: it executes a task list serially (``jobs=1``) or over the
+**persistent warm worker pool** (:mod:`repro.exec.pool`), returns results
+**in task order**, and is bit-identical either way.
+
+Parallel execution streams: tasks are submitted in compact chunks and
+results are consumed **as each chunk completes** — every finished task is
+cache-written immediately, so a worker crash (``BrokenProcessPool``)
+mid-sweep loses nothing that already ran.  The engine then recycles the
+broken pool, warns on stderr, and finishes the remaining tasks serially
+in-process; the sweep's results are identical to an undisturbed run.
+
+Worker metrics snapshots travel through a per-task shared-memory slot
+(:mod:`repro.obs.shm`) instead of the result queue's pickle stream, and
+are folded into the active observability session **in task order** —
+which is what keeps pooled metrics output byte-identical to serial.
 
 Job-count resolution, in priority order: the explicit ``jobs`` argument,
 the ``REPRO_JOBS`` environment variable, then the caller's default
@@ -15,12 +27,16 @@ the ``REPRO_JOBS`` environment variable, then the caller's default
 
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.exec import pool as exec_pool
 from repro.exec.cache import MISS, RunCache
 from repro.exec.task import RunTask, execute_task
 from repro.obs import runtime as obs_runtime
+from repro.obs import shm as obs_shm
+from repro.obs.registry import MetricsRegistry
 from repro.sim import kernel
 
 #: Ceiling for the automatic CLI default — beyond this, per-process
@@ -56,19 +72,6 @@ def _chunksize(pending: int, jobs: int) -> int:
     return max(1, math.ceil(pending / (jobs * 4)))
 
 
-def _init_worker(backend: str) -> None:
-    """Pool initializer: carry the kernel-backend choice into the worker.
-
-    The choice may live only in this process (``--kernel`` calls
-    :func:`repro.sim.kernel.select_backend` without touching the
-    environment), so env inheritance alone is not enough.  Results are
-    byte-identical across backends either way — propagating merely keeps
-    the speedup; it can never change a number, so run-cache keys ignore
-    the backend.
-    """
-    kernel.select_backend(backend)
-
-
 def run_many(
     tasks: Iterable[RunTask],
     jobs: Optional[int] = None,
@@ -81,7 +84,7 @@ def run_many(
         falls back to serial in-process execution.  Results are identical
         for every value — parallelism is purely a wall-clock optimisation.
     :param cache: optional :class:`RunCache`; hits skip execution entirely
-        and fresh results are written back.
+        and fresh results are written back as they complete.
     :param progress: called as ``progress(index, task, result)`` once per
         task, in task order.
     """
@@ -98,29 +101,12 @@ def run_many(
 
     jobs_resolved = resolve_jobs(jobs)
     if pending_indices:
-        pending_tasks = [task_list[i] for i in pending_indices]
-        if jobs_resolved <= 1 or len(pending_tasks) == 1:
-            fresh: Iterable[Any] = map(execute_task, pending_tasks)
+        if jobs_resolved <= 1 or len(pending_indices) == 1:
+            _run_serial(task_list, pending_indices, results, cache)
         else:
-            workers = min(jobs_resolved, len(pending_tasks))
-            executor = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(kernel.requested_backend(),),
+            _run_pooled(
+                task_list, pending_indices, results, cache, jobs_resolved
             )
-            try:
-                fresh = executor.map(
-                    execute_task,
-                    pending_tasks,
-                    chunksize=_chunksize(len(pending_tasks), workers),
-                )
-                fresh = list(fresh)
-            finally:
-                executor.shutdown(wait=True)
-        for index, result in zip(pending_indices, fresh):
-            results[index] = result
-            if cache is not None:
-                cache.put(task_list[index], result)
 
     _merge_metrics(results)
     if progress is not None:
@@ -129,13 +115,141 @@ def run_many(
     return results
 
 
+def _run_serial(
+    task_list: Sequence[RunTask],
+    pending_indices: Sequence[int],
+    results: List[Any],
+    cache: Optional[RunCache],
+) -> None:
+    """In-process execution with incremental cache writes."""
+    for index in pending_indices:
+        result = execute_task(task_list[index])
+        results[index] = result
+        if cache is not None:
+            cache.put(task_list[index], result)
+
+
+def _run_pooled(
+    task_list: Sequence[RunTask],
+    pending_indices: Sequence[int],
+    results: List[Any],
+    cache: Optional[RunCache],
+    jobs: int,
+) -> None:
+    """Warm-pool execution: chunked submit, streaming consumption,
+    shared-memory metrics, and crash recovery.
+
+    Shared-memory slots are addressed by *position* in the pending list
+    (slot ``p`` holds the metrics of ``pending_indices[p]``), so the
+    arena is sized to exactly the fresh work.
+    """
+    workers = min(jobs, len(pending_indices))
+    chunk = _chunksize(len(pending_indices), workers)
+    positions = list(range(len(pending_indices)))
+    chunks = [
+        positions[start:start + chunk]
+        for start in range(0, len(positions), chunk)
+    ]
+    backend = kernel.requested_backend()
+
+    try:
+        arena: Optional[obs_shm.SnapshotArena] = obs_shm.SnapshotArena.create(
+            len(pending_indices)
+        )
+    except OSError:
+        # No usable /dev/shm (e.g. an exotic container): the workers then
+        # ship snapshots inline, exactly the pre-arena protocol.
+        arena = None
+    arena_name = arena.name if arena is not None else None
+
+    done_positions: set = set()
+    absorbed: set = set()
+
+    def _absorb(future: Future, chunk_positions: Sequence[int],
+                chunk_results: List[Any]) -> None:
+        if future in absorbed:
+            return
+        absorbed.add(future)
+        for position, result in zip(chunk_positions, chunk_results):
+            if arena is not None and isinstance(result, dict):
+                data = arena.read(position)
+                if data is not None and "metrics" not in result:
+                    result["metrics"] = MetricsRegistry.decode_snapshot(data)
+            index = pending_indices[position]
+            results[index] = result
+            if cache is not None:
+                cache.put(task_list[index], result)
+            done_positions.add(position)
+
+    try:
+        executor = exec_pool.get_pool(jobs)
+        futures: Dict[Future, List[int]] = {}
+        try:
+            for chunk_positions in chunks:
+                wires = [
+                    task_list[pending_indices[p]].to_wire()
+                    for p in chunk_positions
+                ]
+                futures[executor.submit(
+                    exec_pool.run_chunk, wires, chunk_positions,
+                    backend, arena_name,
+                )] = chunk_positions
+            not_done = set(futures)
+            while not_done:
+                finished, not_done = wait(
+                    not_done, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    _absorb(future, futures[future], future.result())
+        except BrokenProcessPool:
+            # A worker died (segfault, OOM kill, os._exit).  Everything
+            # already streamed in is safe; salvage any chunks that
+            # finished but were not yet consumed, then fall back to
+            # serial execution for the rest.
+            for future, chunk_positions in futures.items():
+                if (
+                    future.done()
+                    and not future.cancelled()
+                    and future.exception() is None
+                ):
+                    _absorb(future, chunk_positions, future.result())
+            exec_pool.reset_pool()
+            remaining = [
+                p for p in positions if p not in done_positions
+            ]
+            exec_pool.warn(
+                f"worker process died mid-sweep; {len(done_positions)} "
+                f"completed result(s) kept, re-running {len(remaining)} "
+                f"remaining task(s) serially"
+            )
+            _run_serial(
+                task_list,
+                [pending_indices[p] for p in remaining],
+                results,
+                cache,
+            )
+        except BaseException:
+            # A genuine task error (or KeyboardInterrupt): stop feeding
+            # the pool, keep it alive for the next sweep, propagate.
+            for future in futures:
+                future.cancel()
+            raise
+    finally:
+        if arena is not None:
+            arena.close()
+            arena.unlink()
+
+
 def _merge_metrics(results: Sequence[Any]) -> None:
     """Fold worker metric snapshots into the active observability session.
 
-    Snapshots travel inside result payloads (under a ``"metrics"`` key),
-    so this covers pooled workers, serial execution and cache hits alike.
-    Merging happens here, in **task order**, which keeps the aggregate
-    registry bit-deterministic regardless of pool scheduling.
+    Snapshots travel through the shared-memory arena (pooled runs) or
+    inside result payloads (serial runs, cache hits, oversized
+    snapshots); by the time results reach this point every snapshot is
+    back under the ``"metrics"`` key.  Merging happens here, in **task
+    order**, which keeps the aggregate registry bit-deterministic
+    regardless of pool scheduling — float sums round identically only
+    when added in the same order.
     """
     session = obs_runtime.active()
     if session is None or not session.metrics.enabled:

@@ -1,0 +1,170 @@
+"""The persistent warm worker pool behind :func:`repro.exec.engine.run_many`.
+
+The engine used to build a fresh ``ProcessPoolExecutor`` per call and
+tear it down afterwards, so every sweep paid full interpreter + import
+start-up for each worker — on the scaled-down sweeps that overhead alone
+erased the parallel win (the 0.982× BENCH_parallel record).  This module
+keeps **one** pool alive for the life of the process:
+
+* ``get_pool(workers)`` returns the warm pool, creating it on first use
+  and recycling it only when the requested worker count changes;
+* workers are initialised exactly once (kernel backend selection, a
+  hermetic observability state, the ``REPRO_POOL_WORKER`` marker) and
+  then reused across every subsequent ``run_many`` call;
+* a later kernel-backend change (``--kernel`` / ``select_backend`` /
+  ``REPRO_KERNEL``) does **not** silently leave warm workers on the old
+  backend: every chunk dispatched carries the parent's requested backend
+  and the worker re-syncs before executing (see :func:`run_chunk`), so
+  the pool stays warm across backend switches;
+* ``shutdown_pool()`` is the explicit lifecycle exit, also registered
+  with ``atexit`` so a CLI run or test session never leaks processes;
+* after a worker crash (``BrokenProcessPool``) the engine calls
+  ``reset_pool()`` — the broken executor is discarded and the next sweep
+  builds a fresh one.
+
+Chunk execution lives here too: :func:`run_chunk` runs a compact list of
+``(kind, params, seed)`` wire tuples, publishes each task's metrics
+snapshot into the sweep's shared-memory arena (:mod:`repro.obs.shm`)
+instead of pickling it back through the result queue, and returns the
+stripped result payloads.
+"""
+
+import atexit
+import json
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exec.task import RunTask, WireTask, execute_task
+from repro.obs import shm as obs_shm
+from repro.sim import kernel
+
+#: Environment marker present only inside pool worker processes.  The
+#: deliberate-crash self-test worker keys off it so the engine's serial
+#: re-run of a crashed sweep completes instead of crashing the parent.
+POOL_WORKER_ENV = "REPRO_POOL_WORKER"
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers: int = 0
+_pool_generation: int = 0
+
+
+def is_pool_worker() -> bool:
+    """True inside a process spawned by this module's pool."""
+    return os.environ.get(POOL_WORKER_ENV) == "1"
+
+
+def _initialize_worker(backend: str) -> None:
+    """One-time per-worker setup, run at pool creation.
+
+    Marks the process as a pool worker, carries the parent's kernel
+    backend across (the choice may live only in parent-process state, so
+    env inheritance alone is not enough), and clears any observability
+    session inherited through fork — worker metrics travel through the
+    shared-memory arena, never through an inherited session object.
+    """
+    os.environ[POOL_WORKER_ENV] = "1"
+    kernel.select_backend(backend)
+    from repro.obs import runtime as obs_runtime
+
+    obs_runtime.deactivate()
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The warm pool, sized to ``workers`` processes.
+
+    Reused verbatim while the requested size is unchanged; a different
+    size recycles the pool (the only lifecycle event that loses warmth —
+    backend changes re-sync in place, see :func:`run_chunk`).
+    """
+    global _pool, _pool_workers, _pool_generation
+    if workers < 1:
+        raise ValueError(f"pool needs at least one worker, got {workers}")
+    if _pool is not None and _pool_workers != workers:
+        shutdown_pool()
+    if _pool is None:
+        _pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_initialize_worker,
+            initargs=(kernel.requested_backend(),),
+        )
+        _pool_workers = workers
+        _pool_generation += 1
+    return _pool
+
+
+def shutdown_pool(wait: bool = True) -> None:
+    """Explicitly terminate the warm pool (idempotent)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=wait)
+        _pool = None
+        _pool_workers = 0
+
+
+def reset_pool() -> None:
+    """Discard a broken pool so the next ``get_pool`` starts fresh.
+
+    A ``BrokenProcessPool`` executor has no live workers left to join;
+    ``shutdown(wait=True)`` on it returns immediately.
+    """
+    shutdown_pool(wait=True)
+
+
+def pool_info() -> Dict[str, Any]:
+    """Lifecycle diagnostics: is a pool warm, how big, which generation."""
+    return {
+        "alive": _pool is not None,
+        "workers": _pool_workers,
+        "generation": _pool_generation,
+    }
+
+
+atexit.register(shutdown_pool)
+
+
+# --------------------------------------------------------------------- #
+# Chunk execution (runs inside pool workers)
+# --------------------------------------------------------------------- #
+
+
+def run_chunk(
+    wires: Sequence[WireTask],
+    slots: Sequence[int],
+    backend: str,
+    arena_name: Optional[str],
+) -> List[Any]:
+    """Execute one chunk of wire tasks; the pool's only entry point.
+
+    ``slots[i]`` is the shared-memory slot for ``wires[i]``.  Each
+    result's metrics snapshot is published to its slot and stripped from
+    the returned payload (the parent restores it from the arena), unless
+    it does not fit — then it stays inline, the pre-arena behaviour.
+
+    ``backend`` re-syncs a warm worker whose kernel backend drifted from
+    the parent's: ``select_backend`` is a cheap global write and the
+    backend is consulted lazily per simulation, so syncing per chunk
+    keeps the pool warm across ``--kernel`` changes.
+    """
+    kernel.sync_worker_backend(backend)
+    arena = obs_shm.attach_cached(arena_name)
+    out: List[Any] = []
+    for wire, slot in zip(wires, slots):
+        result = execute_task(RunTask.from_wire(wire))
+        if arena is not None and isinstance(result, dict):
+            snapshot = result.get("metrics")
+            if isinstance(snapshot, dict):
+                data = json.dumps(
+                    snapshot, sort_keys=True, separators=(",", ":")
+                ).encode("utf-8")
+                if arena.write(slot, data):
+                    result = dict(result)
+                    del result["metrics"]
+        out.append(result)
+    return out
+
+
+def warn(message: str) -> None:
+    """One-line engine warning on stderr (kept here for easy monkeypatching)."""
+    print(f"repro.exec: {message}", file=sys.stderr)

@@ -12,7 +12,13 @@ import hashlib
 import importlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+#: The compact pickle form of a task: ``(kind, params, seed)``.  A plain
+#: tuple pickles to a fraction of a dataclass instance (no class ref, no
+#: attribute names), which matters when thousands of tasks cross the
+#: worker-pool pipe per sweep.
+WireTask = Tuple[str, Dict[str, Any], int]
 
 #: kind -> "module.path:function" resolved lazily in the executing process.
 #: Lazy dotted paths keep this module import-light (workers import the sim
@@ -25,6 +31,12 @@ WORKER_REGISTRY: Dict[str, str] = {
     "survival_register": "repro.experiments.survival:run_survival_register_task",
     "freshness_mc": "repro.experiments.freshness:run_freshness_mc_task",
     "freshness_register": "repro.experiments.freshness:run_freshness_register_task",
+    # Engine self-test kinds (repro.exec.testing): trivial workers that
+    # report where they ran or deliberately kill their pool worker.  Used
+    # by the pool tests and the CI crash-recovery smoke; never cached by
+    # real experiments.
+    "exec_probe": "repro.exec.testing:run_probe_task",
+    "exec_crash": "repro.exec.testing:run_crash_task",
 }
 
 
@@ -48,6 +60,16 @@ class RunTask:
     def descriptor(self) -> Dict[str, Any]:
         """The canonical JSON-ready form of this task."""
         return {"kind": self.kind, "params": dict(self.params), "seed": self.seed}
+
+    def to_wire(self) -> WireTask:
+        """The compact tuple form shipped to pool workers."""
+        return (self.kind, dict(self.params), self.seed)
+
+    @staticmethod
+    def from_wire(wire: WireTask) -> "RunTask":
+        """Rebuild a task from its :meth:`to_wire` tuple."""
+        kind, params, seed = wire
+        return RunTask(kind=kind, params=params, seed=seed)
 
     def canonical(self) -> str:
         """A canonical string encoding (sorted keys, no whitespace)."""

@@ -24,6 +24,7 @@ Everything per-message is collected *after* the run from the existing
 the simulation kernel itself never pays a per-event metrics call.
 """
 
+import json
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -310,6 +311,23 @@ class MetricsRegistry:
                 }
             )
         return {"instruments": instruments}
+
+    def snapshot_bytes(self) -> bytes:
+        """The snapshot as canonical UTF-8 JSON bytes.
+
+        Canonical means sorted keys and no whitespace, on top of
+        :meth:`snapshot`'s already-sorted series — equal registries
+        produce byte-identical encodings.  This is the wire format the
+        shared-memory transport (:mod:`repro.obs.shm`) stores per task.
+        """
+        return json.dumps(
+            self.snapshot(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    @staticmethod
+    def decode_snapshot(data: bytes) -> Dict[str, Any]:
+        """Decode :meth:`snapshot_bytes` output back into a snapshot dict."""
+        return json.loads(data.decode("utf-8"))
 
     def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
         """Aggregate a snapshot into this registry.

@@ -1,0 +1,235 @@
+"""Shared-memory metrics transport: mmap-backed per-task snapshot slots.
+
+The parallel engine used to ship every worker's metrics snapshot home
+inside the pickled result payload and fold the snapshots together after
+the whole sweep finished.  This module replaces that transport with an
+mmap-backed shared-memory arena (``multiprocessing.shared_memory``, the
+mpmetrics approach): the parent allocates one fixed-size slot per
+pending task, workers serialise their registry snapshot straight into
+their task's slot, and the parent reads slots back as each chunk of
+results streams in — no snapshot ever crosses the result queue's pickle
+path.
+
+Why per-task slots instead of one shared set of atomic counters
+(mpmetrics proper)?  Determinism.  The engine's contract is that pooled
+metrics output is **byte-identical** to serial output, and histogram
+sums are floats: float addition is commutative but not associative, so
+any accumulator updated in completion order can round differently from
+the serial task-order sum.  Giving each task its own single-writer slot
+and folding slots **in task order** keeps the guarantee exact while
+still eliminating the per-task pickle cost.  Integer-only metrics would
+not need this; the float histogram sums force it.
+
+Each slot is guarded by a seqlock (odd sequence = write in progress;
+the sequence must read the same, and even, on both sides of a read for
+the payload to be accepted).  The engine itself only reads a slot after
+the worker's future has resolved — a happens-after edge — so the
+seqlock is belt-and-braces there, but it makes *live* reads safe too
+(progress monitors, the stress tests in ``tests/test_obs_shm.py``) and
+it is what the torn-read property tests exercise.
+
+Slot layout (all little-endian)::
+
+    [0:8)    sequence   uint64  seqlock; 0 = never written
+    [8:16)   length     uint64  payload byte length
+    [16:..)  payload    bytes   canonical snapshot JSON (UTF-8)
+
+A payload larger than the slot is rejected (``write`` returns False)
+and the caller falls back to the in-payload pickle path, so undersized
+slots degrade to the old behaviour instead of failing.
+"""
+
+import struct
+from multiprocessing import shared_memory
+from typing import Optional
+
+_HEADER = struct.Struct("<8sQQQ")  # magic, num_slots, slot_bytes, reserved
+_WORD = struct.Struct("<Q")  # sequence and length are separate 8-byte words
+_MAGIC = b"REPROSHM"
+
+#: Per-slot overhead in bytes (sequence word + length word).  They are
+#: written and read as *separate* 8-byte operations on purpose: a single
+#: 16-byte copy can tear at an 8-byte boundary, pairing a new sequence
+#: with a stale length.
+SLOT_OVERHEAD = 2 * _WORD.size
+
+#: Sizing policy for the engine: generous enough for a typical alg1
+#: snapshot (~2-4 KiB of canonical JSON) with headroom for labelled
+#: families, capped so a many-thousand-task sweep cannot balloon the
+#: arena past ~64 MiB (oversized snapshots just fall back inline).
+DEFAULT_SLOT_BYTES = 16384
+MAX_ARENA_BYTES = 64 * 1024 * 1024
+
+
+def slot_bytes_for(num_slots: int) -> int:
+    """The engine's slot size for a sweep of ``num_slots`` tasks."""
+    if num_slots <= 0:
+        return DEFAULT_SLOT_BYTES
+    budget = MAX_ARENA_BYTES // num_slots
+    return max(1024, min(DEFAULT_SLOT_BYTES, budget))
+
+
+class SnapshotArena:
+    """A named shared-memory block of fixed-size, single-writer slots.
+
+    The creating process owns the segment (``owner=True``) and must
+    eventually call :meth:`unlink`; attaching processes only
+    :meth:`close`.  One slot has exactly one writer at a time (the
+    worker executing that task), which is what makes the lock-free
+    seqlock protocol sufficient.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, num_slots: int,
+        slot_bytes: int, owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.num_slots = num_slots
+        self.slot_bytes = slot_bytes
+        self.owner = owner
+        self.capacity = slot_bytes - SLOT_OVERHEAD
+
+    # Lifecycle --------------------------------------------------------- #
+
+    @classmethod
+    def create(
+        cls, num_slots: int, slot_bytes: Optional[int] = None
+    ) -> "SnapshotArena":
+        """Allocate a fresh arena sized for ``num_slots`` tasks."""
+        if num_slots < 1:
+            raise ValueError(f"need at least one slot, got {num_slots}")
+        per_slot = slot_bytes if slot_bytes is not None else slot_bytes_for(num_slots)
+        if per_slot <= SLOT_OVERHEAD:
+            raise ValueError(
+                f"slot_bytes must exceed the {SLOT_OVERHEAD}-byte slot "
+                f"header, got {per_slot}"
+            )
+        size = _HEADER.size + num_slots * per_slot
+        # POSIX shared memory is zero-filled on creation, so every slot
+        # starts at sequence 0 ("never written") without an explicit wipe.
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        _HEADER.pack_into(shm.buf, 0, _MAGIC, num_slots, per_slot, 0)
+        return cls(shm, num_slots, per_slot, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SnapshotArena":
+        """Attach to an arena created by another process, by name."""
+        # Note on the resource tracker: pool workers (fork and spawn
+        # alike) share the parent's tracker process, so the attach-time
+        # registration this performs is an idempotent no-op — the parent
+        # already registered the name at create() — and the parent's
+        # unlink() remains the single point of destruction.  Do NOT
+        # unregister here: that would strip the parent's registration
+        # from the shared tracker.
+        shm = shared_memory.SharedMemory(name=name)
+        magic, num_slots, slot_bytes, _ = _HEADER.unpack_from(shm.buf, 0)
+        if magic != _MAGIC:
+            shm.close()
+            raise ValueError(f"shared memory {name!r} is not a SnapshotArena")
+        return cls(shm, num_slots, slot_bytes, owner=False)
+
+    @property
+    def name(self) -> str:
+        """The attachable segment name."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Release this process's mapping (the segment itself survives)."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only); callable after close()."""
+        self._shm.unlink()
+
+    # Slot I/O ---------------------------------------------------------- #
+
+    def _offset(self, slot: int) -> int:
+        if not 0 <= slot < self.num_slots:
+            raise IndexError(
+                f"slot {slot} out of range [0, {self.num_slots})"
+            )
+        return _HEADER.size + slot * self.slot_bytes
+
+    def write(self, slot: int, data: bytes) -> bool:
+        """Publish ``data`` into ``slot``; False when it does not fit.
+
+        Seqlock publication: bump the sequence to odd, copy payload and
+        length, then bump to even.  Every mutation of length/payload
+        happens strictly inside the odd window, so a reader that sees the
+        same even sequence on both sides of its copy saw a consistent
+        frame.  Single writer per slot, so no CAS is needed.
+        """
+        if len(data) > self.capacity:
+            return False
+        base = self._offset(slot)
+        buf = self._shm.buf
+        seq = _WORD.unpack_from(buf, base)[0]
+        _WORD.pack_into(buf, base, seq + 1)
+        start = base + SLOT_OVERHEAD
+        buf[start:start + len(data)] = data
+        _WORD.pack_into(buf, base + _WORD.size, len(data))
+        _WORD.pack_into(buf, base, seq + 2)
+        return True
+
+    def read(self, slot: int, retries: int = 64) -> Optional[bytes]:
+        """The last payload published to ``slot``, or None.
+
+        None means "never written" or "could not get a stable view in
+        ``retries`` attempts" (only possible while the writer is live —
+        the engine reads a slot only after its worker's result arrived,
+        a happens-after edge, so the first attempt always succeeds
+        there).
+        """
+        base = self._offset(slot)
+        buf = self._shm.buf
+        for _ in range(retries):
+            seq1 = _WORD.unpack_from(buf, base)[0]
+            if seq1 == 0:
+                return None
+            if seq1 % 2:  # write in progress
+                continue
+            length = _WORD.unpack_from(buf, base + _WORD.size)[0]
+            if length > self.capacity:  # torn length: writer mid-flight
+                continue
+            start = base + SLOT_OVERHEAD
+            data = bytes(buf[start:start + length])
+            seq2 = _WORD.unpack_from(buf, base)[0]
+            if seq1 == seq2:
+                return data
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotArena({self.name!r}, slots={self.num_slots}, "
+            f"slot_bytes={self.slot_bytes}, owner={self.owner})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Worker-side attachment cache
+# --------------------------------------------------------------------- #
+
+#: The one arena this (worker) process is attached to.  Warm pool
+#: workers outlive many sweeps; each sweep brings a new arena name, so a
+#: one-element cache keyed by name is exactly right: same sweep → reuse
+#: the mapping, new sweep → drop the stale mapping and attach the new one.
+_attached: Optional[SnapshotArena] = None
+
+
+def attach_cached(name: Optional[str]) -> Optional[SnapshotArena]:
+    """Attach to ``name`` (None-safe), reusing the mapping within a sweep."""
+    global _attached
+    if name is None:
+        return None
+    if _attached is not None and _attached.name == name:
+        return _attached
+    if _attached is not None:
+        _attached.close()
+        _attached = None
+    try:
+        _attached = SnapshotArena.attach(name)
+    except (FileNotFoundError, ValueError):
+        # The parent already tore the arena down (e.g. it gave up on the
+        # sweep); fall back to in-payload snapshots rather than dying.
+        return None
+    return _attached

@@ -64,6 +64,27 @@ def select_backend(backend: Optional[str]) -> None:
     _override = None if backend is None else _normalize(backend)
 
 
+def sync_worker_backend(backend: str) -> bool:
+    """Align a (warm pool) worker with the parent's requested backend.
+
+    Pool workers select their backend once, at pool creation; because the
+    pool now outlives individual sweeps, a later ``--kernel`` /
+    :func:`select_backend` change in the parent would otherwise leave warm
+    workers silently running the old backend.  Every dispatched chunk
+    carries the parent's :func:`requested_backend` and calls this before
+    executing; the override is a single global write and the backend is
+    consulted lazily per simulation, so re-syncing costs nothing when
+    nothing changed.  Returns True when the worker actually switched.
+
+    (Results are byte-identical across backends either way — this keeps
+    the *speed* choice honest, it can never change a number.)
+    """
+    if requested_backend() == _normalize(backend):
+        return False
+    select_backend(backend)
+    return True
+
+
 def requested_backend() -> str:
     """The backend asked for, before availability is considered."""
     if _override is not None:

@@ -1,0 +1,271 @@
+"""Shared-memory metrics transport: slots, seqlock, and determinism.
+
+Three layers, mpmetrics-style:
+
+1. **Layout properties** (hypothesis): arbitrary payloads round-trip
+   bit-exactly through a slot, oversized payloads are rejected, slots
+   never bleed into each other.
+2. **Torn-read stress** (real processes): writer processes hammer their
+   slots while the parent reads live; every accepted read must be a
+   self-consistent frame (checksummed), i.e. the seqlock never lets a
+   half-written payload through.
+3. **End-to-end determinism**: pooled metrics aggregation is
+   byte-identical to serial for the same task list — counter and
+   histogram instruments included — because snapshots are folded in
+   task order no matter which worker finished first.
+"""
+
+import hashlib
+import multiprocessing
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exec import pool as exec_pool
+from repro.exec.engine import run_many
+from repro.exec.task import RunTask
+from repro.obs import runtime as obs_runtime
+from repro.obs import shm as obs_shm
+from repro.obs.core import Observability
+from repro.obs.registry import MetricsRegistry
+from repro.obs.shm import SLOT_OVERHEAD, SnapshotArena
+
+
+@pytest.fixture
+def arena():
+    a = SnapshotArena.create(num_slots=4, slot_bytes=256)
+    yield a
+    a.close()
+    a.unlink()
+
+
+# --- layout properties ----------------------------------------------------- #
+
+
+def test_unwritten_slot_reads_none(arena):
+    assert arena.read(0) is None
+    assert arena.read(3) is None
+
+
+def test_slot_roundtrip(arena):
+    assert arena.write(1, b"hello") is True
+    assert arena.read(1) == b"hello"
+    assert arena.read(0) is None  # neighbours untouched
+
+
+def test_rewrite_returns_latest(arena):
+    arena.write(2, b"first")
+    arena.write(2, b"second, longer payload")
+    assert arena.read(2) == b"second, longer payload"
+    arena.write(2, b"3rd")
+    assert arena.read(2) == b"3rd"
+
+
+def test_oversized_payload_rejected(arena):
+    too_big = b"x" * (arena.capacity + 1)
+    assert arena.write(0, too_big) is False
+    assert arena.read(0) is None
+    assert arena.write(0, b"x" * arena.capacity) is True
+
+
+def test_slot_index_bounds(arena):
+    with pytest.raises(IndexError):
+        arena.write(4, b"nope")
+    with pytest.raises(IndexError):
+        arena.read(-1)
+
+
+def test_attach_sees_parent_writes(arena):
+    attached = SnapshotArena.attach(arena.name)
+    try:
+        assert attached.num_slots == 4
+        assert attached.slot_bytes == 256
+        arena.write(0, b"from owner")
+        assert attached.read(0) == b"from owner"
+        attached.write(3, b"from attacher")
+        assert arena.read(3) == b"from attacher"
+    finally:
+        attached.close()
+
+
+def test_attach_rejects_foreign_segment():
+    from multiprocessing import shared_memory
+
+    foreign = shared_memory.SharedMemory(create=True, size=64)
+    try:
+        with pytest.raises(ValueError):
+            SnapshotArena.attach(foreign.name)
+    finally:
+        foreign.close()
+        foreign.unlink()
+
+
+def test_slot_sizing_policy():
+    # Small sweeps get the full default slot; huge sweeps shrink toward
+    # the arena cap but never below the 1 KiB floor (oversized snapshots
+    # then fall back inline rather than failing).
+    assert obs_shm.slot_bytes_for(1) == obs_shm.DEFAULT_SLOT_BYTES
+    assert obs_shm.slot_bytes_for(100) == obs_shm.DEFAULT_SLOT_BYTES
+    assert obs_shm.slot_bytes_for(8192) == \
+        obs_shm.MAX_ARENA_BYTES // 8192
+    assert obs_shm.slot_bytes_for(1_000_000) == 1024
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    payloads=st.lists(
+        st.binary(min_size=0, max_size=240 - SLOT_OVERHEAD), min_size=1,
+        max_size=8,
+    )
+)
+def test_many_slots_roundtrip_property(payloads):
+    """Arbitrary payload lists round-trip with no cross-slot bleed."""
+    arena = SnapshotArena.create(num_slots=len(payloads), slot_bytes=240)
+    try:
+        for slot, data in enumerate(payloads):
+            assert arena.write(slot, data) is True
+        for slot, data in enumerate(payloads):
+            assert arena.read(slot) == data
+    finally:
+        arena.close()
+        arena.unlink()
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.binary(min_size=0, max_size=512))
+def test_single_slot_rewrite_property(data):
+    arena = SnapshotArena.create(num_slots=1, slot_bytes=1024)
+    try:
+        arena.write(0, b"seed content to overwrite")
+        assert arena.write(0, data) is True
+        assert arena.read(0) == data
+    finally:
+        arena.close()
+        arena.unlink()
+
+
+# --- torn-read stress with live writer processes --------------------------- #
+
+
+def _frame(token: int, length: int) -> bytes:
+    """A checksummed frame: any torn mixture of two frames fails verify."""
+    body = bytes([token % 256]) * length
+    return hashlib.blake2b(body, digest_size=8).digest() + body
+
+
+def _frame_ok(data: bytes) -> bool:
+    return hashlib.blake2b(data[8:], digest_size=8).digest() == data[:8]
+
+
+def _hammer_slot(name: str, slot: int, stop_time: float) -> None:
+    arena = SnapshotArena.attach(name)
+    try:
+        token = 0
+        while time.monotonic() < stop_time:
+            token += 1
+            arena.write(slot, _frame(token, 16 + (token % 200)))
+    finally:
+        arena.close()
+
+
+def test_live_reads_never_tear():
+    """Parent reads while writer processes overwrite their slots.
+
+    The seqlock must make every accepted read a complete frame; a torn
+    read (half old payload, half new) would fail the checksum.
+    """
+    arena = SnapshotArena.create(num_slots=2, slot_bytes=512)
+    stop_time = time.monotonic() + 1.5
+    ctx = multiprocessing.get_context()
+    writers = [
+        ctx.Process(target=_hammer_slot, args=(arena.name, slot, stop_time))
+        for slot in range(2)
+    ]
+    try:
+        for writer in writers:
+            writer.start()
+        reads = checked = 0
+        while time.monotonic() < stop_time:
+            for slot in range(2):
+                data = arena.read(slot)
+                reads += 1
+                if data is not None:
+                    checked += 1
+                    assert _frame_ok(data), "seqlock admitted a torn read"
+        assert reads > 100
+        assert checked > 0
+    finally:
+        for writer in writers:
+            writer.join(timeout=10)
+            if writer.is_alive():
+                writer.terminate()
+        arena.close()
+        arena.unlink()
+
+
+# --- end-to-end determinism ------------------------------------------------ #
+
+
+ALG1_PARAMS = {
+    "graph": {"kind": "chain", "n": 5},
+    "quorum": {"kind": "probabilistic", "n": 6, "k": 2},
+    "delay": {"kind": "exponential", "mean": 1.0},
+    "monotone": True,
+    "max_rounds": 60,
+}
+
+
+def _aggregate(tasks, jobs):
+    session = Observability()
+    with obs_runtime.session(session):
+        results = run_many(tasks, jobs=jobs)
+    return results, session.metrics.snapshot_bytes()
+
+
+@pytest.mark.parametrize("kind,params", [
+    ("alg1", ALG1_PARAMS),
+    ("exec_probe", {"spin": 100}),
+])
+def test_pooled_metrics_byte_identical_to_serial(kind, params):
+    """The tentpole metrics guarantee, asserted at the byte level.
+
+    Histogram float sums make this non-trivial: only task-order folding
+    reproduces serial rounding, which is exactly what the engine does
+    with the shared-memory slots.
+    """
+    tasks = [RunTask(kind, dict(params), seed=seed) for seed in range(6)]
+    try:
+        serial_results, serial_bytes = _aggregate(tasks, jobs=1)
+        pooled_results, pooled_bytes = _aggregate(tasks, jobs=3)
+    finally:
+        exec_pool.shutdown_pool()
+    if kind == "alg1":
+        assert serial_results == pooled_results
+    assert serial_bytes == pooled_bytes
+    assert b"instruments" in serial_bytes
+
+
+def test_snapshot_bytes_roundtrip():
+    registry = MetricsRegistry()
+    registry.counter("c", "help", labelnames=("k",)).labels("a").inc(3)
+    registry.histogram("h").observe(0.7)
+    registry.gauge("g").set(2.5)
+    data = registry.snapshot_bytes()
+    clone = MetricsRegistry()
+    clone.merge_snapshot(MetricsRegistry.decode_snapshot(data))
+    assert clone.snapshot_bytes() == data
+
+
+def test_oversized_snapshot_falls_back_inline(monkeypatch):
+    """Snapshots too big for their slot still arrive (in the payload)."""
+    monkeypatch.setattr(obs_shm, "DEFAULT_SLOT_BYTES", 64)
+    monkeypatch.setattr(obs_shm, "slot_bytes_for", lambda n: 64)
+    tasks = [RunTask("exec_probe", {}, seed=seed) for seed in range(4)]
+    try:
+        serial_results, serial_bytes = _aggregate(tasks, jobs=1)
+        pooled_results, pooled_bytes = _aggregate(tasks, jobs=2)
+    finally:
+        exec_pool.shutdown_pool()
+    assert serial_bytes == pooled_bytes
+    assert all("metrics" in r for r in pooled_results)
