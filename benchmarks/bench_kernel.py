@@ -7,6 +7,9 @@ isolation and end-to-end:
 * ``scheduler_churn``  — events/sec through schedule/cancel/run cycles,
 * ``quorum_rounds``    — messages/sec for closed-loop register operations
   over a probabilistic quorum system (the shape of every Figure 2 run),
+* ``quorum_rounds_large_n`` — the same closed loop at n=1000 servers with
+  k=optimal_k(n), where quorum sampling and membership mapping dominate
+  (the operating point of the statistical-sweep roadmap item),
 * ``figure2_cell``     — wall-clock seconds for one single-process
   Figure 2 cell (Alg. 1 on a chain, asynchronous delays).
 
@@ -205,9 +208,15 @@ def bench_figure2_cell(quick: bool) -> Dict[str, float]:
 def _bench_thunks(quick: bool) -> Dict[str, Callable[[], Dict[str, float]]]:
     sched_events = 20_000 if quick else 200_000
     quorum_ops = 300 if quick else 4_000
+    large_n = 1000
+    large_k = ProbabilisticQuorumSystem.optimal_k(large_n)
+    large_ops = 40 if quick else 400
     return {
         "scheduler_churn": lambda: bench_scheduler_churn(sched_events),
         "quorum_rounds": lambda: bench_quorum_rounds(quorum_ops),
+        "quorum_rounds_large_n": lambda: bench_quorum_rounds(
+            large_ops, num_servers=large_n, quorum_size=large_k
+        ),
         "figure2_cell": lambda: bench_figure2_cell(quick),
     }
 

@@ -14,15 +14,25 @@
  * though the internal array layout may differ.  All times are IEEE-754
  * doubles on both sides, so ``now + delay`` produces the same bits.
  *
- * RNG draws never happen here: delays are sampled in Python (numpy) and
- * handed over as plain floats, which keeps the determinism contract
- * trivially aligned with the pure-python backend.
+ * RNG draws: historically all draws happened in Python (numpy) and were
+ * handed over as plain floats.  When the build links numpy's exported
+ * C random library (REPRO_HAVE_NPYRANDOM), the hottest draws — the
+ * per-message exponential delay and the k-of-n quorum sample — run
+ * through the same Generator bit stream in C, reproducing numpy's
+ * algorithms (Lemire bounded integers, ziggurat exponential, Floyd +
+ * descending Fisher-Yates for choice(replace=False)) bit for bit, so
+ * the determinism contract still holds draw for draw.
  */
 
 #define PY_SSIZE_T_CLEAN
 #include <Python.h>
 #include <structmember.h>
 #include <stddef.h>
+
+#ifdef REPRO_HAVE_NPYRANDOM
+#include <numpy/random/bitgen.h>
+#include <numpy/random/distributions.h>
+#endif
 
 /* ------------------------------------------------------------------ */
 /* Interned strings / cached exception types                          */
@@ -50,7 +60,80 @@ static PyObject *str_loss_rng_attr; /* "_loss_rng"       */
 static PyObject *str_deliver_attr;  /* "_deliver"        */
 static PyObject *str_delay_model;   /* "delay_model"     */
 static PyObject *str_rng_attr;      /* "rng"             */
+static PyObject *str_stats_attr;    /* "stats"           */
+static PyObject *str_send_attr;     /* "send"            */
+static PyObject *str_node_id;       /* "node_id"         */
+static PyObject *str_network_attr;  /* "network"         */
+static PyObject *str_seq_attr;      /* "seq"             */
+static PyObject *str_writer_attr;   /* "writer"          */
+static PyObject *str_cancel;        /* "cancel"          */
+static PyObject *str_replies;       /* "replies"         */
+static PyObject *str_quorum;        /* "quorum"          */
+static PyObject *str_span;          /* "span"            */
+static PyObject *str_is_read;       /* "is_read"         */
+static PyObject *str_register_attr; /* "register"        */
+static PyObject *str_record;        /* "record"          */
+static PyObject *str_future_attr;   /* "future"          */
+static PyObject *str_respond;       /* "respond"         */
+static PyObject *str_complete;      /* "complete"        */
+static PyObject *str_resolve;       /* "resolve"         */
+static PyObject *str_retry_handle;  /* "retry_handle"    */
+static PyObject *str_deadline_handle; /* "deadline_handle" */
+static PyObject *str_timestamp_attr; /* "timestamp"      */
+static PyObject *str_value_attr;    /* "value"           */
+static PyObject *str_monotone;      /* "monotone"        */
+static PyObject *str_cache_attr;    /* "_cache"          */
+static PyObject *str_cache_hits;    /* "cache_hits"      */
+static PyObject *str_monitor_on;    /* "_monitor_on"     */
+static PyObject *str_latency_attr;  /* "_latency"        */
+static PyObject *str_pending_attr;  /* "_pending"        */
+static PyObject *str_server_index;  /* "_server_index"   */
+static PyObject *str_replicas_attr; /* "_replicas"       */
+static PyObject *str_reads_served;  /* "reads_served"    */
+static PyObject *str_writes_applied; /* "writes_applied" */
+static PyObject *str_stale_updates; /* "stale_updates_ignored" */
+static PyObject *str_ops_completed; /* "ops_completed"   */
+static PyObject *str_ops_under_failure; /* "ops_completed_under_failure" */
+static PyObject *str_failures_attr; /* "failures"        */
+static PyObject *str_scheduler_attr; /* "scheduler"      */
+static PyObject *str_replica_method; /* "_replica"       */
+static PyObject *str_bit_generator; /* "bit_generator"   */
+static PyObject *str_capsule_attr;  /* "capsule"         */
+static PyObject *str_mean_attr;     /* "_mean"           */
+static PyObject *str_floor_attr;    /* "_floor"          */
+static PyObject *str_cdelay_attr;   /* "_delay"          */
+static PyObject *str_started_attr;  /* "started"         */
+static PyObject *str_observe;       /* "observe"         */
+static PyObject *str_read_kind;     /* "read"            */
+static PyObject *str_write_kind;    /* "write"           */
+static PyObject *str_broadcast_attr; /* "broadcast"      */
+static PyObject *py_one = NULL;     /* the int 1 (counter bumps) */
 static PyObject *scheduler_error = NULL;  /* repro.sim.scheduler.SchedulerError */
+
+/* Register-protocol classes, resolved lazily from the Python package
+ * the first time a protocol core is built (never at module import, so
+ * the extension stays importable on its own). */
+static PyObject *msg_read_query = NULL;   /* messages.ReadQuery   */
+static PyObject *msg_read_reply = NULL;   /* messages.ReadReply   */
+static PyObject *msg_write_update = NULL; /* messages.WriteUpdate */
+static PyObject *msg_write_ack = NULL;    /* messages.WriteAck    */
+static PyObject *timestamp_type = NULL;   /* timestamps.Timestamp */
+static PyObject *nullrecord_type = NULL;  /* history._NullRecord  */
+
+/* Delay-model classes, resolved lazily the first time a delay is
+ * sampled natively.  Soft-resolved: when the import fails (stripped
+ * install), the generic .sample() path is used forever after. */
+static PyObject *exponential_delay_type = NULL; /* delays.ExponentialDelay */
+static PyObject *constant_delay_type = NULL;    /* delays.ConstantDelay    */
+static int delay_types_unavailable = 0;
+
+/* Forward declarations: the delivery trampoline dispatches straight
+ * into the protocol cores (defined after SendCore) without a call
+ * through tp_call. */
+static PyTypeObject ServerCore_Type;
+static PyTypeObject ClientCore_Type;
+static int protocolcore_invoke(PyObject *core, PyObject *src,
+                               PyObject *message);
 
 /* Lazily resolve SchedulerError so importing this module never requires
  * the Python package to be importable first (and vice versa). */
@@ -356,13 +439,28 @@ delivery_invoke(DeliveryCore *self, PyObject *src, PyObject *dst,
     /* Borrowed node ref stays alive: the nodes dict is never mutated
      * from inside on_message (nodes are only added during set-up). */
     Py_INCREF(node);
-    PyObject *res = PyObject_CallMethodObjArgs(
-        node, str_on_message, src, message, NULL);
-    Py_DECREF(node);
-    if (res == NULL)
+    PyObject *handler = PyObject_GetAttr(node, str_on_message);
+    if (handler == NULL) {
+        Py_DECREF(node);
         return -1;
-    Py_DECREF(res);
-    return 0;
+    }
+    int rc;
+    if (Py_TYPE(handler) == &ServerCore_Type
+        || Py_TYPE(handler) == &ClientCore_Type) {
+        /* A protocol core installed as the node's instance attribute:
+         * stay in C end to end (the core falls back to the Python
+         * handler itself when a hook demands it). */
+        rc = protocolcore_invoke(handler, src, message);
+    }
+    else {
+        PyObject *res = PyObject_CallFunctionObjArgs(
+            handler, src, message, NULL);
+        rc = res == NULL ? -1 : 0;
+        Py_XDECREF(res);
+    }
+    Py_DECREF(handler);
+    Py_DECREF(node);
+    return rc;
 }
 
 static PyObject *
@@ -1227,6 +1325,119 @@ static PyTypeObject SchedulerCore_Type = {
 };
 
 /* ------------------------------------------------------------------ */
+/* Native RNG draws: numpy's bit stream without a Python frame         */
+/* ------------------------------------------------------------------ */
+
+/* Resolve the two built-in delay-model classes, softly: a failed import
+ * (stripped install, import cycle) flags them unavailable and every
+ * sample goes through the generic .sample() call instead.  Mirrors the
+ * soft-eligibility style of the protocol cores. */
+static int
+ensure_delay_types(void)
+{
+    if (delay_types_unavailable)
+        return 0;
+    if (exponential_delay_type != NULL)
+        return 1;
+    PyObject *mod = PyImport_ImportModule("repro.sim.delays");
+    if (mod == NULL) {
+        PyErr_Clear();
+        delay_types_unavailable = 1;
+        return 0;
+    }
+    exponential_delay_type = PyObject_GetAttrString(mod, "ExponentialDelay");
+    constant_delay_type = PyObject_GetAttrString(mod, "ConstantDelay");
+    Py_DECREF(mod);
+    if (exponential_delay_type == NULL || constant_delay_type == NULL) {
+        PyErr_Clear();
+        Py_CLEAR(exponential_delay_type);
+        Py_CLEAR(constant_delay_type);
+        delay_types_unavailable = 1;
+        return 0;
+    }
+    return 1;
+}
+
+#ifdef REPRO_HAVE_NPYRANDOM
+/* The bitgen_t behind a numpy Generator.  numpy's public contract:
+ * ``generator.bit_generator.capsule`` is a PyCapsule named
+ * "BitGenerator" wrapping the bitgen_t.  The caller must hold *holder
+ * (a strong ref to the BitGenerator) for as long as it draws. */
+static bitgen_t *
+bitgen_of(PyObject *rng, PyObject **holder)
+{
+    PyObject *bg_obj = PyObject_GetAttr(rng, str_bit_generator);
+    if (bg_obj == NULL)
+        return NULL;
+    PyObject *capsule = PyObject_GetAttr(bg_obj, str_capsule_attr);
+    if (capsule == NULL) {
+        Py_DECREF(bg_obj);
+        return NULL;
+    }
+    bitgen_t *bg = (bitgen_t *)PyCapsule_GetPointer(capsule, "BitGenerator");
+    Py_DECREF(capsule);
+    if (bg == NULL) {
+        Py_DECREF(bg_obj);
+        return NULL;
+    }
+    *holder = bg_obj;
+    return bg;
+}
+#endif
+
+/* Sample a delay without calling .sample() when the model is one of the
+ * two built-ins with exactly transcribable draws.  Returns 1 with *out
+ * set on a native draw, 0 when the model isn't eligible (caller falls
+ * back to the generic call), -1 on error.  Exactness:
+ * ``Generator.exponential(scale)`` is one ziggurat draw scaled — the
+ * same bits ``random_standard_exponential`` produces — and Python's
+ * ``max(floor, v)`` returns v only when strictly greater. */
+static int
+fast_sample_delay(PyObject *delay_model, PyObject *rng, double *out)
+{
+    if (!ensure_delay_types())
+        return 0;
+    if ((PyObject *)Py_TYPE(delay_model) == constant_delay_type) {
+        PyObject *delay_obj = PyObject_GetAttr(delay_model, str_cdelay_attr);
+        if (delay_obj == NULL)
+            return -1;
+        double delay = PyFloat_AsDouble(delay_obj);
+        Py_DECREF(delay_obj);
+        if (delay == -1.0 && PyErr_Occurred())
+            return -1;
+        *out = delay;
+        return 1;
+    }
+#ifdef REPRO_HAVE_NPYRANDOM
+    if ((PyObject *)Py_TYPE(delay_model) == exponential_delay_type) {
+        PyObject *mean_obj = PyObject_GetAttr(delay_model, str_mean_attr);
+        if (mean_obj == NULL)
+            return -1;
+        double mean = PyFloat_AsDouble(mean_obj);
+        Py_DECREF(mean_obj);
+        if (mean == -1.0 && PyErr_Occurred())
+            return -1;
+        PyObject *floor_obj = PyObject_GetAttr(delay_model, str_floor_attr);
+        if (floor_obj == NULL)
+            return -1;
+        double floor_v = PyFloat_AsDouble(floor_obj);
+        Py_DECREF(floor_obj);
+        if (floor_v == -1.0 && PyErr_Occurred())
+            return -1;
+        PyObject *holder;
+        bitgen_t *bg = bitgen_of(rng, &holder);
+        if (bg == NULL)
+            return -1;
+        double v = random_standard_exponential(bg) * mean;
+        Py_DECREF(holder);
+        *out = v > floor_v ? v : floor_v;
+        return 1;
+    }
+#endif
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
 /* SendCore: Network.send without a Python frame                       */
 /* ------------------------------------------------------------------ */
 
@@ -1374,28 +1585,20 @@ sendcore_dealloc(SendCore *self)
     Py_TYPE(self)->tp_free((PyObject *)self);
 }
 
-static PyObject *
-sendcore_call(SendCore *self, PyObject *args, PyObject *kwds)
+static int
+sendcore_invoke(SendCore *self, PyObject *src, PyObject *dst,
+                PyObject *message)
 {
-    PyObject *src, *dst, *message;
-    if (kwds != NULL && PyDict_GET_SIZE(kwds) != 0) {
-        PyErr_SetString(PyExc_TypeError,
-                        "send takes no keyword arguments");
-        return NULL;
-    }
-    if (!PyArg_UnpackTuple(args, "send", 3, 3, &src, &dst, &message))
-        return NULL;
-
     int known = PyDict_Contains(self->nodes, dst);
     if (known < 0)
-        return NULL;
+        return -1;
     if (!known) {
         PyErr_Format(PyExc_KeyError, "unknown destination node %S", dst);
-        return NULL;
+        return -1;
     }
     PyObject *kind = kind_of(message);
     if (kind == NULL)
-        return NULL;
+        return -1;
 
     if (StatsCore_Check(self->stats)) {
         ((StatsCore *)self->stats)->sent += 1;
@@ -1476,14 +1679,14 @@ sendcore_call(SendCore *self, PyObject *args, PyObject *kwds)
                                   str_fault) < 0)
                 goto fail;
             Py_DECREF(kind);
-            Py_RETURN_NONE;
+            return 0;
         }
     }
     if (lost) {
         if (stats_record_drop(self->stats, src, dst, kind, str_loss) < 0)
             goto fail;
         Py_DECREF(kind);
-        Py_RETURN_NONE;
+        return 0;
     }
 
     double extra = 0.0;
@@ -1516,7 +1719,7 @@ sendcore_call(SendCore *self, PyObject *args, PyObject *kwds)
                                   str_adversary) < 0)
                 goto fail;
             Py_DECREF(kind);
-            Py_RETURN_NONE;
+            return 0;
         }
         if (action != Py_None) {
             extra = PyFloat_AsDouble(action);
@@ -1540,25 +1743,48 @@ sendcore_call(SendCore *self, PyObject *args, PyObject *kwds)
         Py_DECREF(delay_model);
         goto fail;
     }
-    PyObject *delay_obj = PyObject_CallMethodObjArgs(
-        delay_model, str_sample, rng, src, dst, NULL);
-    Py_DECREF(delay_model);
-    Py_DECREF(rng);
-    if (delay_obj == NULL)
-        goto fail;
-    double delay = PyFloat_AsDouble(delay_obj);
-    if (delay == -1.0 && PyErr_Occurred()) {
-        Py_DECREF(delay_obj);
+    double delay;
+    int drawn = fast_sample_delay(delay_model, rng, &delay);
+    if (drawn < 0) {
+        Py_DECREF(delay_model);
+        Py_DECREF(rng);
         goto fail;
     }
-    if (delay <= 0) {
-        PyErr_Format(PyExc_ValueError,
-                     "delay model produced non-positive delay %S",
-                     delay_obj);
+    if (!drawn) {
+        PyObject *delay_obj = PyObject_CallMethodObjArgs(
+            delay_model, str_sample, rng, src, dst, NULL);
+        Py_DECREF(delay_model);
+        Py_DECREF(rng);
+        if (delay_obj == NULL)
+            goto fail;
+        delay = PyFloat_AsDouble(delay_obj);
+        if (delay == -1.0 && PyErr_Occurred()) {
+            Py_DECREF(delay_obj);
+            goto fail;
+        }
+        if (delay <= 0) {
+            PyErr_Format(PyExc_ValueError,
+                         "delay model produced non-positive delay %S",
+                         delay_obj);
+            Py_DECREF(delay_obj);
+            goto fail;
+        }
         Py_DECREF(delay_obj);
-        goto fail;
     }
-    Py_DECREF(delay_obj);
+    else {
+        Py_DECREF(delay_model);
+        Py_DECREF(rng);
+        if (delay <= 0) {
+            PyObject *delay_obj = PyFloat_FromDouble(delay);
+            if (delay_obj != NULL) {
+                PyErr_Format(PyExc_ValueError,
+                             "delay model produced non-positive delay %S",
+                             delay_obj);
+                Py_DECREF(delay_obj);
+            }
+            goto fail;
+        }
+    }
 
     /* scheduler.schedule_uncancellable(delay + extra, _deliver, src,
      * dst, message, kind) — inlined: time = now + (delay + extra),
@@ -1584,11 +1810,27 @@ sendcore_call(SendCore *self, PyObject *args, PyObject *kwds)
     self->sched->seq += 1;
     self->sched->live += 1;
     Py_DECREF(kind);
-    Py_RETURN_NONE;
+    return 0;
 
 fail:
     Py_DECREF(kind);
-    return NULL;
+    return -1;
+}
+
+static PyObject *
+sendcore_call(SendCore *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *src, *dst, *message;
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) != 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "send takes no keyword arguments");
+        return NULL;
+    }
+    if (!PyArg_UnpackTuple(args, "send", 3, 3, &src, &dst, &message))
+        return NULL;
+    if (sendcore_invoke(self, src, dst, message) < 0)
+        return NULL;
+    Py_RETURN_NONE;
 }
 
 static PyTypeObject SendCore_Type = {
@@ -1606,8 +1848,1487 @@ static PyTypeObject SendCore_Type = {
 };
 
 /* ------------------------------------------------------------------ */
+/* BroadcastCore: Network.broadcast's healthy fast branch in C         */
+/* ------------------------------------------------------------------ */
+
+/* The healthy, loss-free, untapped, adversary-free branch of
+ * Network.broadcast — the path every quorum round takes — without a
+ * Python frame or the sample_batch list round-trip: membership checks,
+ * one scalar stats bump for the whole fan-out, then per destination a
+ * native delay draw and an inlined heap push.  Per-destination scalar
+ * draws consume the delay stream in exactly the order sample_batch
+ * does (a size-n exponential fill is n sequential ziggurat draws), and
+ * seq numbers are assigned in destination order either way, so events
+ * sort identically.
+ *
+ * Eligibility is re-checked per call against the same mutable knobs the
+ * Python fast branch tests (taps, failures.active, loss_rate,
+ * adversary) plus a transcribable delay model; any other configuration
+ * falls back to the original Python broadcast method. */
+typedef struct {
+    PyObject_HEAD
+    PyObject *network;    /* the owning Network (cycle; GC-tracked) */
+    PyObject *fallback;   /* type(network).broadcast, unbound */
+    PyObject *stats;
+    PyObject *failures;
+    PyObject *nodes;      /* the Network's {node_id: Node} dict (shared) */
+    SchedulerCore *sched; /* must be a native SchedulerCore */
+} BroadcastCore;
+
+static PyTypeObject BroadcastCore_Type;
+
+static PyObject *
+broadcastcore_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    PyObject *network;
+    if (!PyArg_ParseTuple(args, "O", &network))
+        return NULL;
+    PyObject *fallback = PyObject_GetAttr(
+        (PyObject *)Py_TYPE(network), str_broadcast_attr);
+    if (fallback == NULL)
+        return NULL;
+    PyObject *stats = PyObject_GetAttrString(network, "stats");
+    if (stats == NULL) {
+        Py_DECREF(fallback);
+        return NULL;
+    }
+    PyObject *failures = PyObject_GetAttrString(network, "failures");
+    if (failures == NULL) {
+        Py_DECREF(fallback);
+        Py_DECREF(stats);
+        return NULL;
+    }
+    PyObject *nodes = PyObject_GetAttrString(network, "_nodes");
+    if (nodes == NULL || !PyDict_Check(nodes)) {
+        Py_DECREF(fallback);
+        Py_DECREF(stats);
+        Py_DECREF(failures);
+        Py_XDECREF(nodes);
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError,
+                            "network._nodes must be a dict");
+        return NULL;
+    }
+    PyObject *sched = PyObject_GetAttrString(network, "scheduler");
+    if (sched == NULL || !PyObject_TypeCheck(sched, &SchedulerCore_Type)) {
+        Py_DECREF(fallback);
+        Py_DECREF(stats);
+        Py_DECREF(failures);
+        Py_DECREF(nodes);
+        Py_XDECREF(sched);
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError,
+                            "BroadcastCore needs a native SchedulerCore");
+        return NULL;
+    }
+    BroadcastCore *self = (BroadcastCore *)type->tp_alloc(type, 0);
+    if (self == NULL) {
+        Py_DECREF(fallback);
+        Py_DECREF(stats);
+        Py_DECREF(failures);
+        Py_DECREF(nodes);
+        Py_DECREF(sched);
+        return NULL;
+    }
+    Py_INCREF(network);
+    self->network = network;
+    self->fallback = fallback;
+    self->stats = stats;
+    self->failures = failures;
+    self->nodes = nodes;
+    self->sched = (SchedulerCore *)sched;
+    return (PyObject *)self;
+}
+
+static int
+broadcastcore_traverse(BroadcastCore *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->network);
+    Py_VISIT(self->fallback);
+    Py_VISIT(self->stats);
+    Py_VISIT(self->failures);
+    Py_VISIT(self->nodes);
+    Py_VISIT((PyObject *)self->sched);
+    return 0;
+}
+
+static int
+broadcastcore_clear(BroadcastCore *self)
+{
+    Py_CLEAR(self->network);
+    Py_CLEAR(self->fallback);
+    Py_CLEAR(self->stats);
+    Py_CLEAR(self->failures);
+    Py_CLEAR(self->nodes);
+    Py_CLEAR(self->sched);
+    return 0;
+}
+
+static void
+broadcastcore_dealloc(BroadcastCore *self)
+{
+    PyObject_GC_UnTrack(self);
+    broadcastcore_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* The fast-branch preconditions, re-read per call.  1 = native path,
+ * 0 = fall back to the Python method, -1 = error. */
+static int
+broadcastcore_eligible(BroadcastCore *self, PyObject *delay_model)
+{
+    if (!StatsCore_Check(self->stats))
+        return 0;
+    if (!ensure_delay_types())
+        return 0;
+    if ((PyObject *)Py_TYPE(delay_model) != constant_delay_type) {
+#ifdef REPRO_HAVE_NPYRANDOM
+        if ((PyObject *)Py_TYPE(delay_model) != exponential_delay_type)
+            return 0;
+#else
+        return 0;
+#endif
+    }
+    PyObject *rate_obj = PyObject_GetAttr(self->network, str_loss_rate);
+    if (rate_obj == NULL)
+        return -1;
+    double loss_rate = PyFloat_AsDouble(rate_obj);
+    Py_DECREF(rate_obj);
+    if (loss_rate == -1.0 && PyErr_Occurred())
+        return -1;
+    if (loss_rate != 0.0)
+        return 0;
+    PyObject *taps = PyObject_GetAttr(self->network, str_taps_attr);
+    if (taps == NULL)
+        return -1;
+    int tapped = PyObject_IsTrue(taps);
+    Py_DECREF(taps);
+    if (tapped < 0)
+        return -1;
+    if (tapped)
+        return 0;
+    PyObject *active = PyObject_GetAttr(self->failures, str_active);
+    if (active == NULL)
+        return -1;
+    int faulty = PyObject_IsTrue(active);
+    Py_DECREF(active);
+    if (faulty < 0)
+        return -1;
+    if (faulty)
+        return 0;
+    PyObject *adversary = PyObject_GetAttr(self->network,
+                                           str_adversary_attr);
+    if (adversary == NULL)
+        return -1;
+    int hooked = adversary != Py_None;
+    Py_DECREF(adversary);
+    return hooked ? 0 : 1;
+}
+
+static int
+broadcastcore_invoke(BroadcastCore *self, PyObject *src, PyObject *dsts,
+                     PyObject *message)
+{
+    int nonempty = PyObject_IsTrue(dsts);
+    if (nonempty < 0)
+        return -1;
+    if (!nonempty)
+        return 0;
+    PyObject *delay_model = PyObject_GetAttr(self->network,
+                                             str_delay_model);
+    if (delay_model == NULL)
+        return -1;
+    int eligible = broadcastcore_eligible(self, delay_model);
+    if (eligible < 0) {
+        Py_DECREF(delay_model);
+        return -1;
+    }
+    if (!eligible) {
+        Py_DECREF(delay_model);
+        PyObject *res = PyObject_CallFunctionObjArgs(
+            self->fallback, self->network, src, dsts, message, NULL);
+        if (res == NULL)
+            return -1;
+        Py_DECREF(res);
+        return 0;
+    }
+
+    PyObject *fast = PySequence_Fast(dsts, "dsts must be a sequence");
+    if (fast == NULL) {
+        Py_DECREF(delay_model);
+        return -1;
+    }
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(fast);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *dst = PySequence_Fast_GET_ITEM(fast, i);
+        int known = PyDict_Contains(self->nodes, dst);
+        if (known < 0)
+            goto fail_fast;
+        if (!known) {
+            PyErr_Format(PyExc_KeyError,
+                         "unknown destination node %S", dst);
+            goto fail_fast;
+        }
+    }
+    PyObject *kind = kind_of(message);
+    if (kind == NULL)
+        goto fail_fast;
+    ((StatsCore *)self->stats)->sent += n;
+
+    PyObject *rng = PyObject_GetAttr(self->network, str_rng_attr);
+    if (rng == NULL)
+        goto fail_kind;
+    PyObject *deliver = PyObject_GetAttr(self->network, str_deliver_attr);
+    if (deliver == NULL) {
+        Py_DECREF(rng);
+        goto fail_kind;
+    }
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *dst = PySequence_Fast_GET_ITEM(fast, i);
+        double delay;
+        int drawn = fast_sample_delay(delay_model, rng, &delay);
+        if (drawn < 0)
+            goto fail_loop;
+        if (drawn == 0) {
+            PyErr_SetString(PyExc_RuntimeError,
+                            "delay model changed type mid-broadcast");
+            goto fail_loop;
+        }
+        if (delay <= 0) {
+            PyObject *delay_obj = PyFloat_FromDouble(delay);
+            if (delay_obj != NULL) {
+                PyErr_Format(PyExc_ValueError,
+                             "delay model produced non-positive delay %S",
+                             delay_obj);
+                Py_DECREF(delay_obj);
+            }
+            goto fail_loop;
+        }
+        PyObject *argtuple = PyTuple_Pack(4, src, dst, message, kind);
+        if (argtuple == NULL)
+            goto fail_loop;
+        KEvent ev;
+        ev.time = self->sched->now + delay;
+        ev.seq = self->sched->seq;
+        Py_INCREF(deliver);
+        ev.obj = deliver;
+        ev.args = argtuple;
+        if (heap_push(self->sched, ev) < 0) {
+            Py_DECREF(deliver);
+            Py_DECREF(argtuple);
+            goto fail_loop;
+        }
+        self->sched->seq += 1;
+        self->sched->live += 1;
+    }
+    Py_DECREF(deliver);
+    Py_DECREF(rng);
+    Py_DECREF(kind);
+    Py_DECREF(fast);
+    Py_DECREF(delay_model);
+    return 0;
+
+fail_loop:
+    Py_DECREF(deliver);
+    Py_DECREF(rng);
+fail_kind:
+    Py_DECREF(kind);
+fail_fast:
+    Py_DECREF(fast);
+    Py_DECREF(delay_model);
+    return -1;
+}
+
+static PyObject *
+broadcastcore_call(BroadcastCore *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *src, *dsts, *message;
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) != 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "broadcast takes no keyword arguments");
+        return NULL;
+    }
+    if (!PyArg_UnpackTuple(args, "broadcast", 3, 3, &src, &dsts, &message))
+        return NULL;
+    if (broadcastcore_invoke(self, src, dsts, message) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyTypeObject BroadcastCore_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._native._kernel.BroadcastCore",
+    .tp_basicsize = sizeof(BroadcastCore),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Network.broadcast's healthy fast branch as a C callable: "
+              "membership checks, batched stats, native delay draws, "
+              "inlined heap pushes; anything else falls back to Python.",
+    .tp_new = broadcastcore_new,
+    .tp_dealloc = (destructor)broadcastcore_dealloc,
+    .tp_traverse = (traverseproc)broadcastcore_traverse,
+    .tp_clear = (inquiry)broadcastcore_clear,
+    .tp_call = (ternaryfunc)broadcastcore_call,
+};
+
+/* ------------------------------------------------------------------ */
+/* quorum_sample: Generator.choice(n, size=k, replace=False) in C      */
+/* ------------------------------------------------------------------ */
+
+#ifdef REPRO_HAVE_NPYRANDOM
+/* numpy's choice(replace=False, shuffle=True) for 1-D integer ranges,
+ * reproduced draw for draw: Floyd's algorithm (one bounded draw per
+ * selection, duplicates remapped to the loop index) followed by a
+ * descending Fisher-Yates shuffle — the exact draw sequence numpy
+ * makes, so the Generator leaves this call in the same state as the
+ * Python expression.  Bounded draws use Lemire rejection
+ * (use_masked=0), matching Generator.integers. */
+static PyObject *
+kernel_quorum_sample(PyObject *module, PyObject *const *args,
+                     Py_ssize_t nargs)
+{
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "quorum_sample expects (rng, n, k)");
+        return NULL;
+    }
+    PyObject *rng = args[0];
+    Py_ssize_t n = PyLong_AsSsize_t(args[1]);
+    if (n == -1 && PyErr_Occurred())
+        return NULL;
+    Py_ssize_t k = PyLong_AsSsize_t(args[2]);
+    if (k == -1 && PyErr_Occurred())
+        return NULL;
+    if (n < 1 || k < 1 || k > n) {
+        PyErr_Format(PyExc_ValueError,
+                     "quorum_sample needs 1 <= k <= n, got n=%zd k=%zd",
+                     n, k);
+        return NULL;
+    }
+    if (k > 65536) {
+        PyErr_SetString(PyExc_ValueError,
+                        "quorum_sample caps k at 65536");
+        return NULL;
+    }
+    int64_t stack_buf[128];
+    int64_t *idx = stack_buf;
+    if (k > 128) {
+        idx = PyMem_Malloc((size_t)k * sizeof(int64_t));
+        if (idx == NULL)
+            return PyErr_NoMemory();
+    }
+    PyObject *holder;
+    bitgen_t *bg = bitgen_of(rng, &holder);
+    if (bg == NULL) {
+        if (idx != stack_buf)
+            PyMem_Free(idx);
+        return NULL;
+    }
+    Py_ssize_t cnt = 0;
+    for (Py_ssize_t j = n - k; j < n; j++) {
+        int64_t v = (int64_t)random_bounded_uint64(
+            bg, 0, (uint64_t)j, 0, 0);
+        for (Py_ssize_t s = 0; s < cnt; s++) {
+            if (idx[s] == v) {
+                v = (int64_t)j;
+                break;
+            }
+        }
+        idx[cnt++] = v;
+    }
+    for (Py_ssize_t i = k - 1; i > 0; i--) {
+        Py_ssize_t j = (Py_ssize_t)random_bounded_uint64(
+            bg, 0, (uint64_t)i, 0, 0);
+        int64_t tmp = idx[i];
+        idx[i] = idx[j];
+        idx[j] = tmp;
+    }
+    Py_DECREF(holder);
+    PyObject *result = PyFrozenSet_New(NULL);
+    if (result == NULL) {
+        if (idx != stack_buf)
+            PyMem_Free(idx);
+        return NULL;
+    }
+    for (Py_ssize_t i = 0; i < k; i++) {
+        PyObject *member = PyLong_FromLongLong((long long)idx[i]);
+        if (member == NULL || PySet_Add(result, member) < 0) {
+            Py_XDECREF(member);
+            Py_DECREF(result);
+            if (idx != stack_buf)
+                PyMem_Free(idx);
+            return NULL;
+        }
+        Py_DECREF(member);
+    }
+    if (idx != stack_buf)
+        PyMem_Free(idx);
+    return result;
+}
+#else
+static PyObject *
+kernel_quorum_sample(PyObject *module, PyObject *const *args,
+                     Py_ssize_t nargs)
+{
+    PyErr_SetString(PyExc_RuntimeError,
+                    "quorum_sample needs a build linked against numpy's "
+                    "random library (HAVE_FAST_RNG is 0)");
+    return NULL;
+}
+#endif
+
+/* ------------------------------------------------------------------ */
+/* ProtocolCore: the register protocol without Python frames           */
+/* ------------------------------------------------------------------ */
+
+/* Native transcriptions of the two per-message protocol callbacks:
+ * ``ReplicaServer.on_message`` (ServerCore) and the reply-aggregation
+ * path of ``QuorumRegisterClient.on_message`` + ``_finish`` +
+ * ``_teardown`` (ClientCore).  Installed as the node's ``on_message``
+ * instance attribute — exactly like the network's SendCore /
+ * DeliveryCore — so trace taps and monkeypatches keep working, and the
+ * pure-python methods remain the reference implementation.
+ *
+ * Soft fallback, re-checked on every delivery: an attached adversary,
+ * detailed MessageStats, an op-level span (tracing), or the online spec
+ * monitor route that message back through the original Python handler,
+ * so chaos campaigns and observability runs stay bit-correct.  The
+ * live latency histogram is observed natively in clientcore_finish.
+ * RNG draws stay in Python in the pre-existing order here; the quorum
+ * sample itself can run natively via ``quorum_sample`` (same bits).
+ */
+
+/* Resolve the protocol classes lazily, on first core construction —
+ * never at module import, so the extension stays importable alone. */
+static int
+ensure_protocol_types(void)
+{
+    if (timestamp_type != NULL)
+        return 0;
+    PyObject *messages = PyImport_ImportModule("repro.registers.messages");
+    if (messages == NULL)
+        return -1;
+    msg_read_query = PyObject_GetAttrString(messages, "ReadQuery");
+    msg_read_reply = PyObject_GetAttrString(messages, "ReadReply");
+    msg_write_update = PyObject_GetAttrString(messages, "WriteUpdate");
+    msg_write_ack = PyObject_GetAttrString(messages, "WriteAck");
+    Py_DECREF(messages);
+    if (msg_read_query == NULL || msg_read_reply == NULL
+        || msg_write_update == NULL || msg_write_ack == NULL)
+        goto fail;
+    /* Replies are built through tuple.__new__ directly (skipping the
+     * generated NamedTuple __new__ frame), which is only valid for
+     * tuple subtypes. */
+    if (!PyType_Check(msg_read_reply) || !PyType_Check(msg_write_ack)
+        || !PyType_IsSubtype((PyTypeObject *)msg_read_reply, &PyTuple_Type)
+        || !PyType_IsSubtype((PyTypeObject *)msg_write_ack, &PyTuple_Type)
+        || !PyType_Check(msg_read_query) || !PyType_Check(msg_write_update)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "register protocol messages must be tuple "
+                        "subclasses (typing.NamedTuple)");
+        goto fail;
+    }
+    PyObject *history = PyImport_ImportModule("repro.core.history");
+    if (history == NULL)
+        goto fail;
+    nullrecord_type = PyObject_GetAttrString(history, "_NullRecord");
+    Py_DECREF(history);
+    if (nullrecord_type == NULL)
+        goto fail;
+    PyObject *timestamps = PyImport_ImportModule("repro.core.timestamps");
+    if (timestamps == NULL)
+        goto fail;
+    /* Assigned last: non-NULL timestamp_type marks full resolution. */
+    timestamp_type = PyObject_GetAttrString(timestamps, "Timestamp");
+    Py_DECREF(timestamps);
+    if (timestamp_type == NULL)
+        goto fail;
+    return 0;
+fail:
+    Py_CLEAR(msg_read_query);
+    Py_CLEAR(msg_read_reply);
+    Py_CLEAR(msg_write_update);
+    Py_CLEAR(msg_write_ack);
+    Py_CLEAR(nullrecord_type);
+    Py_CLEAR(timestamp_type);
+    return -1;
+}
+
+/* a > b under Timestamp's lexicographic (seq, writer) order, without
+ * the tuple-building Python __gt__ frame; non-exact operand types take
+ * the generic comparison protocol.  Returns 1/0/-1 (error). */
+static int
+timestamp_gt(PyObject *a, PyObject *b)
+{
+    if ((PyObject *)Py_TYPE(a) != timestamp_type
+        || (PyObject *)Py_TYPE(b) != timestamp_type)
+        return PyObject_RichCompareBool(a, b, Py_GT);
+    PyObject *a_seq = PyObject_GetAttr(a, str_seq_attr);
+    if (a_seq == NULL)
+        return -1;
+    PyObject *b_seq = PyObject_GetAttr(b, str_seq_attr);
+    if (b_seq == NULL) {
+        Py_DECREF(a_seq);
+        return -1;
+    }
+    int eq = PyObject_RichCompareBool(a_seq, b_seq, Py_EQ);
+    if (eq < 0 || !eq) {
+        int gt = eq < 0 ? -1 : PyObject_RichCompareBool(a_seq, b_seq, Py_GT);
+        Py_DECREF(a_seq);
+        Py_DECREF(b_seq);
+        return gt;
+    }
+    Py_DECREF(a_seq);
+    Py_DECREF(b_seq);
+    PyObject *a_writer = PyObject_GetAttr(a, str_writer_attr);
+    if (a_writer == NULL)
+        return -1;
+    PyObject *b_writer = PyObject_GetAttr(b, str_writer_attr);
+    if (b_writer == NULL) {
+        Py_DECREF(a_writer);
+        return -1;
+    }
+    int gt = PyObject_RichCompareBool(a_writer, b_writer, Py_GT);
+    Py_DECREF(a_writer);
+    Py_DECREF(b_writer);
+    return gt;
+}
+
+/* obj.<name> += 1 for the plain-int instance counters. */
+static int
+bump_counter(PyObject *obj, PyObject *name)
+{
+    PyObject *old = PyObject_GetAttr(obj, name);
+    if (old == NULL)
+        return -1;
+    PyObject *fresh = PyNumber_Add(old, py_one);
+    Py_DECREF(old);
+    if (fresh == NULL)
+        return -1;
+    int rc = PyObject_SetAttr(obj, name, fresh);
+    Py_DECREF(fresh);
+    return rc;
+}
+
+/* network.send(src, dst, message) — straight into sendcore_invoke when
+ * the network runs the native send path (the common case). */
+static int
+send_message(PyObject *network, PyObject *src, PyObject *dst,
+             PyObject *message)
+{
+    PyObject *send = PyObject_GetAttr(network, str_send_attr);
+    if (send == NULL)
+        return -1;
+    int rc;
+    if (Py_TYPE(send) == &SendCore_Type) {
+        rc = sendcore_invoke((SendCore *)send, src, dst, message);
+    }
+    else {
+        PyObject *res = PyObject_CallFunctionObjArgs(
+            send, src, dst, message, NULL);
+        rc = res == NULL ? -1 : 0;
+        Py_XDECREF(res);
+    }
+    Py_DECREF(send);
+    return rc;
+}
+
+/* Instantiate a message NamedTuple via tuple.__new__(cls, fields) —
+ * exactly what the generated __new__ does, minus its Python frame.
+ * Steals the fields reference. */
+static PyObject *
+make_message(PyObject *cls, PyObject *fields)
+{
+    if (fields == NULL)
+        return NULL;
+    PyObject *args = PyTuple_Pack(1, fields);
+    Py_DECREF(fields);
+    if (args == NULL)
+        return NULL;
+    PyObject *message = PyTuple_Type.tp_new((PyTypeObject *)cls, args, NULL);
+    Py_DECREF(args);
+    return message;
+}
+
+/* ------------------------------ ServerCore ------------------------- */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *server;   /* the ReplicaServer */
+    PyObject *fallback; /* type(server).on_message, unbound */
+    PyObject *network;
+    PyObject *stats;    /* network.stats (identity-stable) */
+    PyObject *replicas; /* server._replicas dict (shared) */
+    PyObject *node_id;  /* server.node_id */
+} ServerCore;
+
+static PyObject *
+servercore_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    PyObject *server;
+    if (!PyArg_ParseTuple(args, "O", &server))
+        return NULL;
+    if (ensure_protocol_types() < 0)
+        return NULL;
+    PyObject *fallback = NULL, *network = NULL, *stats = NULL;
+    PyObject *replicas = NULL, *node_id = NULL;
+    fallback = PyObject_GetAttr((PyObject *)Py_TYPE(server), str_on_message);
+    if (fallback == NULL)
+        goto fail;
+    network = PyObject_GetAttr(server, str_network_attr);
+    if (network == NULL)
+        goto fail;
+    stats = PyObject_GetAttr(network, str_stats_attr);
+    if (stats == NULL)
+        goto fail;
+    replicas = PyObject_GetAttr(server, str_replicas_attr);
+    if (replicas == NULL)
+        goto fail;
+    if (!PyDict_Check(replicas)) {
+        PyErr_SetString(PyExc_TypeError, "server._replicas must be a dict");
+        goto fail;
+    }
+    node_id = PyObject_GetAttr(server, str_node_id);
+    if (node_id == NULL)
+        goto fail;
+    ServerCore *self = (ServerCore *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        goto fail;
+    Py_INCREF(server);
+    self->server = server;
+    self->fallback = fallback;
+    self->network = network;
+    self->stats = stats;
+    self->replicas = replicas;
+    self->node_id = node_id;
+    return (PyObject *)self;
+fail:
+    Py_XDECREF(fallback);
+    Py_XDECREF(network);
+    Py_XDECREF(stats);
+    Py_XDECREF(replicas);
+    Py_XDECREF(node_id);
+    return NULL;
+}
+
+static int
+servercore_traverse(ServerCore *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->server);
+    Py_VISIT(self->fallback);
+    Py_VISIT(self->network);
+    Py_VISIT(self->stats);
+    Py_VISIT(self->replicas);
+    Py_VISIT(self->node_id);
+    return 0;
+}
+
+static int
+servercore_clear(ServerCore *self)
+{
+    Py_CLEAR(self->server);
+    Py_CLEAR(self->fallback);
+    Py_CLEAR(self->network);
+    Py_CLEAR(self->stats);
+    Py_CLEAR(self->replicas);
+    Py_CLEAR(self->node_id);
+    return 0;
+}
+
+static void
+servercore_dealloc(ServerCore *self)
+{
+    PyObject_GC_UnTrack(self);
+    servercore_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+servercore_run_fallback(ServerCore *self, PyObject *src, PyObject *message)
+{
+    PyObject *res = PyObject_CallFunctionObjArgs(
+        self->fallback, self->server, src, message, NULL);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+/* The replica-dict probe: hot path is one C dict lookup; the cold path
+ * (first message touching a register) takes the Python ``_replica``
+ * method so space.info validation stays in one place.  Returns a strong
+ * reference to the (timestamp, value) entry, or NULL. */
+static PyObject *
+servercore_replica(ServerCore *self, PyObject *reg)
+{
+    PyObject *entry = PyDict_GetItemWithError(self->replicas, reg);
+    if (entry != NULL) {
+        Py_INCREF(entry);
+        return entry;
+    }
+    if (PyErr_Occurred())
+        return NULL;
+    return PyObject_CallMethodObjArgs(self->server, str_replica_method,
+                                      reg, NULL);
+}
+
+static int
+servercore_invoke(ServerCore *self, PyObject *src, PyObject *message)
+{
+    /* Mutable hooks, re-checked per delivery: an adversary or detailed
+     * stats hand the message back to the Python handler. */
+    if (!StatsCore_Check(self->stats))
+        return servercore_run_fallback(self, src, message);
+    PyObject *adversary = PyObject_GetAttr(self->network, str_adversary_attr);
+    if (adversary == NULL)
+        return -1;
+    int hooked = adversary != Py_None;
+    Py_DECREF(adversary);
+    if (hooked)
+        return servercore_run_fallback(self, src, message);
+
+    PyObject *msg_type = (PyObject *)Py_TYPE(message);
+    if (msg_type == msg_read_query) {
+        PyObject *reg = PyTuple_GET_ITEM(message, 0);
+        PyObject *op_id = PyTuple_GET_ITEM(message, 1);
+        PyObject *entry = servercore_replica(self, reg);
+        if (entry == NULL)
+            return -1;
+        if (!PyTuple_Check(entry) || PyTuple_GET_SIZE(entry) != 2) {
+            /* Foreign replica layout: let Python unpack (and fail) it. */
+            Py_DECREF(entry);
+            return servercore_run_fallback(self, src, message);
+        }
+        if (bump_counter(self->server, str_reads_served) < 0) {
+            Py_DECREF(entry);
+            return -1;
+        }
+        PyObject *reply = make_message(
+            msg_read_reply,
+            PyTuple_Pack(4, reg, op_id, PyTuple_GET_ITEM(entry, 1),
+                         PyTuple_GET_ITEM(entry, 0)));
+        Py_DECREF(entry);
+        if (reply == NULL)
+            return -1;
+        int rc = send_message(self->network, self->node_id, src, reply);
+        Py_DECREF(reply);
+        return rc;
+    }
+    if (msg_type == msg_write_update) {
+        PyObject *reg = PyTuple_GET_ITEM(message, 0);
+        PyObject *op_id = PyTuple_GET_ITEM(message, 1);
+        PyObject *value = PyTuple_GET_ITEM(message, 2);
+        PyObject *ts = PyTuple_GET_ITEM(message, 3);
+        PyObject *entry = servercore_replica(self, reg);
+        if (entry == NULL)
+            return -1;
+        if (!PyTuple_Check(entry) || PyTuple_GET_SIZE(entry) != 2) {
+            Py_DECREF(entry);
+            return servercore_run_fallback(self, src, message);
+        }
+        int newer = timestamp_gt(ts, PyTuple_GET_ITEM(entry, 0));
+        Py_DECREF(entry);
+        if (newer < 0)
+            return -1;
+        if (newer) {
+            PyObject *fresh = PyTuple_Pack(2, ts, value);
+            if (fresh == NULL)
+                return -1;
+            int rc = PyDict_SetItem(self->replicas, reg, fresh);
+            Py_DECREF(fresh);
+            if (rc < 0)
+                return -1;
+            if (bump_counter(self->server, str_writes_applied) < 0)
+                return -1;
+        }
+        else {
+            if (bump_counter(self->server, str_stale_updates) < 0)
+                return -1;
+        }
+        PyObject *reply = make_message(msg_write_ack,
+                                       PyTuple_Pack(2, reg, op_id));
+        if (reply == NULL)
+            return -1;
+        int rc = send_message(self->network, self->node_id, src, reply);
+        Py_DECREF(reply);
+        return rc;
+    }
+    /* Anything else — unknown kinds, message subclasses — takes the
+     * Python handler, which counts-and-ignores unknown messages. */
+    return servercore_run_fallback(self, src, message);
+}
+
+static PyObject *
+servercore_call(ServerCore *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *src, *message;
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) != 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "on_message takes no keyword arguments");
+        return NULL;
+    }
+    if (!PyArg_UnpackTuple(args, "on_message", 2, 2, &src, &message))
+        return NULL;
+    if (servercore_invoke(self, src, message) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMemberDef servercore_members[] = {
+    {"server", T_OBJECT_EX, offsetof(ServerCore, server), READONLY,
+     "the ReplicaServer this core handles messages for"},
+    {"fallback", T_OBJECT_EX, offsetof(ServerCore, fallback), READONLY,
+     "the unbound Python handler used when a hook forces fallback"},
+    {NULL}
+};
+
+static PyTypeObject ServerCore_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._native._kernel.ServerCore",
+    .tp_basicsize = sizeof(ServerCore),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "ReplicaServer.on_message as a C callable: replica probe, "
+              "timestamp compare, install-or-ignore, reply send.",
+    .tp_new = servercore_new,
+    .tp_dealloc = (destructor)servercore_dealloc,
+    .tp_traverse = (traverseproc)servercore_traverse,
+    .tp_clear = (inquiry)servercore_clear,
+    .tp_call = (ternaryfunc)servercore_call,
+    .tp_members = servercore_members,
+};
+
+/* ------------------------------ ClientCore ------------------------- */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *client;       /* the QuorumRegisterClient */
+    PyObject *fallback;     /* type(client).on_message, unbound */
+    PyObject *network;
+    PyObject *failures;
+    PyObject *stats;        /* network.stats (identity-stable) */
+    PyObject *pending;      /* client._pending dict (shared) */
+    PyObject *server_index; /* client._server_index dict (shared) */
+    PyObject *cache;        /* client._cache dict (shared) */
+    SchedulerCore *sched;   /* native scheduler (for ``now``) */
+    int monotone;
+} ClientCore;
+
+static PyObject *
+clientcore_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    PyObject *client;
+    if (!PyArg_ParseTuple(args, "O", &client))
+        return NULL;
+    if (ensure_protocol_types() < 0)
+        return NULL;
+    PyObject *fallback = NULL, *network = NULL, *failures = NULL;
+    PyObject *stats = NULL, *pending = NULL, *server_index = NULL;
+    PyObject *cache = NULL, *sched = NULL, *monotone_obj = NULL;
+    fallback = PyObject_GetAttr((PyObject *)Py_TYPE(client), str_on_message);
+    if (fallback == NULL)
+        goto fail;
+    network = PyObject_GetAttr(client, str_network_attr);
+    if (network == NULL)
+        goto fail;
+    failures = PyObject_GetAttr(network, str_failures_attr);
+    if (failures == NULL)
+        goto fail;
+    stats = PyObject_GetAttr(network, str_stats_attr);
+    if (stats == NULL)
+        goto fail;
+    pending = PyObject_GetAttr(client, str_pending_attr);
+    if (pending == NULL)
+        goto fail;
+    server_index = PyObject_GetAttr(client, str_server_index);
+    if (server_index == NULL)
+        goto fail;
+    cache = PyObject_GetAttr(client, str_cache_attr);
+    if (cache == NULL)
+        goto fail;
+    if (!PyDict_Check(pending) || !PyDict_Check(server_index)
+        || !PyDict_Check(cache)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "client._pending, _server_index and _cache must "
+                        "be dicts");
+        goto fail;
+    }
+    sched = PyObject_GetAttr(network, str_scheduler_attr);
+    if (sched == NULL)
+        goto fail;
+    if (!PyObject_TypeCheck(sched, &SchedulerCore_Type)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "ClientCore needs a native SchedulerCore");
+        goto fail;
+    }
+    monotone_obj = PyObject_GetAttr(client, str_monotone);
+    if (monotone_obj == NULL)
+        goto fail;
+    int monotone = PyObject_IsTrue(monotone_obj);
+    Py_CLEAR(monotone_obj);
+    if (monotone < 0)
+        goto fail;
+    ClientCore *self = (ClientCore *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        goto fail;
+    Py_INCREF(client);
+    self->client = client;
+    self->fallback = fallback;
+    self->network = network;
+    self->failures = failures;
+    self->stats = stats;
+    self->pending = pending;
+    self->server_index = server_index;
+    self->cache = cache;
+    self->sched = (SchedulerCore *)sched;
+    self->monotone = monotone;
+    return (PyObject *)self;
+fail:
+    Py_XDECREF(fallback);
+    Py_XDECREF(network);
+    Py_XDECREF(failures);
+    Py_XDECREF(stats);
+    Py_XDECREF(pending);
+    Py_XDECREF(server_index);
+    Py_XDECREF(cache);
+    Py_XDECREF(sched);
+    Py_XDECREF(monotone_obj);
+    return NULL;
+}
+
+static int
+clientcore_traverse(ClientCore *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->client);
+    Py_VISIT(self->fallback);
+    Py_VISIT(self->network);
+    Py_VISIT(self->failures);
+    Py_VISIT(self->stats);
+    Py_VISIT(self->pending);
+    Py_VISIT(self->server_index);
+    Py_VISIT(self->cache);
+    Py_VISIT((PyObject *)self->sched);
+    return 0;
+}
+
+static int
+clientcore_clear(ClientCore *self)
+{
+    Py_CLEAR(self->client);
+    Py_CLEAR(self->fallback);
+    Py_CLEAR(self->network);
+    Py_CLEAR(self->failures);
+    Py_CLEAR(self->stats);
+    Py_CLEAR(self->pending);
+    Py_CLEAR(self->server_index);
+    Py_CLEAR(self->cache);
+    Py_CLEAR(self->sched);
+    return 0;
+}
+
+static void
+clientcore_dealloc(ClientCore *self)
+{
+    PyObject_GC_UnTrack(self);
+    clientcore_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+clientcore_run_fallback(ClientCore *self, PyObject *src, PyObject *message)
+{
+    PyObject *res = PyObject_CallFunctionObjArgs(
+        self->fallback, self->client, src, message, NULL);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+/* op.<attr>.cancel(), inlined for native handles. */
+static int
+cancel_op_handle(PyObject *op, PyObject *attr)
+{
+    PyObject *handle = PyObject_GetAttr(op, attr);
+    if (handle == NULL)
+        return -1;
+    if (handle == Py_None) {
+        Py_DECREF(handle);
+        return 0;
+    }
+    if (PyObject_TypeCheck(handle, &KernelHandle_Type)) {
+        KernelHandle *kh = (KernelHandle *)handle;
+        if (!kh->cancelled) {
+            kh->cancelled = 1;
+            if (kh->owner != NULL && !kh->dequeued)
+                kh->owner->live -= 1;
+        }
+        Py_DECREF(handle);
+        return 0;
+    }
+    PyObject *res = PyObject_CallMethodObjArgs(handle, str_cancel, NULL);
+    Py_DECREF(handle);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+/* reply.timestamp / reply.value: index access for exact message types,
+ * attribute access for subclasses (mirroring the NamedTuple property). */
+static PyObject *
+reply_timestamp(PyObject *reply)
+{
+    if ((PyObject *)Py_TYPE(reply) == msg_read_reply) {
+        PyObject *ts = PyTuple_GET_ITEM(reply, 3);
+        Py_INCREF(ts);
+        return ts;
+    }
+    return PyObject_GetAttr(reply, str_timestamp_attr);
+}
+
+static PyObject *
+reply_value(PyObject *reply)
+{
+    if ((PyObject *)Py_TYPE(reply) == msg_read_reply) {
+        PyObject *value = PyTuple_GET_ITEM(reply, 2);
+        Py_INCREF(value);
+        return value;
+    }
+    return PyObject_GetAttr(reply, str_value_attr);
+}
+
+/* QuorumRegisterClient._finish + _teardown, transcribed.  ``op`` is a
+ * strong reference held by the caller; spans / monitor are guaranteed
+ * off by the caller's fallback guards, while the latency histogram is
+ * handled natively below. */
+static int
+clientcore_finish(ClientCore *self, PyObject *op, PyObject *op_id,
+                  PyObject *quorum, PyObject *replies)
+{
+    if (PyDict_DelItem(self->pending, op_id) < 0)
+        return -1;
+    if (cancel_op_handle(op, str_retry_handle) < 0)
+        return -1;
+    if (cancel_op_handle(op, str_deadline_handle) < 0)
+        return -1;
+    if (bump_counter(self->client, str_ops_completed) < 0)
+        return -1;
+    PyObject *active = PyObject_GetAttr(self->failures, str_active);
+    if (active == NULL)
+        return -1;
+    int under_failure = PyObject_IsTrue(active);
+    Py_DECREF(active);
+    if (under_failure < 0)
+        return -1;
+    if (under_failure
+        && bump_counter(self->client, str_ops_under_failure) < 0)
+        return -1;
+
+    PyObject *is_read_obj = PyObject_GetAttr(op, str_is_read);
+    if (is_read_obj == NULL)
+        return -1;
+    int is_read = PyObject_IsTrue(is_read_obj);
+    Py_DECREF(is_read_obj);
+    if (is_read < 0)
+        return -1;
+
+    /* Live latency histogram: observe(now - op.started) on the op's
+     * kind, exactly where the Python _finish does it — after the
+     * completion counters, before span finish and future resolution. */
+    PyObject *latency = PyObject_GetAttr(self->client, str_latency_attr);
+    if (latency == NULL)
+        return -1;
+    if (latency != Py_None) {
+        PyObject *started_obj = PyObject_GetAttr(op, str_started_attr);
+        if (started_obj == NULL) {
+            Py_DECREF(latency);
+            return -1;
+        }
+        double started = PyFloat_AsDouble(started_obj);
+        Py_DECREF(started_obj);
+        if (started == -1.0 && PyErr_Occurred()) {
+            Py_DECREF(latency);
+            return -1;
+        }
+        PyObject *hist = PyObject_GetItem(
+            latency, is_read ? str_read_kind : str_write_kind);
+        Py_DECREF(latency);
+        if (hist == NULL)
+            return -1;
+        PyObject *elapsed = PyFloat_FromDouble(self->sched->now - started);
+        if (elapsed == NULL) {
+            Py_DECREF(hist);
+            return -1;
+        }
+        PyObject *res = PyObject_CallMethodObjArgs(
+            hist, str_observe, elapsed, NULL);
+        Py_DECREF(elapsed);
+        Py_DECREF(hist);
+        if (res == NULL)
+            return -1;
+        Py_DECREF(res);
+    }
+    else {
+        Py_DECREF(latency);
+    }
+
+    PyObject *record = PyObject_GetAttr(op, str_record);
+    if (record == NULL)
+        return -1;
+    int null_record = (PyObject *)Py_TYPE(record) == nullrecord_type;
+
+    if (!is_read) {
+        if (!null_record) {
+            PyObject *now_obj = PyFloat_FromDouble(self->sched->now);
+            if (now_obj == NULL)
+                goto fail_record;
+            PyObject *res = PyObject_CallMethodObjArgs(
+                record, str_respond, now_obj, NULL);
+            Py_DECREF(now_obj);
+            if (res == NULL)
+                goto fail_record;
+            Py_DECREF(res);
+        }
+        Py_DECREF(record);
+        PyObject *future = PyObject_GetAttr(op, str_future_attr);
+        if (future == NULL)
+            return -1;
+        PyObject *res = PyObject_CallMethodObjArgs(
+            future, str_resolve, Py_None, NULL);
+        Py_DECREF(future);
+        if (res == NULL)
+            return -1;
+        Py_DECREF(res);
+        return 0;
+    }
+
+    /* Read: the highest-timestamped reply among current-quorum members,
+     * first-maximum semantics (replace only on strictly greater). */
+    PyObject *iter = PyObject_GetIter(quorum);
+    if (iter == NULL)
+        goto fail_record;
+    PyObject *best = NULL; /* borrowed from replies */
+    PyObject *member;
+    while ((member = PyIter_Next(iter)) != NULL) {
+        PyObject *reply = PyDict_GetItemWithError(replies, member);
+        Py_DECREF(member);
+        if (reply == NULL) {
+            if (PyErr_Occurred())
+                break;
+            continue; /* member answered for an earlier quorum only */
+        }
+        if (!PyObject_TypeCheck(reply, (PyTypeObject *)msg_read_reply))
+            continue;
+        if (best == NULL) {
+            best = reply;
+            continue;
+        }
+        PyObject *reply_ts = reply_timestamp(reply);
+        if (reply_ts == NULL)
+            break;
+        PyObject *best_ts = reply_timestamp(best);
+        if (best_ts == NULL) {
+            Py_DECREF(reply_ts);
+            break;
+        }
+        int gt = timestamp_gt(reply_ts, best_ts);
+        Py_DECREF(reply_ts);
+        Py_DECREF(best_ts);
+        if (gt < 0)
+            break;
+        if (gt)
+            best = reply;
+    }
+    Py_DECREF(iter);
+    if (PyErr_Occurred())
+        goto fail_record;
+    if (best == NULL) {
+        /* max() over an empty sequence — unreachable for a completed
+         * read, kept for parity with the Python reference. */
+        PyErr_SetString(PyExc_ValueError, "max() arg is an empty sequence");
+        goto fail_record;
+    }
+    PyObject *value = reply_value(best);
+    if (value == NULL)
+        goto fail_record;
+    PyObject *ts = reply_timestamp(best);
+    if (ts == NULL) {
+        Py_DECREF(value);
+        goto fail_record;
+    }
+
+    if (self->monotone) {
+        PyObject *reg = PyObject_GetAttr(op, str_register_attr);
+        if (reg == NULL)
+            goto fail_read;
+        PyObject *cached = PyDict_GetItemWithError(self->cache, reg);
+        if (cached == NULL && PyErr_Occurred()) {
+            Py_DECREF(reg);
+            goto fail_read;
+        }
+        int serve_cached = 0;
+        if (cached != NULL) {
+            Py_INCREF(cached);
+            PyObject *cached_ts = PyTuple_Check(cached)
+                ? PyTuple_GET_ITEM(cached, 0)
+                : NULL;
+            if (cached_ts == NULL) {
+                Py_DECREF(cached);
+                Py_DECREF(reg);
+                PyErr_SetString(PyExc_TypeError,
+                                "monotone cache entries must be tuples");
+                goto fail_read;
+            }
+            serve_cached = timestamp_gt(cached_ts, ts);
+            if (serve_cached < 0) {
+                Py_DECREF(cached);
+                Py_DECREF(reg);
+                goto fail_read;
+            }
+            if (serve_cached) {
+                Py_DECREF(ts);
+                Py_DECREF(value);
+                ts = PyTuple_GET_ITEM(cached, 0);
+                value = PyTuple_GET_ITEM(cached, 1);
+                Py_INCREF(ts);
+                Py_INCREF(value);
+                if (bump_counter(self->client, str_cache_hits) < 0) {
+                    Py_DECREF(cached);
+                    Py_DECREF(reg);
+                    goto fail_read;
+                }
+            }
+            Py_DECREF(cached);
+        }
+        if (!serve_cached) {
+            PyObject *fresh = PyTuple_Pack(2, ts, value);
+            if (fresh == NULL) {
+                Py_DECREF(reg);
+                goto fail_read;
+            }
+            int rc = PyDict_SetItem(self->cache, reg, fresh);
+            Py_DECREF(fresh);
+            if (rc < 0) {
+                Py_DECREF(reg);
+                goto fail_read;
+            }
+        }
+        Py_DECREF(reg);
+    }
+
+    if (!null_record) {
+        PyObject *now_obj = PyFloat_FromDouble(self->sched->now);
+        if (now_obj == NULL)
+            goto fail_read;
+        PyObject *res = PyObject_CallMethodObjArgs(
+            record, str_complete, now_obj, value, ts, NULL);
+        Py_DECREF(now_obj);
+        if (res == NULL)
+            goto fail_read;
+        Py_DECREF(res);
+    }
+    Py_DECREF(record);
+    Py_DECREF(ts);
+
+    PyObject *future = PyObject_GetAttr(op, str_future_attr);
+    if (future == NULL) {
+        Py_DECREF(value);
+        return -1;
+    }
+    PyObject *res = PyObject_CallMethodObjArgs(
+        future, str_resolve, value, NULL);
+    Py_DECREF(future);
+    Py_DECREF(value);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+
+fail_read:
+    Py_DECREF(value);
+    Py_DECREF(ts);
+fail_record:
+    Py_DECREF(record);
+    return -1;
+}
+
+static int
+clientcore_invoke(ClientCore *self, PyObject *src, PyObject *message)
+{
+    PyObject *msg_type = (PyObject *)Py_TYPE(message);
+    if (msg_type != msg_read_reply && msg_type != msg_write_ack)
+        /* Subclassed replies take the Python isinstance path; foreign
+         * kinds are a Python no-op either way. */
+        return clientcore_run_fallback(self, src, message);
+
+    /* Mutable hooks, re-checked per delivery: detailed stats, an
+     * adversary, or the online spec monitor force the Python handler
+     * for this message.  The latency histogram is observed natively
+     * in clientcore_finish, so it no longer forces a fallback. */
+    if (!StatsCore_Check(self->stats))
+        return clientcore_run_fallback(self, src, message);
+    PyObject *adversary = PyObject_GetAttr(self->network, str_adversary_attr);
+    if (adversary == NULL)
+        return -1;
+    int hooked = adversary != Py_None;
+    Py_DECREF(adversary);
+    if (hooked)
+        return clientcore_run_fallback(self, src, message);
+    PyObject *monitor_on = PyObject_GetAttr(self->client, str_monitor_on);
+    if (monitor_on == NULL)
+        return -1;
+    hooked = PyObject_IsTrue(monitor_on);
+    Py_DECREF(monitor_on);
+    if (hooked < 0)
+        return -1;
+    if (hooked)
+        return clientcore_run_fallback(self, src, message);
+
+    PyObject *op_id = PyTuple_GET_ITEM(message, 1);
+    PyObject *op = PyDict_GetItemWithError(self->pending, op_id);
+    if (op == NULL)
+        /* Late reply for a completed operation. */
+        return PyErr_Occurred() ? -1 : 0;
+    PyObject *server_idx = PyDict_GetItemWithError(self->server_index, src);
+    if (server_idx == NULL)
+        /* Reply from an unknown node. */
+        return PyErr_Occurred() ? -1 : 0;
+
+    /* Span tracing is per-op: fall back *before* recording the reply so
+     * the Python handler replays the whole step (the lookups above are
+     * read-only). */
+    PyObject *span = PyObject_GetAttr(op, str_span);
+    if (span == NULL)
+        return -1;
+    int traced = span != Py_None;
+    Py_DECREF(span);
+    if (traced)
+        return clientcore_run_fallback(self, src, message);
+
+    Py_INCREF(op); /* survives the pending-dict delete in finish */
+    PyObject *replies = PyObject_GetAttr(op, str_replies);
+    if (replies == NULL) {
+        Py_DECREF(op);
+        return -1;
+    }
+    if (!PyDict_Check(replies)) {
+        Py_DECREF(replies);
+        Py_DECREF(op);
+        PyErr_SetString(PyExc_TypeError, "op.replies must be a dict");
+        return -1;
+    }
+    if (PyDict_SetItem(replies, server_idx, message) < 0) {
+        Py_DECREF(replies);
+        Py_DECREF(op);
+        return -1;
+    }
+    PyObject *quorum = PyObject_GetAttr(op, str_quorum);
+    if (quorum == NULL) {
+        Py_DECREF(replies);
+        Py_DECREF(op);
+        return -1;
+    }
+    /* quorum.issubset(replies): a size prefilter (replies can't cover a
+     * larger quorum) then a C membership loop. */
+    int complete = 1;
+    if (PyAnySet_Check(quorum)
+        && PyDict_GET_SIZE(replies) < PySet_GET_SIZE(quorum)) {
+        complete = 0;
+    }
+    else {
+        PyObject *iter = PyObject_GetIter(quorum);
+        if (iter == NULL)
+            goto fail;
+        PyObject *member;
+        while ((member = PyIter_Next(iter)) != NULL) {
+            int has = PyDict_Contains(replies, member);
+            Py_DECREF(member);
+            if (has < 0)
+                break;
+            if (!has) {
+                complete = 0;
+                break;
+            }
+        }
+        Py_DECREF(iter);
+        if (PyErr_Occurred())
+            goto fail;
+    }
+    int rc = 0;
+    if (complete)
+        rc = clientcore_finish(self, op, op_id, quorum, replies);
+    Py_DECREF(quorum);
+    Py_DECREF(replies);
+    Py_DECREF(op);
+    return rc;
+fail:
+    Py_DECREF(quorum);
+    Py_DECREF(replies);
+    Py_DECREF(op);
+    return -1;
+}
+
+static PyObject *
+clientcore_call(ClientCore *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *src, *message;
+    if (kwds != NULL && PyDict_GET_SIZE(kwds) != 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "on_message takes no keyword arguments");
+        return NULL;
+    }
+    if (!PyArg_UnpackTuple(args, "on_message", 2, 2, &src, &message))
+        return NULL;
+    if (clientcore_invoke(self, src, message) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyMemberDef clientcore_members[] = {
+    {"client", T_OBJECT_EX, offsetof(ClientCore, client), READONLY,
+     "the QuorumRegisterClient this core aggregates replies for"},
+    {"fallback", T_OBJECT_EX, offsetof(ClientCore, fallback), READONLY,
+     "the unbound Python handler used when a hook forces fallback"},
+    {NULL}
+};
+
+static PyTypeObject ClientCore_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._native._kernel.ClientCore",
+    .tp_basicsize = sizeof(ClientCore),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "QuorumRegisterClient reply aggregation as a C callable: "
+              "count replies against the pending quorum, complete the "
+              "op, tear down retry/deadline handles.",
+    .tp_new = clientcore_new,
+    .tp_dealloc = (destructor)clientcore_dealloc,
+    .tp_traverse = (traverseproc)clientcore_traverse,
+    .tp_clear = (inquiry)clientcore_clear,
+    .tp_call = (ternaryfunc)clientcore_call,
+    .tp_members = clientcore_members,
+};
+
+/* Dispatch from the delivery trampoline (both cores, no tp_call). */
+static int
+protocolcore_invoke(PyObject *core, PyObject *src, PyObject *message)
+{
+    if (Py_TYPE(core) == &ServerCore_Type)
+        return servercore_invoke((ServerCore *)core, src, message);
+    return clientcore_invoke((ClientCore *)core, src, message);
+}
+
+/* ------------------------------------------------------------------ */
 /* Module                                                              */
 /* ------------------------------------------------------------------ */
+
+static PyMethodDef kernel_methods[] = {
+    {"quorum_sample", (PyCFunction)(void (*)(void))kernel_quorum_sample,
+     METH_FASTCALL,
+     "quorum_sample(rng, n, k) -> frozenset\n\n"
+     "Generator.choice(n, size=k, replace=False) as a frozenset, drawn\n"
+     "from the same bit stream numpy would consume (Floyd + descending\n"
+     "Fisher-Yates, Lemire bounded draws).  Requires HAVE_FAST_RNG."},
+    {NULL, NULL, 0, NULL}
+};
 
 static struct PyModuleDef kernelmodule = {
     PyModuleDef_HEAD_INIT,
@@ -1615,6 +3336,7 @@ static struct PyModuleDef kernelmodule = {
     .m_doc = "Native simulation-kernel hot path (scheduler heap, "
              "scalar stats, delivery trampoline).",
     .m_size = -1,
+    .m_methods = kernel_methods,
 };
 
 PyMODINIT_FUNC
@@ -1642,6 +3364,55 @@ PyInit__kernel(void)
     str_deliver_attr = PyUnicode_InternFromString("_deliver");
     str_delay_model = PyUnicode_InternFromString("delay_model");
     str_rng_attr = PyUnicode_InternFromString("rng");
+    str_stats_attr = PyUnicode_InternFromString("stats");
+    str_send_attr = PyUnicode_InternFromString("send");
+    str_node_id = PyUnicode_InternFromString("node_id");
+    str_network_attr = PyUnicode_InternFromString("network");
+    str_seq_attr = PyUnicode_InternFromString("seq");
+    str_writer_attr = PyUnicode_InternFromString("writer");
+    str_cancel = PyUnicode_InternFromString("cancel");
+    str_replies = PyUnicode_InternFromString("replies");
+    str_quorum = PyUnicode_InternFromString("quorum");
+    str_span = PyUnicode_InternFromString("span");
+    str_is_read = PyUnicode_InternFromString("is_read");
+    str_register_attr = PyUnicode_InternFromString("register");
+    str_record = PyUnicode_InternFromString("record");
+    str_future_attr = PyUnicode_InternFromString("future");
+    str_respond = PyUnicode_InternFromString("respond");
+    str_complete = PyUnicode_InternFromString("complete");
+    str_resolve = PyUnicode_InternFromString("resolve");
+    str_retry_handle = PyUnicode_InternFromString("retry_handle");
+    str_deadline_handle = PyUnicode_InternFromString("deadline_handle");
+    str_timestamp_attr = PyUnicode_InternFromString("timestamp");
+    str_value_attr = PyUnicode_InternFromString("value");
+    str_monotone = PyUnicode_InternFromString("monotone");
+    str_cache_attr = PyUnicode_InternFromString("_cache");
+    str_cache_hits = PyUnicode_InternFromString("cache_hits");
+    str_monitor_on = PyUnicode_InternFromString("_monitor_on");
+    str_latency_attr = PyUnicode_InternFromString("_latency");
+    str_pending_attr = PyUnicode_InternFromString("_pending");
+    str_server_index = PyUnicode_InternFromString("_server_index");
+    str_replicas_attr = PyUnicode_InternFromString("_replicas");
+    str_reads_served = PyUnicode_InternFromString("reads_served");
+    str_writes_applied = PyUnicode_InternFromString("writes_applied");
+    str_stale_updates = PyUnicode_InternFromString("stale_updates_ignored");
+    str_ops_completed = PyUnicode_InternFromString("ops_completed");
+    str_ops_under_failure =
+        PyUnicode_InternFromString("ops_completed_under_failure");
+    str_failures_attr = PyUnicode_InternFromString("failures");
+    str_scheduler_attr = PyUnicode_InternFromString("scheduler");
+    str_replica_method = PyUnicode_InternFromString("_replica");
+    str_bit_generator = PyUnicode_InternFromString("bit_generator");
+    str_capsule_attr = PyUnicode_InternFromString("capsule");
+    str_mean_attr = PyUnicode_InternFromString("_mean");
+    str_floor_attr = PyUnicode_InternFromString("_floor");
+    str_cdelay_attr = PyUnicode_InternFromString("_delay");
+    str_started_attr = PyUnicode_InternFromString("started");
+    str_observe = PyUnicode_InternFromString("observe");
+    str_read_kind = PyUnicode_InternFromString("read");
+    str_write_kind = PyUnicode_InternFromString("write");
+    str_broadcast_attr = PyUnicode_InternFromString("broadcast");
+    py_one = PyLong_FromLong(1);
     if (str_active == NULL || str_can_deliver == NULL
         || str_on_message == NULL || str_record_drop == NULL
         || str_record_delivery == NULL || str_record_send == NULL
@@ -1652,14 +3423,40 @@ PyInit__kernel(void)
         || str_loss_rate == NULL || str_taps_attr == NULL
         || str_adversary_attr == NULL || str_loss_rng_attr == NULL
         || str_deliver_attr == NULL || str_delay_model == NULL
-        || str_rng_attr == NULL)
+        || str_rng_attr == NULL || str_stats_attr == NULL
+        || str_send_attr == NULL || str_node_id == NULL
+        || str_network_attr == NULL || str_seq_attr == NULL
+        || str_writer_attr == NULL || str_cancel == NULL
+        || str_replies == NULL || str_quorum == NULL || str_span == NULL
+        || str_is_read == NULL || str_register_attr == NULL
+        || str_record == NULL || str_future_attr == NULL
+        || str_respond == NULL || str_complete == NULL
+        || str_resolve == NULL || str_retry_handle == NULL
+        || str_deadline_handle == NULL || str_timestamp_attr == NULL
+        || str_value_attr == NULL || str_monotone == NULL
+        || str_cache_attr == NULL || str_cache_hits == NULL
+        || str_monitor_on == NULL || str_latency_attr == NULL
+        || str_pending_attr == NULL || str_server_index == NULL
+        || str_replicas_attr == NULL || str_reads_served == NULL
+        || str_writes_applied == NULL || str_stale_updates == NULL
+        || str_ops_completed == NULL || str_ops_under_failure == NULL
+        || str_failures_attr == NULL || str_scheduler_attr == NULL
+        || str_replica_method == NULL || str_bit_generator == NULL
+        || str_capsule_attr == NULL || str_mean_attr == NULL
+        || str_floor_attr == NULL || str_cdelay_attr == NULL
+        || str_started_attr == NULL || str_observe == NULL
+        || str_read_kind == NULL || str_write_kind == NULL
+        || str_broadcast_attr == NULL || py_one == NULL)
         return NULL;
 
     if (PyType_Ready(&StatsCore_Type) < 0
         || PyType_Ready(&DeliveryCore_Type) < 0
         || PyType_Ready(&KernelHandle_Type) < 0
         || PyType_Ready(&SchedulerCore_Type) < 0
-        || PyType_Ready(&SendCore_Type) < 0)
+        || PyType_Ready(&SendCore_Type) < 0
+        || PyType_Ready(&BroadcastCore_Type) < 0
+        || PyType_Ready(&ServerCore_Type) < 0
+        || PyType_Ready(&ClientCore_Type) < 0)
         return NULL;
 
     PyObject *module = PyModule_Create(&kernelmodule);
@@ -1686,8 +3483,27 @@ PyInit__kernel(void)
     if (PyModule_AddObject(module, "SendCore",
                            (PyObject *)&SendCore_Type) < 0)
         goto fail;
-    if (PyModule_AddIntConstant(module, "KERNEL_ABI", 1) < 0)
+    Py_INCREF(&BroadcastCore_Type);
+    if (PyModule_AddObject(module, "BroadcastCore",
+                           (PyObject *)&BroadcastCore_Type) < 0)
         goto fail;
+    Py_INCREF(&ServerCore_Type);
+    if (PyModule_AddObject(module, "ServerCore",
+                           (PyObject *)&ServerCore_Type) < 0)
+        goto fail;
+    Py_INCREF(&ClientCore_Type);
+    if (PyModule_AddObject(module, "ClientCore",
+                           (PyObject *)&ClientCore_Type) < 0)
+        goto fail;
+    if (PyModule_AddIntConstant(module, "KERNEL_ABI", 2) < 0)
+        goto fail;
+#ifdef REPRO_HAVE_NPYRANDOM
+    if (PyModule_AddIntConstant(module, "HAVE_FAST_RNG", 1) < 0)
+        goto fail;
+#else
+    if (PyModule_AddIntConstant(module, "HAVE_FAST_RNG", 0) < 0)
+        goto fail;
+#endif
     return module;
 fail:
     Py_DECREF(module);

@@ -40,6 +40,41 @@ def compiler() -> str:
     return cc.split()[0]
 
 
+def npyrandom_flags() -> list:
+    """Extra flags linking numpy's exported C random library, if present.
+
+    numpy ships ``libnpyrandom.a`` (the Generator distributions —
+    bounded Lemire draws, the ziggurat exponential) as a public static
+    library precisely so extensions can draw from a Generator's bit
+    stream in C.  When it and the headers are importable, the kernel is
+    compiled with ``-DREPRO_HAVE_NPYRANDOM`` and gains the native RNG
+    fast paths (``HAVE_FAST_RNG == 1``); otherwise the extension builds
+    without them and samples delays through Python as before.
+    """
+    try:
+        import numpy
+        import numpy.random
+    except ImportError:
+        return []
+    archive = (
+        pathlib.Path(numpy.random.__path__[0]) / "lib" / "libnpyrandom.a"
+    )
+    if not archive.is_file():
+        return []
+    header = (
+        pathlib.Path(numpy.get_include())
+        / "numpy" / "random" / "distributions.h"
+    )
+    if not header.is_file():
+        return []
+    return [
+        "-DREPRO_HAVE_NPYRANDOM",
+        f"-I{numpy.get_include()}",
+        str(archive),
+        "-lm",
+    ]
+
+
 def build(verbose: bool = True) -> pathlib.Path:
     """Compile the extension in place; returns the built path.
 
@@ -56,9 +91,11 @@ def build(verbose: bool = True) -> pathlib.Path:
         "-fno-strict-aliasing",
         f"-I{include}",
         str(SOURCE),
-        "-o",
-        str(target),
     ]
+    # The archive must follow the source file so the linker resolves
+    # the distribution symbols the object file references.
+    command += npyrandom_flags()
+    command += ["-o", str(target)]
     if verbose:
         print(" ".join(command))
     subprocess.run(command, check=True)

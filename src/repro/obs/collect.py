@@ -115,11 +115,19 @@ def collect_deployment(metrics: Any, deployment: Any) -> None:
         "WriteUpdate messages ignored as stale (reordering), per server.",
         labelnames=("server",),
     )
+    unknown_messages = metrics.counter(
+        "repro_server_unknown_messages_total",
+        "Messages of unknown kind silently dropped, per server.",
+        labelnames=("server",),
+    )
     for index, server in enumerate(deployment.servers):
         counters = server.metric_counters()
         reads_served.labels(index).inc(counters["reads_served"])
         writes_applied.labels(index).inc(counters["writes_applied"])
         stale_updates.labels(index).inc(counters["stale_updates_ignored"])
+        unknown_messages.labels(index).inc(
+            counters.get("unknown_messages_ignored", 0)
+        )
 
     ops = metrics.counter(
         "repro_ops_invoked_total",

@@ -18,6 +18,14 @@ from repro.quorum.base import QuorumSystem, QuorumSystemError
 class ProbabilisticQuorumSystem(QuorumSystem):
     """Uniform random k-subsets of n servers."""
 
+    # Native k-of-n sampler (repro._native quorum_sample), installed by
+    # the deployment when the native kernel has fast-RNG support.  It
+    # draws from the Generator's own bit stream with numpy's exact
+    # choice(replace=False) algorithm, so switching it in or out never
+    # changes a single draw — it is a class attribute (one flag for all
+    # systems) because its output is backend-independent by contract.
+    _native_sampler = None
+
     def __init__(self, n: int, k: int) -> None:
         super().__init__(n)
         if not 1 <= k <= n:
@@ -25,6 +33,12 @@ class ProbabilisticQuorumSystem(QuorumSystem):
         self.k = k
 
     def quorum(self, rng: np.random.Generator) -> FrozenSet[int]:
+        sampler = self._native_sampler
+        if sampler is not None and self.k <= 4096:
+            # Duplicate rejection in the C sampler is a linear scan —
+            # ideal at the paper's k = Θ(√n), quadratic at huge k, hence
+            # the cap (far above any configuration the experiments use).
+            return sampler(rng, self.n, self.k)
         members = rng.choice(self.n, size=self.k, replace=False)
         # tolist() yields plain Python ints in one C call (a per-member
         # int() loop costs more than the draw itself at small k).

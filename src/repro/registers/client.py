@@ -113,6 +113,9 @@ class _PendingOp:
         "attempts",
         "started",
         "span",
+        "members",
+        "member_ids",
+        "message",
     )
 
     def __init__(
@@ -140,6 +143,14 @@ class _PendingOp:
         self.attempts = 0
         self.started = 0.0
         self.span = None
+        # Per-attempt caches, built lazily by _send_round: the sorted
+        # member indices of the current quorum, their server node ids
+        # (same order), and the round's immutable query/update message.
+        # The member caches are invalidated on resample (_retry); the
+        # message never is — its fields are constant for the op's life.
+        self.members: Optional[List[int]] = None
+        self.member_ids: Optional[List[int]] = None
+        self.message: Any = None
 
     def complete_against_quorum(self) -> bool:
         """True once every member of the current quorum has replied."""
@@ -278,7 +289,20 @@ class QuorumRegisterClient(Node):
         resampled quorum would double-count traffic the servers already
         answered.
         """
-        servers = [self.server_ids[member] for member in op.unanswered()]
+        if op.members is None:
+            # Sorted once per attempt: the quorum is fixed until the next
+            # resample, so re-running sorted() + the index->id list-comp
+            # on every round (the pre-existing behaviour) was pure waste.
+            op.members = sorted(op.quorum)
+            op.member_ids = [self.server_ids[m] for m in op.members]
+        if op.replies:
+            servers = [
+                node_id
+                for member, node_id in zip(op.members, op.member_ids)
+                if member not in op.replies
+            ]
+        else:
+            servers = op.member_ids
         if not servers:
             return
         if op.span is not None:
@@ -286,10 +310,17 @@ class QuorumRegisterClient(Node):
                 self.network.scheduler.now, "quorum_round",
                 members=len(servers), attempt=op.attempts,
             )
-        if op.is_read:
-            message = ReadQuery(op.register, op.op_id)
-        else:
-            message = WriteUpdate(op.register, op.op_id, op.value, op.timestamp)
+        message = op.message
+        if message is None:
+            if op.is_read:
+                message = ReadQuery(op.register, op.op_id)
+            else:
+                message = WriteUpdate(
+                    op.register, op.op_id, op.value, op.timestamp
+                )
+            # Built once per op: the fields never change across rounds,
+            # and immutability lets retries re-send the same instance.
+            op.message = message
         # One immutable message shared across the round, one batched
         # delay draw for the whole quorum (Network.broadcast) — instead
         # of a message allocation and a scalar Generator call per member.
@@ -339,6 +370,10 @@ class QuorumRegisterClient(Node):
             op.quorum = self.quorum_system.read_quorum(self.rng)
         else:
             op.quorum = self.quorum_system.write_quorum(self.rng)
+        # The member caches follow the quorum; the message does not (its
+        # fields are op-constant).
+        op.members = None
+        op.member_ids = None
         if op.complete_against_quorum():
             # The fresh quorum is already fully covered by earlier replies.
             self._finish(op)

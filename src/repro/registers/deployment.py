@@ -18,6 +18,7 @@ from typing import Any, List, Optional
 
 from repro.obs.core import DISABLED, Observability
 from repro.quorum.base import QuorumSystem
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
 from repro.registers.client import (
     QuorumRegisterClient,
     RegisterHandle,
@@ -122,6 +123,32 @@ class RegisterDeployment:
         if adversary is not None:
             adversary.attach(self)
             self.network.set_adversary(adversary)
+
+        # Native protocol fast path: C transcriptions of the server
+        # handler and the client reply-aggregation path, installed as
+        # ``on_message`` instance attributes (the same pattern as the
+        # network's SendCore/DeliveryCore) so trace taps keep working.
+        # The factories return None on the pure-python backend and for
+        # subclassed nodes; the cores themselves re-check the mutable
+        # hooks per delivery and fall back to the Python methods.
+        for server in self.servers:
+            core = kernel.make_server_core(server)
+            if core is not None:
+                server.on_message = core
+        for client in self.clients:
+            core = kernel.make_client_core(client)
+            if core is not None:
+                client.on_message = core
+        # Native quorum sampling: bit-identical to rng.choice by
+        # contract (verified property tests), so installing it is pure
+        # speed.  Class-level on ProbabilisticQuorumSystem — the draw is
+        # backend-independent, so a system reused under the python
+        # backend keeps producing the same stream.
+        sampler = kernel.native_quorum_sampler()
+        if sampler is not None and isinstance(
+            quorum_system, ProbabilisticQuorumSystem
+        ):
+            ProbabilisticQuorumSystem._native_sampler = staticmethod(sampler)
 
     @property
     def num_servers(self) -> int:

@@ -24,6 +24,7 @@ class ReplicaServer(Node):
         self.reads_served = 0
         self.writes_applied = 0
         self.stale_updates_ignored = 0
+        self.unknown_messages_ignored = 0
 
     def _replica(self, register: str) -> Tuple[Timestamp, Any]:
         # Hot path: one dict probe per message.  The space.info lookup
@@ -57,6 +58,7 @@ class ReplicaServer(Node):
             "reads_served": self.reads_served,
             "writes_applied": self.writes_applied,
             "stale_updates_ignored": self.stale_updates_ignored,
+            "unknown_messages_ignored": self.unknown_messages_ignored,
         }
 
     def on_message(self, src: int, message: Any) -> None:
@@ -81,7 +83,11 @@ class ReplicaServer(Node):
             self.network.send(
                 self.node_id, src, WriteAck(message.register, message.op_id)
             )
-        # Unknown message kinds are ignored, matching Node's default.
+        else:
+            # Unknown message kinds are ignored, matching Node's default —
+            # but counted, so a misrouted or malformed stream leaves a
+            # trace instead of vanishing.
+            self.unknown_messages_ignored += 1
 
     def __repr__(self) -> str:
         return (

@@ -176,6 +176,97 @@ def make_send_core(network):
     return module.SendCore(network)
 
 
+def make_broadcast_core(network):
+    """Build the native broadcast fast path, or None.
+
+    A C callable covering the healthy fast branch of
+    ``Network.broadcast`` (no taps, no active faults, no loss, no
+    adversary, a built-in delay model): membership checks, one batched
+    stats bump, then a native delay draw and inlined heap push per
+    destination.  Any other configuration falls back, per call, to the
+    original Python method.  Installed as the network's ``broadcast``
+    instance attribute, like ``send``/``_deliver``.
+    """
+    if selected_backend() != "native":
+        return None
+    from repro._native import load_kernel
+
+    module = load_kernel()
+    if not isinstance(network.scheduler, module.SchedulerCore):
+        return None
+    return module.BroadcastCore(network)
+
+
+def native_quorum_sampler():
+    """The native ``choice(n, size=k, replace=False)`` sampler, or None.
+
+    Only available when the extension was linked against numpy's C
+    random library (``HAVE_FAST_RNG``).  The sampler draws from the
+    Generator's own bit stream with numpy's exact algorithm, so its
+    output — and the Generator state it leaves behind — is
+    bit-identical to ``rng.choice``; backends can therefore be mixed
+    freely without perturbing any trace.
+    """
+    if selected_backend() != "native":
+        return None
+    from repro._native import load_kernel
+
+    module = load_kernel()
+    if not getattr(module, "HAVE_FAST_RNG", 0):
+        return None
+    return module.quorum_sample
+
+
+def make_server_core(server):
+    """Build the native server-protocol fast path, or None.
+
+    A C transcription of ``ReplicaServer.on_message`` (replica probe,
+    timestamp compare, install-or-ignore, reply send), installed as the
+    server's ``on_message`` instance attribute.  Gated on the *exact*
+    ``ReplicaServer`` type — subclasses (Byzantine replicas, chaos
+    mutants) override the handler and must keep their Python semantics —
+    and on a native scheduler, so replies push straight into the C heap.
+    The core re-checks the mutable hooks (adversary, detailed stats) per
+    delivery and falls back to the Python handler when any is active.
+    """
+    if selected_backend() != "native":
+        return None
+    from repro._native import load_kernel
+    from repro.registers.server import ReplicaServer
+
+    module = load_kernel()
+    if type(server) is not ReplicaServer:
+        return None
+    if not isinstance(server.network.scheduler, module.SchedulerCore):
+        return None
+    return module.ServerCore(server)
+
+
+def make_client_core(client):
+    """Build the native client reply-aggregation fast path, or None.
+
+    A C transcription of ``QuorumRegisterClient.on_message`` plus the
+    ``_finish``/``_teardown`` completion path, installed as the client's
+    ``on_message`` instance attribute.  Exact-type gated like
+    :func:`make_server_core`; per-delivery fallback conditions are the
+    adversary, detailed stats, an op-level span and the online spec
+    monitor.  The live latency histogram is observed natively.  Quorum
+    sampling and retry jitter stay in Python, so the RNG draw order is
+    untouched.
+    """
+    if selected_backend() != "native":
+        return None
+    from repro._native import load_kernel
+    from repro.registers.client import QuorumRegisterClient
+
+    module = load_kernel()
+    if type(client) is not QuorumRegisterClient:
+        return None
+    if not isinstance(client.network.scheduler, module.SchedulerCore):
+        return None
+    return module.ClientCore(client)
+
+
 def _resolve(backend: str) -> str:
     resolved = _normalize(backend)
     if resolved == "native" and not native_available():

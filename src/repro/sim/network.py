@@ -138,6 +138,12 @@ class Network:
         send_core = kernel.make_send_core(self)
         if send_core is not None:
             self.send = send_core
+        # And for the quorum fan-out: the C broadcast covers the healthy
+        # fast branch and calls the Python method below for every other
+        # configuration (taps, faults, loss, adversary, exotic delays).
+        broadcast_core = kernel.make_broadcast_core(self)
+        if broadcast_core is not None:
+            self.broadcast = broadcast_core
 
     def set_adversary(self, adversary: Optional[Any]) -> None:
         """Install (or with None remove) a message-level adversary.

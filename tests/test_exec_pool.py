@@ -79,11 +79,16 @@ def test_shutdown_pool_is_idempotent_and_explicit():
 
 def test_warm_workers_resync_backend_without_recycle():
     """A --kernel change after pool creation must reach warm workers."""
-    before = run_many(probe_tasks(4), jobs=2)
-    generation = exec_pool.pool_info()["generation"]
-    assert {r["backend"] for r in before} == {"python"}
-
+    # Pin the starting backend explicitly: the suite may itself run
+    # under REPRO_KERNEL=native (the CI native-kernel job does), and the
+    # probes report the *requested* backend, so the test must not assume
+    # the environment's default.
     try:
+        kernel.select_backend("python")
+        before = run_many(probe_tasks(4), jobs=2)
+        generation = exec_pool.pool_info()["generation"]
+        assert {r["backend"] for r in before} == {"python"}
+
         kernel.select_backend("native")
         after = run_many(probe_tasks(4), jobs=2)
     finally:

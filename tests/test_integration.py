@@ -66,7 +66,8 @@ def test_server_load_roughly_uniform():
     """Random quorum choice spreads load evenly over replicas."""
     aco = ApspACO(chain_graph(8))
     runner = Alg1Runner(
-        aco, ProbabilisticQuorumSystem(16, 4), monotone=True, seed=6
+        aco, ProbabilisticQuorumSystem(16, 4), monotone=True, seed=6,
+        detailed_stats=True,
     )
     runner.run(check_spec=False)
     stats = runner.deployment.network.stats

@@ -1,0 +1,333 @@
+"""Native register-protocol fast path: bit-identity and gating.
+
+The native kernel now draws RNG values in C — per-message exponential
+delays, the k-of-n quorum sample — and runs the quorum fan-out
+(``Network.broadcast``) and the live latency histogram natively.  All of
+it is contractually bit-identical to the pure-python reference, so these
+tests pin the contract three ways:
+
+* **draw-level properties** — the C ``quorum_sample`` and the C
+  exponential delay consume the Generator stream exactly as numpy does,
+  value-identical and state-identical (hypothesis over seeds/shapes),
+* **hardened end-to-end equivalence** — a deployment exercising every
+  per-message fallback guard at once (retries + loss + adversary + span
+  tracing) produces identical fingerprints on both backends,
+* **gating** — the fast paths install only on the native backend, fall
+  back per call when a hook flips on mid-run, and the pure-python
+  backend never sees them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.strategies import RandomHostileAdversary
+from repro.obs.core import Observability
+from repro.obs.spans import SpanRecorder
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.registers.deployment import RegisterDeployment
+from repro.sim import kernel
+from repro.sim.delays import ConstantDelay, ExponentialDelay
+
+needs_native = pytest.mark.skipif(
+    not kernel.native_available(),
+    reason=f"native kernel not built: {kernel.native_import_error()}",
+)
+
+
+def _fast_rng_available():
+    if not kernel.native_available():
+        return False
+    from repro._native import load_kernel
+
+    return bool(getattr(load_kernel(), "HAVE_FAST_RNG", 0))
+
+
+needs_fast_rng = pytest.mark.skipif(
+    not _fast_rng_available(),
+    reason="native kernel built without numpy's C random library",
+)
+
+
+# --------------------------------------------------------------------- #
+# Draw-level bit-identity: quorum_sample vs Generator.choice
+# --------------------------------------------------------------------- #
+
+
+@needs_fast_rng
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n=st.integers(min_value=1, max_value=1200),
+    data=st.data(),
+)
+def test_quorum_sample_matches_choice_bit_for_bit(seed, n, data):
+    """C quorum_sample == rng.choice(n, size=k, replace=False), and the
+    two Generators end in the same state (same stream consumption)."""
+    from repro._native import load_kernel
+
+    k = data.draw(st.integers(min_value=1, max_value=n))
+    rng_py = np.random.default_rng(seed)
+    rng_c = np.random.default_rng(seed)
+    expected = frozenset(rng_py.choice(n, size=k, replace=False).tolist())
+    got = load_kernel().quorum_sample(rng_c, n, k)
+    assert got == expected
+    assert rng_c.bit_generator.state == rng_py.bit_generator.state
+
+
+@needs_fast_rng
+def test_quorum_sample_validates_arguments():
+    from repro._native import load_kernel
+
+    sample = load_kernel().quorum_sample
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        sample(rng, 5, 6)  # k > n
+    with pytest.raises(ValueError):
+        sample(rng, 5, 0)  # k < 1
+    with pytest.raises(ValueError):
+        sample(rng, 0, 1)  # empty universe
+
+
+@needs_fast_rng
+def test_quorum_system_uses_native_sampler_transparently():
+    """With the sampler installed, quorum() output and stream consumption
+    are unchanged — installation is pure speed, never semantics."""
+    system = ProbabilisticQuorumSystem(34, 6)
+    saved = ProbabilisticQuorumSystem._native_sampler
+    try:
+        ProbabilisticQuorumSystem._native_sampler = None
+        rng_py = np.random.default_rng(7)
+        plain = [system.quorum(rng_py) for _ in range(50)]
+        with kernel.use_backend("native"):
+            sampler = kernel.native_quorum_sampler()
+        assert sampler is not None
+        ProbabilisticQuorumSystem._native_sampler = staticmethod(sampler)
+        rng_c = np.random.default_rng(7)
+        native = [system.quorum(rng_c) for _ in range(50)]
+        assert native == plain
+        assert rng_c.bit_generator.state == rng_py.bit_generator.state
+    finally:
+        ProbabilisticQuorumSystem._native_sampler = saved
+
+
+# --------------------------------------------------------------------- #
+# Hardened end-to-end equivalence: every fallback guard at once
+# --------------------------------------------------------------------- #
+
+
+def _hardened_fingerprint(backend, seed):
+    """Run a deployment that trips every per-message fallback guard —
+    loss (broadcast serialization), an adversary, span tracing, retries
+    with jitter — and return everything countable about the run."""
+    with kernel.use_backend(backend):
+        obs = Observability(spans=SpanRecorder())
+        adversary = RandomHostileAdversary(drop_budget=10, drop_rate=0.2)
+        deployment = RegisterDeployment(
+            ProbabilisticQuorumSystem(12, 4),
+            num_clients=2,
+            delay_model=ExponentialDelay(1.0),
+            seed=seed,
+            retry_interval=4.0,
+            loss_rate=0.05,
+            observability=obs,
+            adversary=adversary,
+        )
+        deployment.declare_register("x", writer=0)
+        deployment.declare_register("y", writer=1)
+        a = deployment.handle(0, "x")
+        b = deployment.handle(1, "y")
+        for i in range(25):
+            a.write(i)
+            b.write(-i)
+            if i % 3 == 0:
+                a.read()
+                b.read()
+        deployment.run()
+        stats = deployment.network.stats
+        return (
+            round(deployment.scheduler.now, 12),
+            deployment.scheduler.events_processed,
+            stats.sent,
+            stats.delivered,
+            stats.dropped,
+            deployment.total_retries,
+            deployment.total_timeouts,
+            [c.ops_completed for c in deployment.clients],
+            [s.reads_served for s in deployment.servers],
+            [s.writes_applied for s in deployment.servers],
+            [s.stale_updates_ignored for s in deployment.servers],
+            adversary.summary(),
+            obs.spans.finished,
+        )
+
+
+@needs_native
+@pytest.mark.parametrize("seed", [3, 17])
+def test_hardened_run_is_identical_across_backends(seed):
+    assert _hardened_fingerprint("python", seed) == _hardened_fingerprint(
+        "native", seed
+    )
+
+
+# --------------------------------------------------------------------- #
+# Property: randomized seeds, event-for-event backend equivalence
+# --------------------------------------------------------------------- #
+
+
+def _delivery_trace(backend, seed, n, k, mean):
+    """Full delivery trace of a seeded two-client workload."""
+    with kernel.use_backend(backend):
+        deployment = RegisterDeployment(
+            ProbabilisticQuorumSystem(n, k),
+            num_clients=2,
+            delay_model=ExponentialDelay(mean),
+            seed=seed,
+            record_history=False,
+        )
+        deployment.declare_register("x", writer=0)
+        deployment.declare_register("y", writer=1)
+        trace = []
+        network = deployment.network
+        original_deliver = network._deliver
+
+        def recording_deliver(src, dst, message, kind):
+            trace.append(
+                (round(deployment.scheduler.now, 9), kind, src, dst)
+            )
+            original_deliver(src, dst, message, kind)
+
+        network._deliver = recording_deliver
+        a = deployment.handle(0, "x")
+        b = deployment.handle(1, "y")
+        for i in range(8):
+            a.write(i)
+            b.read()
+        deployment.run()
+        return trace
+
+
+@needs_native
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=2, max_value=40),
+    data=st.data(),
+)
+def test_backends_deliver_identical_traces_for_random_seeds(seed, n, data):
+    """For arbitrary seeds and quorum shapes, the native backend delivers
+    the exact event sequence of the python backend — every C draw (delay
+    sampling, quorum choice) consumes the streams identically."""
+    k = data.draw(st.integers(min_value=1, max_value=n))
+    mean = data.draw(st.sampled_from([0.5, 1.0, 2.0]))
+    trace_py = _delivery_trace("python", seed, n, k, mean)
+    trace_native = _delivery_trace("native", seed, n, k, mean)
+    assert trace_py == trace_native
+    assert trace_py  # the workload actually produced traffic
+
+
+# --------------------------------------------------------------------- #
+# Native latency histogram
+# --------------------------------------------------------------------- #
+
+
+def _latency_snapshot(backend):
+    with kernel.use_backend(backend):
+        obs = Observability()
+        deployment = RegisterDeployment(
+            ProbabilisticQuorumSystem(10, 3),
+            num_clients=2,
+            delay_model=ExponentialDelay(1.0),
+            seed=5,
+            detailed_stats=False,
+            observability=obs,
+        )
+        deployment.declare_register("x", writer=0)
+        handle = deployment.handle(0, "x")
+        reader = deployment.handle(1, "x")
+        for i in range(20):
+            handle.write(i)
+            reader.read()
+        deployment.run()
+        read = obs.metrics.sample("repro_op_latency", ["read"])
+        write = obs.metrics.sample("repro_op_latency", ["write"])
+        return (
+            read.count,
+            write.count,
+            read.quantile(0.5),
+            read.quantile(0.95),
+            write.quantile(0.5),
+        )
+
+
+@needs_native
+def test_native_latency_histogram_matches_python():
+    """The C completion path feeds the live latency histogram itself —
+    identical counts and quantiles, no per-message fallback needed."""
+    assert _latency_snapshot("python") == _latency_snapshot("native")
+    counts = _latency_snapshot("native")
+    assert counts[0] == 20 and counts[1] == 20
+
+
+# --------------------------------------------------------------------- #
+# Gating: the fast paths install only where they belong
+# --------------------------------------------------------------------- #
+
+
+def _build_network(backend):
+    with kernel.use_backend(backend):
+        deployment = RegisterDeployment(
+            ProbabilisticQuorumSystem(6, 2),
+            num_clients=1,
+            delay_model=ConstantDelay(1.0),
+            seed=1,
+        )
+    return deployment
+
+
+def test_python_backend_gets_no_cores():
+    deployment = _build_network("python")
+    network = deployment.network
+    assert "broadcast" not in vars(network)
+    assert "send" not in vars(network)
+    with kernel.use_backend("python"):
+        assert kernel.make_broadcast_core(network) is None
+        assert kernel.native_quorum_sampler() is None
+
+
+@needs_native
+def test_native_backend_installs_broadcast_core():
+    deployment = _build_network("native")
+    network = deployment.network
+    from repro._native import load_kernel
+
+    module = load_kernel()
+    assert isinstance(vars(network)["broadcast"], module.BroadcastCore)
+    assert isinstance(vars(network)["send"], module.SendCore)
+
+
+@needs_native
+def test_broadcast_core_falls_back_when_hooks_flip_on():
+    """Mid-run mutations (a tap, loss, an adversary) are honoured per
+    call: the C broadcast defers to the Python method, which sees them."""
+    deployment = _build_network("native")
+    network = deployment.network
+    seen = []
+    network.add_tap(lambda src, dst, message: seen.append((src, dst)))
+    dsts = deployment.server_ids[:4]
+    network.broadcast(deployment.clients[0].node_id, dsts, "probe")
+    assert len(seen) == len(dsts)  # the tap ran: Python path took over
+    sent_before = network.stats.sent
+    network.broadcast(deployment.clients[0].node_id, [], "probe")
+    assert network.stats.sent == sent_before  # empty fan-out is a no-op
+
+
+@needs_native
+def test_broadcast_core_rejects_unknown_destination():
+    deployment = _build_network("native")
+    network = deployment.network
+    with pytest.raises(KeyError, match="unknown destination node"):
+        network.broadcast(
+            deployment.clients[0].node_id, [10**9], "probe"
+        )
