@@ -1,0 +1,235 @@
+"""BENCH-SERVICE: sustained service throughput at a fixed p99 SLO.
+
+Service mode is open-loop: arrivals keep coming whether or not the
+deployment keeps up, and admission control sheds everything beyond
+``max_in_flight`` outstanding operations.  By Little's law the in-flight
+bound caps sustainable throughput at roughly ``max_in_flight / mean
+latency``; past that point the shed fraction climbs and the SLO is no
+longer being met *for the offered load*.  This benchmark climbs a rate
+ladder and records the highest arrival rate at which the service still
+
+* keeps streaming p99 latency at or under ``P99_TARGET`` simulated time
+  units,
+* sheds at most ``SHED_LIMIT`` of offered requests,
+* rejects nothing by deadline and hangs nothing.
+
+Honesty notes, same contract as ``BENCH_parallel.json``:
+
+- Simulated results (rates, quantiles, shed fractions) are seeded and
+  machine-independent; wall-clock throughput (``ops_per_wall_second``)
+  is the only machine-dependent number and is labelled as such.
+- The record carries ``cpu_count`` and a ``degenerate`` flag (single-CPU
+  box), and a degenerate run refuses to overwrite a non-degenerate
+  checked-in record.
+- Determinism is asserted, not assumed: the sustained rung is re-run and
+  must produce a byte-identical metrics snapshot.
+
+Results go to ``benchmarks/output/BENCH_service.json``.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.service import ServiceConfig, run_service
+
+OUTPUT_DIR = pathlib.Path(__file__).resolve().parent / "output"
+
+#: The SLO: streaming p99 over all operations, in simulated time units.
+#: A healthy quorum round under ExponentialDelay(1.0) lands around 3-4
+#: units and the first retry fires at 4, so 14 tolerates one retry in
+#: the tail but fails a rung where retries become the norm.
+P99_TARGET = 14.0
+
+#: Maximum tolerated shed fraction at a sustained rung.
+SHED_LIMIT = 0.01
+
+RATE_LADDER = (2.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0)
+QUICK_LADDER = (2.0, 8.0, 16.0)
+
+
+def _config(rate: float, duration: float, seed: int) -> ServiceConfig:
+    return ServiceConfig(
+        seed=seed,
+        duration=duration,
+        arrivals={"kind": "poisson", "rate": rate},
+    )
+
+
+def ladder_run(rate: float, duration: float, seed: int) -> Dict[str, Any]:
+    """One rung: the service at one offered rate, as plain data."""
+    result = run_service(_config(rate, duration, seed))
+    return {
+        "rate": rate,
+        "offered": result.offered,
+        "completed": result.completed,
+        "completed_per_time": round(result.completed_rate, 4),
+        "shed_fraction": round(result.shed_fraction, 4),
+        "p50": round(result.quantile("all", 0.5), 4),
+        "p99": round(result.quantile("all", 0.99), 4),
+        "p999": round(result.quantile("all", 0.999), 4),
+        "overflow": sum(result.overflow.values()),
+        "timeouts": result.timeouts,
+        "hung_ops": result.hung_ops,
+        "peak_in_flight": result.counters["peak_in_flight"],
+        "events": result.events,
+        # The ONLY machine-dependent numbers in this record:
+        "wall_seconds": round(result.wall_seconds, 4),
+        "ops_per_wall_second": round(
+            result.completed / result.wall_seconds, 1
+        ) if result.wall_seconds > 0 else None,
+    }
+
+
+def _meets_slo(rung: Dict[str, Any]) -> bool:
+    return (
+        rung["p99"] <= P99_TARGET
+        and rung["shed_fraction"] <= SHED_LIMIT
+        and rung["timeouts"] == 0
+        and rung["hung_ops"] == 0
+    )
+
+
+def run_suite(quick: bool = False, seed: int = 0) -> Dict[str, Any]:
+    """Climb the rate ladder; find the highest rung meeting the SLO."""
+    ladder = QUICK_LADDER if quick else RATE_LADDER
+    duration = 120.0 if quick else 300.0
+    rungs: List[Dict[str, Any]] = []
+    for rate in ladder:
+        rung = ladder_run(rate, duration, seed)
+        rung["meets_slo"] = _meets_slo(rung)
+        rungs.append(rung)
+    sustained = None
+    for rung in rungs:
+        if rung["meets_slo"]:
+            sustained = rung
+    # Determinism is part of the recorded claim: re-run the sustained
+    # rung (or the first rung if none passed) and compare snapshots.
+    probe_rate = sustained["rate"] if sustained else ladder[0]
+    first = run_service(_config(probe_rate, duration, seed))
+    second = run_service(_config(probe_rate, duration, seed))
+    return {
+        "rungs": rungs,
+        "sustained": sustained,
+        "duration": duration,
+        "seed": seed,
+        "deterministic": first.snapshot_bytes == second.snapshot_bytes,
+    }
+
+
+def _is_degenerate_record(record):
+    return bool(record.get("degenerate", record.get("cpu_count", 1) < 2))
+
+
+def write_record(
+    results: Dict[str, Any], quick: bool,
+    path: Optional[pathlib.Path] = None,
+) -> Dict[str, Any]:
+    """Assemble and persist the BENCH_service.json record."""
+    cpus = os.cpu_count() or 1
+    degenerate = cpus < 2
+    sustained = results["sustained"]
+    record: Dict[str, Any] = {
+        "benchmark": "sustained service throughput at fixed p99 SLO",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "cpu_count": cpus,
+        # Single-process benchmark, so a 1-CPU box changes nothing about
+        # the simulated results — the flag marks that the wall-clock
+        # numbers come from a box with no headroom.
+        "degenerate": degenerate,
+        "p99_target": P99_TARGET,
+        "shed_limit": SHED_LIMIT,
+        "duration": results["duration"],
+        "seed": results["seed"],
+        "deterministic": results["deterministic"],
+        "rungs": results["rungs"],
+        "sustained_rate": sustained["rate"] if sustained else None,
+        "sustained_completed_per_time": (
+            sustained["completed_per_time"] if sustained else None
+        ),
+        "sustained_p99": sustained["p99"] if sustained else None,
+    }
+    if path is None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        path = OUTPUT_DIR / "BENCH_service.json"
+    existing = None
+    if path.exists():
+        try:
+            with open(path, encoding="utf-8") as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = None
+    if degenerate and existing is not None and not _is_degenerate_record(
+        existing
+    ):
+        print(
+            "refusing to overwrite the non-degenerate BENCH_service.json "
+            f"record (cpu_count {existing.get('cpu_count')}) with a "
+            f"degenerate run from a {cpus}-CPU box",
+            file=sys.stderr,
+        )
+        return record
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return record
+
+
+def check_service_claims(results: Dict[str, Any]) -> None:
+    """The recorded claims, assertable by tests and CI."""
+    assert results["deterministic"], (
+        "same-seed service runs must produce byte-identical snapshots"
+    )
+    rungs = results["rungs"]
+    assert rungs, "rate ladder produced no rungs"
+    # The lightest rung must meet the SLO — if it doesn't, the target is
+    # miscalibrated and 'sustained throughput' would be vacuous.
+    assert rungs[0]["meets_slo"], (
+        f"lightest rung (rate {rungs[0]['rate']}) misses the SLO: "
+        f"p99 {rungs[0]['p99']}, shed {rungs[0]['shed_fraction']}"
+    )
+    assert results["sustained"] is not None
+    # Open-loop honesty: offered load at the heaviest rung must exceed
+    # what admission control lets through, i.e. the ladder actually
+    # reached saturation (otherwise 'sustained' is just 'largest tried').
+    heaviest = rungs[-1]
+    assert heaviest["shed_fraction"] > SHED_LIMIT or heaviest["meets_slo"], (
+        "heaviest rung neither sheds nor passes — inconsistent ladder"
+    )
+    for rung in rungs:
+        assert rung["hung_ops"] == 0, f"rung {rung['rate']} hung ops"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: shorter ladder and duration",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", metavar="PATH", default=None)
+    args = parser.parse_args(argv)
+
+    results = run_suite(args.quick, seed=args.seed)
+    path = pathlib.Path(args.json) if args.json else None
+    record = write_record(results, args.quick, path)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    check_service_claims(results)
+    return 0
+
+
+# pytest entry point (kept quick; the standalone path runs full scale).
+def test_service_benchmark_quick(output_dir):
+    results = run_suite(quick=True)
+    record = write_record(results, quick=True)
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+    check_service_claims(results)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

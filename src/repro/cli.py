@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli all [--full] [--output DIR] [--jobs N]
     python -m repro.cli chaos [--runs N] [--chaos-seed S] [--repro-out PATH]
     python -m repro.cli chaos --repro PATH        # replay a minimal repro
+    python -m repro.cli serve [--rate R] [--arrivals KIND] [--duration T]
 
 Each subcommand prints the reproduced table(s) and, with ``--output``,
 also writes text and CSV copies.
@@ -17,6 +18,14 @@ under fault injection, an adversary strategy and the online spec monitor;
 a spec violation fails the campaign (exit 1) and writes a shrunken,
 deterministic minimal-repro file replayable with ``--repro PATH`` (exit 0
 when the violation reproduces, 2 when it does not).
+
+``serve`` runs service mode: a sharded key-value front end over the
+register deployment, driven by an open-loop arrival process (Poisson,
+bursty or diurnal) with Zipf key popularity, admission control and
+p50/p99/p999 latency SLO tracking.  It prints the SLO summary and, with
+``--snapshot-out PATH``, writes the run's canonical metrics snapshot —
+byte-identical across same-seed runs, which the CI smoke asserts.  The
+``--loss-rate`` and ``--op-deadline`` fault knobs apply here too.
 
 Simulation runs fan out over ``--jobs`` worker processes (default: the
 CPU count, capped; also settable via the ``REPRO_JOBS`` environment
@@ -319,6 +328,72 @@ def _run_chaos(args, jobs: int, session) -> int:
     return 1
 
 
+def _run_serve(args, session) -> int:
+    """The ``serve`` subcommand: one service-mode run, SLO summary out.
+
+    Kept out of COMMANDS (and of ``all``) like ``chaos``: service mode is
+    a systems harness over the reproduction, not a paper artifact.
+    """
+    from repro.service import ServiceConfig, run_service
+
+    spec = {"kind": args.arrivals, "rate": args.rate}
+    if args.arrivals == "bursty":
+        if args.mean_burst is not None:
+            spec["mean_burst"] = args.mean_burst
+        if args.peakedness is not None:
+            spec["peakedness"] = args.peakedness
+    elif args.arrivals == "diurnal":
+        if args.period is not None:
+            spec["period"] = args.period
+        if args.amplitude is not None:
+            spec["amplitude"] = args.amplitude
+    config = ServiceConfig(
+        seed=args.seed,
+        num_servers=args.servers,
+        quorum_size=args.quorum_size,
+        num_clients=args.clients,
+        num_registers=args.registers,
+        num_keys=args.keys,
+        zipf_exponent=args.zipf,
+        read_fraction=args.read_fraction,
+        arrivals=spec,
+        duration=args.duration,
+        max_in_flight=args.max_in_flight,
+        write_mode=args.write_mode,
+        loss_rate=args.loss_rate if args.loss_rate is not None else 0.0,
+        operation_deadline=(
+            args.op_deadline if args.op_deadline is not None else 60.0
+        ),
+    )
+    print(
+        f"serve: seed {config.seed}; {config.num_servers} servers "
+        f"(quorum {config.quorum_size}), {config.num_clients} clients, "
+        f"{config.num_registers} registers, {config.num_keys} keys "
+        f"(zipf {config.zipf_exponent:g}); {args.arrivals} arrivals at "
+        f"rate {config.arrivals['rate']:g} for {config.duration:g} time "
+        f"units, write mode {config.write_mode}"
+    )
+    result = run_service(config)
+    print(result.slo_table())
+    print(
+        f"  simulated {result.sim_time:.1f} time units "
+        f"({result.events} events) in {result.wall_seconds:.2f}s wall"
+    )
+    if result.hung_ops:
+        print(
+            f"serve: warning: {result.hung_ops} operation(s) hung with no "
+            f"settlement path (two_phase mode under loss has no deadline)",
+            file=sys.stderr,
+        )
+    if args.snapshot_out is not None:
+        with open(args.snapshot_out, "wb") as fh:
+            fh.write(result.snapshot_bytes)
+        print(f"metrics snapshot written to {args.snapshot_out}")
+    if session is not None and session.metrics.enabled:
+        session.metrics.merge_snapshot(result.snapshot)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -326,9 +401,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["all", "chaos"],
+        choices=sorted(COMMANDS) + ["all", "chaos", "serve"],
         help="which artifact to regenerate ('chaos' runs the randomized "
-             "adversarial campaign instead)",
+             "adversarial campaign instead; 'serve' runs the open-loop "
+             "key-value service mode)",
     )
     parser.add_argument(
         "--full",
@@ -436,6 +512,85 @@ def build_parser() -> argparse.ArgumentParser:
              "regress after N correct ones (validates the violation "
              "pipeline end to end)",
     )
+    serve = parser.add_argument_group(
+        "serve only", "service-mode knobs (ignored by other subcommands)"
+    )
+    serve.add_argument(
+        "--seed", type=int, metavar="S", default=0,
+        help="root seed (same seed => byte-identical metrics snapshot)",
+    )
+    serve.add_argument(
+        "--duration", type=float, metavar="T", default=500.0,
+        help="arrival horizon in simulated time units (default 500)",
+    )
+    serve.add_argument(
+        "--rate", type=float, metavar="R", default=2.0,
+        help="mean arrival rate in ops per time unit (default 2)",
+    )
+    serve.add_argument(
+        "--arrivals", choices=["poisson", "bursty", "diurnal"],
+        default="poisson",
+        help="arrival process shape (default poisson)",
+    )
+    serve.add_argument(
+        "--mean-burst", type=float, metavar="B", default=None,
+        help="bursty arrivals: mean ops per burst (default 8)",
+    )
+    serve.add_argument(
+        "--peakedness", type=float, metavar="P", default=None,
+        help="bursty arrivals: intra-burst rate multiplier (default 10)",
+    )
+    serve.add_argument(
+        "--period", type=float, metavar="T", default=None,
+        help="diurnal arrivals: cycle length in time units (default 200)",
+    )
+    serve.add_argument(
+        "--amplitude", type=float, metavar="A", default=None,
+        help="diurnal arrivals: relative swing in [0, 1) (default 0.8)",
+    )
+    serve.add_argument(
+        "--clients", type=int, metavar="N", default=4,
+        help="client subsystems serving the front end (default 4)",
+    )
+    serve.add_argument(
+        "--servers", type=int, metavar="N", default=16,
+        help="replica servers (default 16)",
+    )
+    serve.add_argument(
+        "--quorum-size", type=int, metavar="K", default=5,
+        help="probabilistic quorum size (default 5)",
+    )
+    serve.add_argument(
+        "--registers", type=int, metavar="N", default=32,
+        help="registers the keyspace shards onto (default 32)",
+    )
+    serve.add_argument(
+        "--keys", type=int, metavar="N", default=1000,
+        help="distinct keys in the keyspace (default 1000)",
+    )
+    serve.add_argument(
+        "--zipf", type=float, metavar="S", default=1.1,
+        help="Zipf popularity exponent, 0 = uniform (default 1.1)",
+    )
+    serve.add_argument(
+        "--read-fraction", type=float, metavar="F", default=0.9,
+        help="fraction of arrivals that are reads (default 0.9)",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, metavar="N", default=64,
+        help="admission-control bound; arrivals beyond it are shed "
+             "(default 64)",
+    )
+    serve.add_argument(
+        "--write-mode", choices=["owner", "two_phase"], default="owner",
+        help="write routing: shard-owner client with retry/deadline "
+             "protection, or ABD two-phase multi-writer (default owner)",
+    )
+    serve.add_argument(
+        "--snapshot-out", metavar="PATH", default=None,
+        help="write the run's canonical metrics snapshot (JSON bytes); "
+             "byte-identical across same-seed runs",
+    )
     parser.add_argument(
         "--no-cache",
         action="store_true",
@@ -513,6 +668,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         nonlocal exit_code
         if args.experiment == "chaos":
             exit_code = _run_chaos(args, jobs, session)
+            return
+        if args.experiment == "serve":
+            exit_code = _run_serve(args, session)
             return
         for name in names:
             COMMANDS[name](

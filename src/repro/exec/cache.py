@@ -31,7 +31,10 @@ from repro.exec.task import RunTask, task_key
 #: are invalidated.  Format 4 payloads carry the robustness fields
 #: (``spec_violation``, ``faults_injected``, and adversary/monitor
 #: summaries when enabled); older entries lack them and are invalidated.
-CACHE_FORMAT = 4
+#: Format 5 histogram snapshots carry an explicit ``overflow`` count per
+#: series; mixing old and new snapshot shapes in one aggregation would
+#: break byte-identical metrics output, so older entries are invalidated.
+CACHE_FORMAT = 5
 
 #: Default location, relative to the current working directory (the repo
 #: root in normal use).

@@ -22,6 +22,11 @@ from repro.obs.export import (
     to_prometheus_text,
     validate_prometheus_text,
 )
+from repro.obs.quantiles import (
+    DEFAULT_QUANTILES,
+    P2Quantile,
+    StreamingQuantiles,
+)
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -43,6 +48,7 @@ from repro.obs.spans import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
     "DISABLED",
     "Counter",
     "Family",
@@ -55,9 +61,11 @@ __all__ = [
     "NullRegistry",
     "NullSpanRecorder",
     "Observability",
+    "P2Quantile",
     "Span",
     "SpanEvent",
     "SpanRecorder",
+    "StreamingQuantiles",
     "to_json",
     "to_prometheus_text",
     "validate_prometheus_text",

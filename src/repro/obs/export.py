@@ -77,6 +77,12 @@ def to_prometheus_text(snapshot: Dict[str, Any]) -> str:
                 block = _label_block(labelnames, values)
                 lines.append(f"{name}_sum{block} {_format_value(datum['sum'])}")
                 lines.append(f"{name}_count{block} {datum['count']}")
+                # Explicit overflow count: the +Inf bucket's mass without
+                # cumulative arithmetic, so alerting on "observations the
+                # bucket layout cannot resolve" is a single series.  The
+                # fallback keeps pre-overflow snapshots renderable.
+                overflow = datum.get("overflow", datum["counts"][-1])
+                lines.append(f"{name}_overflow{block} {overflow}")
             else:
                 block = _label_block(labelnames, values)
                 lines.append(f"{name}{block} {_format_value(datum)}")
@@ -170,7 +176,7 @@ def validate_prometheus_text(text: str) -> Dict[str, Dict[str, Any]]:
             ) from None
         name = match.group("name")
         base = name
-        for suffix in ("_bucket", "_sum", "_count"):
+        for suffix in ("_bucket", "_sum", "_count", "_overflow"):
             trimmed = name[: -len(suffix)] if name.endswith(suffix) else None
             if trimmed and declared.get(trimmed) == "histogram":
                 base = trimmed

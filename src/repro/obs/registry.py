@@ -25,8 +25,11 @@ the simulation kernel itself never pays a per-event metrics call.
 """
 
 import json
+import math
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+_isfinite = math.isfinite
 
 
 class MetricsError(RuntimeError):
@@ -102,16 +105,36 @@ class Histogram:
         self.count: int = 0
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation.
+
+        Non-finite values are rejected: ``bisect_left`` orders NaN into
+        bucket 0 (every comparison is False) and a single NaN/±inf poisons
+        ``sum`` for the histogram's whole lifetime — a silently corrupt
+        distribution is worse than a loud caller bug.
+        """
+        if not _isfinite(value):
+            raise MetricsError(
+                f"histogram observation must be finite, got {value}"
+            )
         self.counts[bisect_left(self.buckets, value)] += 1
         self.sum += value
         self.count += 1
 
+    @property
+    def overflow(self) -> int:
+        """Observations above the largest finite bound (the +Inf bucket)."""
+        return self.counts[-1]
+
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile by linear interpolation in-bucket.
 
-        Observations in the +Inf bucket clamp to the largest finite bound.
-        Returns ``nan`` for an empty histogram.
+        A quantile target falling in the +Inf overflow bucket returns
+        ``+inf``: the histogram genuinely does not know how far out the
+        tail reaches, and clamping to the largest finite bound would
+        report a flat, fake tail for an overloaded system.  Callers that
+        want bounded output should widen their buckets (and can read
+        :attr:`overflow` to see how much mass escaped).  Returns ``nan``
+        for an empty histogram.
         """
         if not 0.0 <= q <= 1.0:
             raise MetricsError(f"quantile must be in [0, 1], got {q}")
@@ -119,13 +142,19 @@ class Histogram:
             return float("nan")
         target = q * self.count
         cumulative = 0
-        lower = 0.0
+        # The first bucket's interval is (-inf, b0].  Interpolation needs a
+        # finite lower edge: 0.0 matches the latency/size semantics of
+        # nonnegative bucket layouts, but with a negative first bound it
+        # would sit *above* the bucket's upper edge and interpolate
+        # backwards — so clamp the seed to the bound itself in that case
+        # (the estimate degrades to the edge value, never beyond it).
+        lower = min(0.0, self.buckets[0])
         for index, bucket_count in enumerate(self.counts):
             previous = cumulative
             cumulative += bucket_count
             if cumulative >= target and bucket_count:
                 if index >= len(self.buckets):
-                    return self.buckets[-1]
+                    return math.inf
                 upper = self.buckets[index]
                 fraction = (target - previous) / bucket_count
                 return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
@@ -292,11 +321,15 @@ class MetricsRegistry:
             series = []
             for values, child in family.series():
                 if family.kind == "histogram":
+                    # "overflow" duplicates counts[-1] so dashboards (and
+                    # the Prometheus exporter) can read the escaped-mass
+                    # count without knowing the bucket layout.
                     datum: Any = {
                         "buckets": list(child.buckets),
                         "counts": list(child.counts),
                         "sum": child.sum,
                         "count": child.count,
+                        "overflow": child.counts[-1],
                     }
                 else:
                     datum = child.value

@@ -28,6 +28,7 @@ from repro.registers.client import (
 )
 from repro.registers.deployment import RegisterDeployment
 from repro.registers.atomic import AtomicClient, MultiWriterClient
+from repro.registers.sharding import ShardedKeyspace, ZipfKeys
 from repro.registers.masking import (
     ByzantineReplicaServer,
     MaskingClient,
@@ -49,7 +50,9 @@ __all__ = [
     "RegisterSpace",
     "ReplicaServer",
     "RetryPolicy",
+    "ShardedKeyspace",
     "WriteAck",
     "WriteUpdate",
+    "ZipfKeys",
     "replace_with_byzantine",
 ]

@@ -1,0 +1,197 @@
+"""The key-value front end: sharded registers behind get/put.
+
+:class:`KeyValueFrontend` is the service's request path.  Each operation:
+
+1. maps the key to its backing register via the sharded keyspace,
+2. passes admission control — at most ``max_in_flight`` operations may
+   be outstanding at once; beyond that the request is *shed* (counted,
+   never issued), which is the backpressure that keeps an overloaded
+   open-loop run from accumulating unbounded in-flight state,
+3. routes to one of the deployment's clients — reads round-robin; writes
+   according to ``write_mode`` (see below),
+4. on settlement, records the operation's simulated latency into both a
+   fixed-bucket histogram (``repro_service_latency``) and the P²
+   streaming estimators, and bumps the outcome counters.
+
+Write routing.  Any client accepts a put for any key (the front end is
+multi-writer); what differs is which register subsystem executes it:
+
+* ``"owner"`` (default) — each shard has one owning client
+  (``shard % num_clients``) and every put is forwarded to it, the
+  primary-per-shard layout of real sharded stores.  Writes then run the
+  plain Section 4 protocol, which carries the full fault-tolerance
+  layer: retries, backoff and per-operation deadlines, so a saturated or
+  lossy deployment rejects writes with ``OperationTimeout`` instead of
+  hanging them.
+* ``"two_phase"`` — puts round-robin across clients and run the
+  Attiya-Bar-Noy-Dolev two-phase multi-writer protocol
+  (:class:`~repro.registers.atomic.MultiWriterClient`).  Two-phase
+  operations have no retry/deadline path, so this mode is for loss-free,
+  crash-free deployments; under message loss a write can hang and pin
+  its in-flight slot for the rest of the run.
+
+Timed-out operations count separately and do **not** feed the latency
+distributions: a timeout's "latency" is just the deadline, and folding a
+constant into the tail would mask exactly the overload signal the
+estimators exist to surface.
+"""
+
+from typing import Any, Dict, Optional
+
+from repro.obs.core import DISABLED, Observability
+from repro.obs.quantiles import DEFAULT_QUANTILES, StreamingQuantiles
+from repro.registers.sharding import ShardedKeyspace
+from repro.sim.futures import Future
+
+#: Service latency buckets, in simulated time units: a healthy quorum
+#: round takes ~2 one-way delays, so the range covers sub-round blips
+#: through many-retry stalls; the +Inf overflow bucket catches the rest.
+SERVICE_LATENCY_BUCKETS = (
+    1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0,
+)
+
+
+class KeyValueFrontend:
+    """Get/put over a sharded register deployment, with admission control."""
+
+    def __init__(
+        self,
+        deployment: Any,
+        keyspace: ShardedKeyspace,
+        max_in_flight: int,
+        observability: Optional[Observability] = None,
+        write_mode: str = "owner",
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        if write_mode not in ("owner", "two_phase"):
+            raise ValueError(
+                f"write_mode must be 'owner' or 'two_phase', got {write_mode!r}"
+            )
+        self.deployment = deployment
+        self.keyspace = keyspace
+        self.max_in_flight = max_in_flight
+        self.write_mode = write_mode
+        self.observability = (
+            observability if observability is not None else DISABLED
+        )
+        self._clients = deployment.clients
+        self._scheduler = deployment.scheduler
+        self._register_names = keyspace.register_names
+        self._next_client = 0
+
+        self.in_flight = 0
+        #: Peak concurrent in-flight operations (queue-depth high-water).
+        self.peak_in_flight = 0
+        #: Per-kind outcome counters (admitted = completed + timed_out +
+        #: still in flight; shed requests are never admitted).
+        self.admitted: Dict[str, int] = {"read": 0, "write": 0}
+        self.shed: Dict[str, int] = {"read": 0, "write": 0}
+        self.completed: Dict[str, int] = {"read": 0, "write": 0}
+        self.timed_out: Dict[str, int] = {"read": 0, "write": 0}
+
+        #: Streaming SLO estimators per kind plus the combined stream.
+        self.stream_quantiles: Dict[str, StreamingQuantiles] = {
+            "read": StreamingQuantiles(DEFAULT_QUANTILES),
+            "write": StreamingQuantiles(DEFAULT_QUANTILES),
+            "all": StreamingQuantiles(DEFAULT_QUANTILES),
+        }
+        metrics = self.observability.metrics
+        if metrics.enabled:
+            latency = metrics.histogram(
+                "repro_service_latency",
+                "Service operation latency in simulated time units, by kind.",
+                labelnames=("kind",),
+                buckets=SERVICE_LATENCY_BUCKETS,
+            )
+            self._latency = {
+                "read": latency.labels("read"),
+                "write": latency.labels("write"),
+            }
+        else:
+            self._latency = None
+
+    @property
+    def total_admitted(self) -> int:
+        return sum(self.admitted.values())
+
+    @property
+    def total_shed(self) -> int:
+        return sum(self.shed.values())
+
+    @property
+    def total_completed(self) -> int:
+        return sum(self.completed.values())
+
+    @property
+    def total_timed_out(self) -> int:
+        return sum(self.timed_out.values())
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: str) -> Optional[Future]:
+        """Read ``key``; returns None when admission control sheds it."""
+        return self._submit("read", key, None)
+
+    def put(self, key: str, value: Any) -> Optional[Future]:
+        """Write ``key``; returns None when admission control sheds it."""
+        return self._submit("write", key, value)
+
+    def _submit(self, kind: str, key: str, value: Any) -> Optional[Future]:
+        if self.in_flight >= self.max_in_flight:
+            self.shed[kind] += 1
+            return None
+        shard = self.keyspace.shard_of(key)
+        register = self._register_names[shard]
+        if kind == "write" and self.write_mode == "owner":
+            client = self._clients[shard % len(self._clients)]
+        else:
+            client = self._clients[self._next_client]
+            self._next_client = (self._next_client + 1) % len(self._clients)
+        self.admitted[kind] += 1
+        self.in_flight += 1
+        if self.in_flight > self.peak_in_flight:
+            self.peak_in_flight = self.in_flight
+        started = self._scheduler.now
+        if kind == "read":
+            future = client.read(register)
+        else:
+            future = client.write(register, value)
+        future.add_callback(
+            lambda fut, kind=kind, started=started: self._settled(
+                kind, started, fut
+            )
+        )
+        return future
+
+    def _settled(self, kind: str, started: float, future: Future) -> None:
+        self.in_flight -= 1
+        if future.failed:
+            self.timed_out[kind] += 1
+            return
+        elapsed = self._scheduler.now - started
+        self.completed[kind] += 1
+        self.stream_quantiles[kind].observe(elapsed)
+        self.stream_quantiles["all"].observe(elapsed)
+        if self._latency is not None:
+            self._latency[kind].observe(elapsed)
+
+    def counters(self) -> Dict[str, Any]:
+        """All backpressure/outcome counters as plain data."""
+        return {
+            "admitted": dict(self.admitted),
+            "shed": dict(self.shed),
+            "completed": dict(self.completed),
+            "timed_out": dict(self.timed_out),
+            "in_flight": self.in_flight,
+            "peak_in_flight": self.peak_in_flight,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"KeyValueFrontend({self.keyspace!r}, "
+            f"in_flight={self.in_flight}/{self.max_in_flight}, "
+            f"admitted={self.total_admitted}, shed={self.total_shed})"
+        )

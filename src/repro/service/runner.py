@@ -1,0 +1,297 @@
+"""Assemble and run one service-mode simulation.
+
+:func:`run_service` is the one-call entry point used by the ``serve``
+CLI subcommand, the service benchmark and the tests: build a register
+deployment, shard a keyspace onto it, attach the open-loop driver, run
+the scheduler to quiescence and fold everything the run measured into a
+:class:`ServiceResult`.
+
+Determinism contract: every number in the result's metrics snapshot is a
+function of the config alone — simulated time, seeded RNG streams and
+event order; wall-clock only ever appears in ``wall_seconds`` on the
+result object, never in the registry.  Two runs of the same config
+therefore produce **byte-identical** ``snapshot_bytes``, which the
+``service-smoke`` CI job and the regression tests assert.
+"""
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.collect import collect_deployment
+from repro.obs.core import Observability
+from repro.quorum.probabilistic import ProbabilisticQuorumSystem
+from repro.registers.atomic import MultiWriterClient
+from repro.registers.client import QuorumRegisterClient, RetryPolicy
+from repro.registers.deployment import RegisterDeployment
+from repro.registers.sharding import ShardedKeyspace, ZipfKeys
+from repro.service.frontend import KeyValueFrontend
+from repro.service.traffic import OpenLoopDriver
+from repro.sim.arrivals import build_arrivals
+from repro.sim.delays import ConstantDelay, ExponentialDelay
+from repro.sim.rng import RngRegistry
+
+#: The quantiles reported in the SLO table, as (label, q) pairs.
+SLO_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.5), ("p99", 0.99), ("p999", 0.999),
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a service-mode run depends on, as plain data."""
+
+    seed: int = 0
+    num_servers: int = 16
+    quorum_size: int = 5
+    num_clients: int = 4
+    num_registers: int = 32
+    num_keys: int = 1000
+    zipf_exponent: float = 1.1
+    read_fraction: float = 0.9
+    #: Arrival process spec for :func:`repro.sim.arrivals.build_arrivals`.
+    arrivals: Dict[str, Any] = field(
+        default_factory=lambda: {"kind": "poisson", "rate": 2.0}
+    )
+    duration: float = 500.0
+    max_in_flight: int = 64
+    write_mode: str = "owner"
+    delay_model: str = "exponential"
+    delay_mean: float = 1.0
+    loss_rate: float = 0.0
+    retry_interval: float = 4.0
+    operation_deadline: Optional[float] = 60.0
+
+    def build_delay_model(self):
+        if self.delay_model == "constant":
+            return ConstantDelay(self.delay_mean)
+        if self.delay_model == "exponential":
+            return ExponentialDelay(self.delay_mean)
+        raise ValueError(
+            f"delay_model must be 'constant' or 'exponential', "
+            f"got {self.delay_model!r}"
+        )
+
+
+@dataclass
+class ServiceResult:
+    """Counters, SLO estimates and the deterministic metrics snapshot."""
+
+    config: ServiceConfig
+    offered: int
+    counters: Dict[str, Any]
+    streaming: Dict[str, Dict[float, float]]
+    histogram_quantiles: Dict[str, Dict[float, float]]
+    overflow: Dict[str, int]
+    retries: int
+    timeouts: int
+    hung_ops: int
+    sim_time: float
+    events: int
+    snapshot: Dict[str, Any]
+    snapshot_bytes: bytes
+    wall_seconds: float
+
+    @property
+    def completed(self) -> int:
+        return sum(self.counters["completed"].values())
+
+    @property
+    def shed(self) -> int:
+        return sum(self.counters["shed"].values())
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def completed_rate(self) -> float:
+        """Sustained throughput: completed operations per simulated time."""
+        return self.completed / self.config.duration
+
+    def quantile(self, kind: str, q: float) -> float:
+        """The streaming (P²) latency estimate for ``kind`` ('all' included)."""
+        return self.streaming[kind][q]
+
+    def slo_table(self) -> str:
+        """The human-readable SLO summary the CLI prints."""
+        lines = [
+            "service SLO summary "
+            f"(simulated time units; duration={self.config.duration:g})",
+            f"  offered {self.offered} ops "
+            f"({self.offered / self.config.duration:.3f}/t), "
+            f"completed {self.completed} ({self.completed_rate:.3f}/t), "
+            f"shed {self.shed} ({self.shed_fraction:.2%}), "
+            f"timeouts {self.timeouts}",
+            f"  in flight: peak {self.counters['peak_in_flight']} "
+            f"/ limit {self.config.max_in_flight}; "
+            f"still pending at horizon: {self.counters['in_flight']}; "
+            f"retries {self.retries}",
+            "  latency             p50       p99      p999  overflow",
+        ]
+        for kind in ("read", "write", "all"):
+            stream = self.streaming[kind]
+            hist = self.histogram_quantiles.get(kind)
+            cells = "  ".join(
+                f"{stream[q]:8.3f}" for _, q in SLO_QUANTILES
+            )
+            lines.append(
+                f"  {kind:<5} (streaming) {cells}"
+            )
+            if hist is not None:
+                cells = "  ".join(
+                    f"{hist[q]:8.3f}" for _, q in SLO_QUANTILES
+                )
+                lines.append(
+                    f"  {kind:<5} (histogram) {cells}  "
+                    f"{self.overflow.get(kind, 0):8d}"
+                )
+        return "\n".join(lines)
+
+
+def run_service(config: ServiceConfig) -> ServiceResult:
+    """Run one service-mode simulation to quiescence."""
+    started = time.perf_counter()
+    observability = Observability()
+    rng = RngRegistry(config.seed)
+    retry_policy = RetryPolicy(
+        interval=config.retry_interval,
+        backoff=2.0,
+        max_interval=4.0 * config.retry_interval,
+        jitter=0.1,
+        deadline=config.operation_deadline,
+    )
+    two_phase = config.write_mode == "two_phase"
+    deployment = RegisterDeployment(
+        ProbabilisticQuorumSystem(config.num_servers, config.quorum_size),
+        num_clients=config.num_clients,
+        delay_model=config.build_delay_model(),
+        seed=config.seed,
+        rng_registry=rng,
+        retry_policy=retry_policy,
+        loss_rate=config.loss_rate,
+        client_class=MultiWriterClient if two_phase else QuorumRegisterClient,
+        # Heavy traffic: a history record per op would dominate memory,
+        # and the per-kind/per-node stats breakdowns the scalar fast path
+        # skips are re-derivable from the service counters.
+        record_history=False,
+        detailed_stats=False,
+        observability=observability,
+    )
+    keyspace = ShardedKeyspace(config.num_registers)
+    for shard, name in enumerate(keyspace.register_names):
+        deployment.declare_register(
+            name,
+            writer=None if two_phase else shard % config.num_clients,
+            initial_value=0,
+        )
+    frontend = KeyValueFrontend(
+        deployment,
+        keyspace,
+        max_in_flight=config.max_in_flight,
+        observability=observability,
+        write_mode=config.write_mode,
+    )
+    driver = OpenLoopDriver(
+        frontend,
+        build_arrivals(config.arrivals),
+        ZipfKeys(config.num_keys, config.zipf_exponent),
+        arrival_rng=rng.stream("service-arrivals"),
+        key_rng=rng.stream("service-keys"),
+        op_rng=rng.stream("service-ops"),
+        duration=config.duration,
+        read_fraction=config.read_fraction,
+    )
+    driver.start()
+    deployment.run()
+
+    metrics = observability.metrics
+    collect_deployment(metrics, deployment)
+    _collect_service(metrics, driver, frontend)
+
+    streaming = {
+        kind: stream.values()
+        for kind, stream in frontend.stream_quantiles.items()
+    }
+    histogram_quantiles: Dict[str, Dict[float, float]] = {}
+    overflow: Dict[str, int] = {}
+    family = metrics.get("repro_service_latency")
+    if family is not None:
+        for (kind,), histogram in family.series():
+            histogram_quantiles[kind] = {
+                q: histogram.quantile(q) for _, q in SLO_QUANTILES
+            }
+            overflow[kind] = histogram.overflow
+
+    snapshot = metrics.snapshot()
+    return ServiceResult(
+        config=config,
+        offered=driver.offered,
+        counters=frontend.counters(),
+        streaming=streaming,
+        histogram_quantiles=histogram_quantiles,
+        overflow=overflow,
+        retries=deployment.total_retries,
+        timeouts=deployment.total_timeouts,
+        hung_ops=deployment.hung_ops,
+        sim_time=deployment.scheduler.now,
+        events=deployment.scheduler.events_processed,
+        snapshot=snapshot,
+        snapshot_bytes=metrics.snapshot_bytes(),
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def _collect_service(metrics: Any, driver: OpenLoopDriver,
+                     frontend: KeyValueFrontend) -> None:
+    """Service-level counters and SLO gauges into the registry.
+
+    Offered/admitted/shed/completed/timeout counters by kind, the
+    backpressure high-water mark, and the streaming quantile estimates as
+    gauges — everything a dashboard needs to plot the SLO, all derived
+    from simulated state only (byte-deterministic per seed).
+    """
+    metrics.counter(
+        "repro_service_offered_total",
+        "Requests generated by the open-loop arrival process.",
+    ).inc(driver.offered)
+    by_kind = (
+        ("repro_service_admitted_total",
+         "Requests past admission control, by kind.", frontend.admitted),
+        ("repro_service_shed_total",
+         "Requests shed by admission control (load shedding), by kind.",
+         frontend.shed),
+        ("repro_service_completed_total",
+         "Requests completed successfully, by kind.", frontend.completed),
+        ("repro_service_timeouts_total",
+         "Requests rejected by the per-operation deadline, by kind.",
+         frontend.timed_out),
+    )
+    for name, help_text, counters in by_kind:
+        family = metrics.counter(name, help_text, labelnames=("kind",))
+        for kind in sorted(counters):
+            family.labels(kind).inc(counters[kind])
+    metrics.gauge(
+        "repro_service_in_flight",
+        "Operations still in flight at collection time.",
+    ).set(frontend.in_flight)
+    metrics.gauge(
+        "repro_service_peak_in_flight",
+        "High-water mark of concurrent in-flight operations.",
+    ).set(frontend.peak_in_flight)
+    quantile_gauge = metrics.gauge(
+        "repro_service_latency_quantile",
+        "Streaming (P2) latency quantile estimates, by kind.",
+        labelnames=("kind", "quantile"),
+    )
+    for kind in sorted(frontend.stream_quantiles):
+        stream = frontend.stream_quantiles[kind]
+        if stream.count == 0:
+            continue  # a NaN gauge tells a dashboard less than no gauge
+        for label, q in SLO_QUANTILES:
+            quantile_gauge.labels(kind, label).set(stream.value(q))
+
+
+def config_as_dict(config: ServiceConfig) -> Dict[str, Any]:
+    """The config as JSON-able plain data (for benchmark records)."""
+    return asdict(config)

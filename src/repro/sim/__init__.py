@@ -10,6 +10,13 @@ framework) are built purely on the public API exported here.
 """
 
 from repro.sim.scheduler import EventHandle, RepeatingHandle, Scheduler
+from repro.sim.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    build_arrivals,
+)
 from repro.sim.futures import Future, FutureError, gather
 from repro.sim.coroutines import Sleep, spawn
 from repro.sim.delays import (
@@ -27,7 +34,11 @@ from repro.sim.failures import FailureEvent, FailureInjector, FailureSchedule
 from repro.sim.trace import TraceEvent, TraceLog
 
 __all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
     "ConstantDelay",
+    "DiurnalArrivals",
+    "PoissonArrivals",
     "DelayModel",
     "EventHandle",
     "ExponentialDelay",
@@ -48,6 +59,7 @@ __all__ = [
     "TraceEvent",
     "TraceLog",
     "UniformDelay",
+    "build_arrivals",
     "gather",
     "spawn",
 ]

@@ -123,11 +123,60 @@ def test_histogram_observe_and_quantiles():
     assert histogram.counts == [2, 1, 1, 1]
     # Median falls in the first bucket; interpolation stays within [0, 1].
     assert 0.0 < histogram.quantile(0.5) <= 2.0
-    # The +Inf-bucket tail clamps to the largest finite bound.
-    assert histogram.quantile(1.0) == 4.0
+    # A quantile landing in the +Inf bucket is above every finite bound;
+    # the honest answer is +inf, never a made-up finite clamp.
+    assert histogram.quantile(1.0) == math.inf
+    assert histogram.overflow == 1
     assert math.isnan(Histogram().quantile(0.5))
     with pytest.raises(MetricsError):
         histogram.quantile(1.5)
+
+
+def test_histogram_overflow_quantile_never_clamps():
+    # Regression: quantile() used to return the largest finite bound for
+    # mass in the +Inf bucket, reporting p99=4.0 for a histogram whose
+    # every observation exceeded 4.0.
+    histogram = Histogram(buckets=(1.0, 2.0, 4.0))
+    for value in (10.0, 50.0, 1000.0):
+        histogram.observe(value)
+    assert histogram.overflow == 3
+    for q in (0.1, 0.5, 0.99, 1.0):
+        assert histogram.quantile(q) == math.inf
+    # One in-range observation: quantiles below the overflow mass stay
+    # finite, the tail is still honest.
+    histogram.observe(0.5)
+    assert histogram.quantile(0.2) <= 1.0
+    assert histogram.quantile(0.9) == math.inf
+
+
+def test_histogram_rejects_non_finite_observations():
+    # Regression: observe(nan) used to route to bucket 0 (every bisect
+    # comparison is False) and poison sum; observe(inf) inflated sum to
+    # inf.  Both now fail fast and leave the histogram untouched.
+    histogram = Histogram(buckets=(1.0, 2.0))
+    histogram.observe(0.5)
+    for bad in (math.nan, math.inf, -math.inf):
+        with pytest.raises(MetricsError):
+            histogram.observe(bad)
+    assert histogram.count == 1
+    assert histogram.sum == pytest.approx(0.5)
+    assert histogram.counts == [1, 0, 0]
+
+
+def test_histogram_negative_bucket_quantiles():
+    # Regression: interpolation seeded the bucket lower edge at 0.0, so a
+    # first bucket with a negative bound interpolated backwards (p50 of
+    # all-mass-in-(-inf,-10] came out near 0, above the bucket's bound).
+    histogram = Histogram(buckets=(-10.0, -5.0, 1.0))
+    for value in (-20.0, -15.0, -12.0):
+        histogram.observe(value)
+    assert histogram.quantile(0.5) <= -10.0
+    assert histogram.quantile(1.0) <= -10.0
+    mixed = Histogram(buckets=(-10.0, -5.0, 1.0))
+    for value in (-12.0, -7.0, 0.5):
+        mixed.observe(value)
+    assert -10.0 <= mixed.quantile(0.5) <= -5.0
+    assert mixed.quantile(0.99) <= 1.0
 
 
 def test_histogram_rejects_bad_buckets():
@@ -248,6 +297,30 @@ def test_prometheus_text_round_trips_through_validator():
     ]
     assert buckets == [("1", 1.0), ("10", 2.0), ("+Inf", 2.0)]
     assert ({"kind": "read"}, 2.0) in latency["samples"]  # latency_count
+
+
+def test_snapshot_and_prometheus_export_overflow():
+    registry = MetricsRegistry()
+    latency = registry.histogram("svc_latency", buckets=(1.0, 2.0))
+    for value in (0.5, 5.0, 7.0):
+        latency.observe(value)
+    snapshot = registry.snapshot()
+    (instrument,) = snapshot["instruments"]
+    ((_, datum),) = instrument["series"]
+    # The snapshot names the overflow count explicitly (it equals the
+    # +Inf bucket's count, but consumers should not have to know that).
+    assert datum["overflow"] == 2
+    assert datum["counts"][-1] == 2
+    text = to_prometheus_text(snapshot)
+    parsed = validate_prometheus_text(text)
+    assert ({}, 2.0) in parsed["svc_latency"]["samples"]  # _overflow
+    assert "svc_latency_overflow 2" in text
+    # Old-format snapshots (no overflow key) still merge cleanly.
+    del datum["overflow"]
+    other = MetricsRegistry()
+    other.histogram("svc_latency", buckets=(1.0, 2.0)).observe(9.0)
+    other.merge_snapshot(snapshot)
+    assert other.sample("svc_latency").overflow == 3
 
 
 def test_prometheus_label_escaping():
