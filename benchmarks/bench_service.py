@@ -51,17 +51,31 @@ RATE_LADDER = (2.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0)
 QUICK_LADDER = (2.0, 8.0, 16.0)
 
 
-def _config(rate: float, duration: float, seed: int) -> ServiceConfig:
+def _config(
+    rate: float,
+    duration: float,
+    seed: int,
+    membership: Optional[Dict[str, Any]] = None,
+    adversary: Optional[Dict[str, Any]] = None,
+) -> ServiceConfig:
     return ServiceConfig(
         seed=seed,
         duration=duration,
         arrivals={"kind": "poisson", "rate": rate},
+        membership=membership,
+        adversary=adversary,
     )
 
 
-def ladder_run(rate: float, duration: float, seed: int) -> Dict[str, Any]:
+def ladder_run(
+    rate: float,
+    duration: float,
+    seed: int,
+    membership: Optional[Dict[str, Any]] = None,
+    adversary: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """One rung: the service at one offered rate, as plain data."""
-    result = run_service(_config(rate, duration, seed))
+    result = run_service(_config(rate, duration, seed, membership, adversary))
     return {
         "rate": rate,
         "offered": result.offered,
@@ -93,13 +107,18 @@ def _meets_slo(rung: Dict[str, Any]) -> bool:
     )
 
 
-def run_suite(quick: bool = False, seed: int = 0) -> Dict[str, Any]:
+def run_suite(
+    quick: bool = False,
+    seed: int = 0,
+    membership: Optional[Dict[str, Any]] = None,
+    adversary: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """Climb the rate ladder; find the highest rung meeting the SLO."""
     ladder = QUICK_LADDER if quick else RATE_LADDER
     duration = 120.0 if quick else 300.0
     rungs: List[Dict[str, Any]] = []
     for rate in ladder:
-        rung = ladder_run(rate, duration, seed)
+        rung = ladder_run(rate, duration, seed, membership, adversary)
         rung["meets_slo"] = _meets_slo(rung)
         rungs.append(rung)
     sustained = None
@@ -109,13 +128,19 @@ def run_suite(quick: bool = False, seed: int = 0) -> Dict[str, Any]:
     # Determinism is part of the recorded claim: re-run the sustained
     # rung (or the first rung if none passed) and compare snapshots.
     probe_rate = sustained["rate"] if sustained else ladder[0]
-    first = run_service(_config(probe_rate, duration, seed))
-    second = run_service(_config(probe_rate, duration, seed))
+    first = run_service(
+        _config(probe_rate, duration, seed, membership, adversary)
+    )
+    second = run_service(
+        _config(probe_rate, duration, seed, membership, adversary)
+    )
     return {
         "rungs": rungs,
         "sustained": sustained,
         "duration": duration,
         "seed": seed,
+        "membership": membership,
+        "adversary": adversary,
         "deterministic": first.snapshot_bytes == second.snapshot_bytes,
     }
 
@@ -124,11 +149,31 @@ def _is_degenerate_record(record):
     return bool(record.get("degenerate", record.get("cpu_count", 1) < 2))
 
 
+def _record_knobs(record: Dict[str, Any]) -> Dict[str, Any]:
+    """The scenario knobs a record was measured under.
+
+    Two records with different knobs measure *different claims* — a
+    churn run replacing the canonical static record would silently
+    change what the checked-in numbers mean.
+    """
+    return {
+        "membership": record.get("membership"),
+        "adversary": record.get("adversary"),
+        "quick": bool(record.get("quick")),
+    }
+
+
 def write_record(
     results: Dict[str, Any], quick: bool,
     path: Optional[pathlib.Path] = None,
+    force: bool = False,
 ) -> Dict[str, Any]:
-    """Assemble and persist the BENCH_service.json record."""
+    """Assemble and persist the BENCH_service.json record.
+
+    Refuses to overwrite an existing record that was measured under
+    different scenario knobs (membership/adversary/quick) unless
+    ``force`` is set — the knobs are part of the claim.
+    """
     cpus = os.cpu_count() or 1
     degenerate = cpus < 2
     sustained = results["sustained"]
@@ -145,6 +190,11 @@ def write_record(
         "shed_limit": SHED_LIMIT,
         "duration": results["duration"],
         "seed": results["seed"],
+        # The scenario knobs the ladder ran under (null = plain static
+        # service): recorded so the numbers can never be mistaken for a
+        # different scenario's.
+        "membership": results.get("membership"),
+        "adversary": results.get("adversary"),
         "deterministic": results["deterministic"],
         "rungs": results["rungs"],
         "sustained_rate": sustained["rate"] if sustained else None,
@@ -170,6 +220,19 @@ def write_record(
             "refusing to overwrite the non-degenerate BENCH_service.json "
             f"record (cpu_count {existing.get('cpu_count')}) with a "
             f"degenerate run from a {cpus}-CPU box",
+            file=sys.stderr,
+        )
+        return record
+    if (
+        existing is not None
+        and not force
+        and _record_knobs(existing) != _record_knobs(record)
+    ):
+        print(
+            "refusing to overwrite BENCH_service.json: the existing "
+            f"record was measured under different knobs "
+            f"({_record_knobs(existing)} vs {_record_knobs(record)}); "
+            "re-run with --force to replace it",
             file=sys.stderr,
         )
         return record
@@ -212,11 +275,41 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", metavar="PATH", default=None)
+    parser.add_argument(
+        "--churn", type=float, metavar="T", default=None,
+        help="run the ladder under membership churn with this period "
+             "(view-based reconfiguration; recorded as a scenario knob)",
+    )
+    parser.add_argument(
+        "--churn-batch", type=int, metavar="N", default=1,
+        help="replicas replaced per churn cycle (default 1)",
+    )
+    parser.add_argument(
+        "--adversary", metavar="JSON", default=None,
+        help="adversary strategy spec as JSON, e.g. "
+             "'{\"kind\": \"random_hostile\", \"drop_rate\": 0.1}' "
+             "(recorded as a scenario knob)",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing record even when it was measured "
+             "under different scenario knobs",
+    )
     args = parser.parse_args(argv)
 
-    results = run_suite(args.quick, seed=args.seed)
+    membership = (
+        None
+        if args.churn is None
+        else {"kind": "churn", "period": args.churn,
+              "batch": args.churn_batch}
+    )
+    adversary = json.loads(args.adversary) if args.adversary else None
+    results = run_suite(
+        args.quick, seed=args.seed, membership=membership,
+        adversary=adversary,
+    )
     path = pathlib.Path(args.json) if args.json else None
-    record = write_record(results, args.quick, path)
+    record = write_record(results, args.quick, path, force=args.force)
     print(json.dumps(record, indent=2, sort_keys=True))
     check_service_claims(results)
     return 0

@@ -40,28 +40,47 @@ class NativeScheduler(_kernel.SchedulerCore):
 
         Semantics identical to the pure-python scheduler: the first
         occurrence fires after ``first_delay`` (default one interval),
-        and ``until`` bounds the chain.
+        ``until`` bounds the chain, occurrence times are computed as
+        ``base + i * interval``, and an occurrence overshooting the
+        horizon by at most ``interval * 1e-9`` (float representation
+        drift) is snapped to fire exactly at ``t == until``.
         """
         if interval <= 0:
             raise SchedulerError(
                 f"repeating interval must be positive, got {interval}"
             )
         handle = RepeatingHandle()
+        delay = interval if first_delay is None else first_delay
+        base = self.now + delay
+        tolerance = interval * 1e-9
+        count = 0
+
+        def occurrence(index: int) -> Optional[float]:
+            time = base + index * interval
+            if until is not None and time > until:
+                return until if time - until <= tolerance else None
+            return time
 
         def fire() -> None:
+            nonlocal count
             if handle.cancelled:
                 return
-            if until is None or self.now + interval <= until:
-                handle._current = self.schedule(interval, fire)
+            count += 1
+            next_time = occurrence(count)
+            if next_time is not None:
+                handle._current = self.schedule_at(next_time, fire)
             else:
                 handle.cancelled = True
             callback(*args)
 
-        delay = interval if first_delay is None else first_delay
-        if until is not None and self.now + delay > until:
+        first_time = occurrence(0)
+        if first_time is None:
             handle.cancelled = True
             return handle
-        handle._current = self.schedule(delay, fire)
+        if first_time != base:
+            handle._current = self.schedule_at(first_time, fire)
+        else:
+            handle._current = self.schedule(delay, fire)
         return handle
 
     def __repr__(self) -> str:

@@ -10,6 +10,7 @@ from repro.adversary.strategies import (
     PartitionOscillatorAdversary,
     RandomHostileAdversary,
     StaleFavoringAdversary,
+    ViewChangeRacerAdversary,
     build_adversary,
 )
 
@@ -20,5 +21,6 @@ __all__ = [
     "PartitionOscillatorAdversary",
     "RandomHostileAdversary",
     "StaleFavoringAdversary",
+    "ViewChangeRacerAdversary",
     "build_adversary",
 ]

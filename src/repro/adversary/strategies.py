@@ -262,11 +262,71 @@ class CrashTargeterAdversary(Adversary):
         return data
 
 
+class ViewChangeRacerAdversary(Adversary):
+    """Concentrate drops in the window right after each view install.
+
+    Reconfiguration is the protocol's most delicate moment: clients hold
+    operations stamped with the old view, leavers are draining, joiners
+    have just caught up.  This strategy does nothing until the deployment's
+    :class:`~repro.membership.manager.ViewManager` reports an install
+    (via the ``on_view_installed`` hook), then for ``window`` time units
+    drops replies — including ``StaleViewNack`` (so clients must fall
+    back to retry-time view refresh) and ``StateReply`` (so a chained
+    join's transfer must resample) — until ``drop_budget`` is spent.
+
+    On a static deployment the hook never fires and the strategy is
+    inert, making it an honest control at equal budget.
+    """
+
+    name = "view_change_racer"
+
+    _RACED_KINDS = frozenset(
+        ("read_reply", "write_ack", "stale_view_nack", "state_reply")
+    )
+
+    def __init__(self, drop_budget: int = 40, window: float = 6.0) -> None:
+        super().__init__()
+        if drop_budget < 0:
+            raise ValueError(f"drop_budget must be >= 0, got {drop_budget}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.drop_budget = drop_budget
+        self.window = window
+        self.views_raced = 0
+        self._window_until = float("-inf")
+
+    def on_view_installed(self, view_id: int, now: float) -> None:
+        """ViewManager hook: a new view just activated."""
+        self.views_raced += 1
+        self._window_until = now + self.window
+
+    def intercept(
+        self, src: int, dst: int, message: Any, kind: str, now: float
+    ) -> Optional[Any]:
+        self.messages_seen += 1
+        if (
+            now <= self._window_until
+            and self.drops < self.drop_budget
+            and kind in self._RACED_KINDS
+        ):
+            self.drops += 1
+            return DROP
+        return None
+
+    def summary(self) -> Dict[str, Any]:
+        data = super().summary()
+        data["drop_budget"] = self.drop_budget
+        data["window"] = self.window
+        data["views_raced"] = self.views_raced
+        return data
+
+
 _STRATEGIES = {
     "stale_favoring": StaleFavoringAdversary,
     "random_hostile": RandomHostileAdversary,
     "partition_oscillator": PartitionOscillatorAdversary,
     "crash_targeter": CrashTargeterAdversary,
+    "view_change_racer": ViewChangeRacerAdversary,
 }
 
 

@@ -127,6 +127,40 @@ def _random_faults(
     return {"kind": "schedule", "events": events}
 
 
+def _random_membership(
+    rng: np.random.Generator, num_servers: int, horizon: float
+) -> Optional[Dict[str, Any]]:
+    """A randomized explicit membership timeline (always kind "schedule").
+
+    Like faults, membership is scripted as explicit join/leave events so
+    the whole reconfiguration surface stays ddmin-shrinkable event by
+    event; joiners take fresh roster indices, leavers are drawn from the
+    initial roster (a leave naming an already-gone member is a no-op by
+    schedule semantics, which keeps every shrunken sublist valid).
+    """
+    events: List[Dict[str, Any]] = []
+    next_join = num_servers
+    for _ in range(int(rng.integers(0, 3))):
+        time = round(float(rng.uniform(5.0, horizon * 0.6)), 3)
+        if rng.random() < 0.6:
+            count = int(rng.integers(1, 3))
+            nodes = list(range(next_join, next_join + count))
+            next_join += count
+            events.append({"time": time, "action": "join", "nodes": nodes})
+        else:
+            nodes = sorted(
+                int(n)
+                for n in rng.choice(
+                    num_servers, size=int(rng.integers(1, 3)), replace=False
+                )
+            )
+            events.append({"time": time, "action": "leave", "nodes": nodes})
+    if not events:
+        return None
+    events.sort(key=lambda event: (event["time"], event["action"]))
+    return {"kind": "schedule", "events": events}
+
+
 def _random_adversary(rng: np.random.Generator) -> Optional[Dict[str, Any]]:
     choice = int(rng.integers(0, 5))
     if choice == 0:
@@ -190,6 +224,26 @@ def generate_task(config: CampaignConfig, index: int) -> RunTask:
     adversary = _random_adversary(rng)
     if adversary is not None:
         params["adversary"] = adversary
+    # Membership draws come from their own derived stream, NOT from the
+    # config rng: every draw above stays identical to pre-membership
+    # campaigns for the same campaign seed, so existing repro documents
+    # and pinned campaign expectations keep meaning the same runs.
+    membership_rng = np.random.default_rng(
+        derive_seed(config.seed, "chaos-membership", index)
+    )
+    membership = _random_membership(
+        membership_rng, num_servers, config.max_sim_time
+    )
+    if membership is not None:
+        params["membership"] = membership
+        if "adversary" not in params and membership_rng.random() < 0.5:
+            # Race the reconfiguration itself (drawn from the membership
+            # stream so the base adversary draw above stays untouched).
+            params["adversary"] = {
+                "kind": "view_change_racer",
+                "drop_budget": int(membership_rng.integers(10, 41)),
+                "window": round(float(membership_rng.uniform(3.0, 8.0)), 3),
+            }
     if config.broken_client is not None:
         params["broken_client"] = dict(config.broken_client)
     return RunTask(
@@ -221,6 +275,9 @@ def run_campaign(
             "hung_ops": payload.get("hung_ops", 0),
             "faults_injected": payload.get("faults_injected"),
             "adversary": (payload.get("adversary") or {}).get("name"),
+            "views_installed": (
+                (payload.get("membership") or {}).get("views_installed", 0)
+            ),
             "spec_violation": payload.get("spec_violation"),
         }
         result.records.append(record)

@@ -135,7 +135,50 @@ def shrink_violation(
             runs += 1
             _, violation = _violates(_with_params(task, params))
 
+    # 1b. ddmin the membership timeline the same way (campaigns script
+    #     membership as explicit "schedule" event lists too, and every
+    #     event sublist is a valid timeline by construction — no-op
+    #     joins/leaves are skipped, not rejected).
+    membership = params.get("membership")
+    if isinstance(membership, dict) and membership.get("kind") == "schedule":
+        events = list(membership.get("events", []))
+
+        def membership_violates(
+            candidate_events: List[Dict[str, Any]]
+        ) -> bool:
+            nonlocal runs
+            if runs >= max_runs:
+                return False
+            runs += 1
+            candidate = copy.deepcopy(params)
+            if candidate_events:
+                candidate["membership"] = {
+                    "kind": "schedule", "events": candidate_events
+                }
+            else:
+                candidate.pop("membership", None)
+            ok, _ = _violates(_with_params(task, candidate))
+            return ok
+
+        minimal_events = _minimize_events(events, membership_violates)
+        if len(minimal_events) < len(events):
+            if minimal_events:
+                params["membership"] = {
+                    "kind": "schedule", "events": minimal_events
+                }
+            else:
+                params.pop("membership", None)
+            reductions.append(
+                f"membership: {len(events)} -> {len(minimal_events)} events"
+            )
+            runs += 1
+            _, violation = _violates(_with_params(task, params))
+
     # 2. Drop whole optional subsystems, then shrink their knobs.
+    if params.get("membership") is not None:
+        candidate = copy.deepcopy(params)
+        del candidate["membership"]
+        try_params(candidate, "remove membership")
     if params.get("adversary") is not None:
         candidate = copy.deepcopy(params)
         del candidate["adversary"]

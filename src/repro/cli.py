@@ -364,6 +364,16 @@ def _run_serve(args, session) -> int:
         operation_deadline=(
             args.op_deadline if args.op_deadline is not None else 60.0
         ),
+        max_attempts=args.max_attempts,
+        membership=(
+            None
+            if args.churn is None
+            else {
+                "kind": "churn",
+                "period": args.churn,
+                "batch": args.churn_batch,
+            }
+        ),
     )
     print(
         f"serve: seed {config.seed}; {config.num_servers} servers "
@@ -373,6 +383,11 @@ def _run_serve(args, session) -> int:
         f"rate {config.arrivals['rate']:g} for {config.duration:g} time "
         f"units, write mode {config.write_mode}"
     )
+    if config.membership is not None:
+        print(
+            f"serve: churn every {args.churn:g} time units, batch "
+            f"{args.churn_batch} (view-based reconfiguration)"
+        )
     result = run_service(config)
     print(result.slo_table())
     print(
@@ -585,6 +600,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-mode", choices=["owner", "two_phase"], default="owner",
         help="write routing: shard-owner client with retry/deadline "
              "protection, or ABD two-phase multi-writer (default owner)",
+    )
+    serve.add_argument(
+        "--churn", type=float, metavar="T", default=None,
+        help="membership churn: every T time units a batch of fresh "
+             "replicas joins and the oldest members retire (view-based "
+             "reconfiguration; requires --write-mode owner)",
+    )
+    serve.add_argument(
+        "--churn-batch", type=int, metavar="N", default=1,
+        help="replicas replaced per churn cycle (default 1)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, metavar="N", default=None,
+        help="give up on an operation after N dispatch attempts with a "
+             "structured QuorumUnreachable failure (default: retry "
+             "until the deadline)",
     )
     serve.add_argument(
         "--snapshot-out", metavar="PATH", default=None,

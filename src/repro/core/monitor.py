@@ -45,6 +45,7 @@ class OnlineSpecMonitor:
         "writes_checked",
         "retries_seen",
         "timeouts_seen",
+        "views_seen",
         "_last_read",
     )
 
@@ -61,6 +62,7 @@ class OnlineSpecMonitor:
         self.writes_checked = 0
         self.retries_seen = 0
         self.timeouts_seen = 0
+        self.views_seen = 0
         # (register, process) -> (timestamp, record) of the last completed
         # read: the [R4] state, one entry per reader per register.
         self._last_read: Dict[Tuple[str, int], Tuple[Timestamp, Any]] = {}
@@ -123,6 +125,17 @@ class OnlineSpecMonitor:
     def on_timeout(self, register: str, op_kind: str) -> None:
         """A deadline rejection settles the op; count it for reporting."""
         self.timeouts_seen += 1
+
+    def on_view_change(self, view_id: int, members: Any, now: float) -> None:
+        """A membership view was installed (dynamic membership runs).
+
+        Deliberately does **not** reset any checker state: [R2] resolves
+        against the register history (view-independent by construction)
+        and the [R4] per-(register, process) last-read table must survive
+        reconfiguration — a read regressing *across* a view boundary is
+        exactly the bug class this monitor exists to catch.
+        """
+        self.views_seen += 1
 
     # ------------------------------------------------------------------ #
     # End-of-run check

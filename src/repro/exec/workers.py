@@ -21,11 +21,18 @@ parameterised by small JSON "spec" dicts::
             {"kind": "schedule", "events": [{"time": t, "action": a,
                                              "nodes": [...], ...}, ...]}
     retry:  {"interval": i, "backoff": b, "max_interval": m,
-             "jitter": j, "deadline": d}   (all but interval optional)
+             "jitter": j, "deadline": d, "max_attempts": a}
+            (all but interval optional)
+    membership: {"kind": "churn", "period": p, "batch": b}
+            {"kind": "schedule", "events": [{"time": t,
+                 "action": "join" | "leave", "nodes": [...]}, ...]}
+            (either form takes optional "drain", "transfer_retry",
+             "transfer_max_attempts" knobs)
 
 plus the scalar params ``loss_rate`` (probabilistic message loss) and the
-legacy ``retry_interval`` shorthand.  Fault specs address servers by
-*index*; the deployment maps them to network node ids at install time.
+legacy ``retry_interval`` shorthand.  Fault and membership specs address
+servers by *index*; the deployment maps them to network node ids at
+install time.
 
 Specs are plain data so tasks stay picklable and cache-keyable; workers
 return plain dicts for the same reason.
@@ -134,7 +141,8 @@ def build_retry_policy(
             f"retry spec must be a dict with an 'interval': {spec!r}"
         ) from None
     unknown = set(spec) - {
-        "interval", "backoff", "max_interval", "jitter", "deadline"
+        "interval", "backoff", "max_interval", "jitter", "deadline",
+        "max_attempts",
     }
     if unknown:
         raise SpecError(f"unknown retry spec keys: {sorted(unknown)}")
@@ -145,6 +153,7 @@ def build_retry_policy(
             max_interval=spec.get("max_interval"),
             jitter=spec.get("jitter", 0.1),
             deadline=spec.get("deadline"),
+            max_attempts=spec.get("max_attempts"),
         )
     except ValueError as error:
         raise SpecError(f"bad retry spec: {error}") from None
@@ -207,6 +216,51 @@ def install_faults(runner: Alg1Runner, spec: Optional[Dict[str, Any]]) -> None:
     deployment.install_schedule(schedule)
 
 
+def build_membership_schedule(
+    spec: Dict[str, Any], num_servers: int, horizon: float
+) -> Any:
+    """Turn a membership spec into a MembershipSchedule (lazy import).
+
+    ``churn`` expands a rotating join/retire timeline up to the run's
+    horizon (the membership analogue of fault churn); ``schedule``
+    passes an explicit event list through.
+    """
+    from repro.membership import MembershipError, MembershipSchedule
+
+    _kind(spec, "membership")  # normalise the missing-kind error path
+    try:
+        return MembershipSchedule.build(
+            spec, num_initial=num_servers, horizon=horizon
+        )
+    except MembershipError as error:
+        raise SpecError(str(error)) from None
+
+
+def install_membership(
+    runner: Alg1Runner, spec: Optional[Dict[str, Any]]
+) -> Optional[Any]:
+    """Attach a membership timeline to a runner; returns the ViewManager.
+
+    None (or an empty explicit schedule) leaves the deployment on the
+    static fast path and returns None.
+    """
+    if spec is None:
+        return None
+    deployment = runner.deployment
+    horizon = runner.max_sim_time
+    if horizon is None:
+        horizon = 100.0 * runner.max_rounds
+    schedule = build_membership_schedule(
+        spec, deployment.num_servers, horizon
+    )
+    return deployment.install_membership(
+        schedule,
+        drain=spec.get("drain", 8.0),
+        transfer_retry=spec.get("transfer_retry", 4.0),
+        transfer_max_attempts=spec.get("transfer_max_attempts", 8),
+    )
+
+
 def build_broken_client(spec: Optional[Dict[str, Any]]) -> Optional[type]:
     """Instantiate a deliberately-broken client class from its spec.
 
@@ -230,8 +284,9 @@ def run_alg1_task(task: RunTask) -> Dict[str, Any]:
     Recognised params: ``graph``, ``quorum``, ``delay`` (specs, above),
     ``monotone``, ``max_rounds``, and optionally ``retry_interval``,
     ``retry`` (a policy spec), ``loss_rate``, ``max_sim_time``,
-    ``faults``, ``adversary`` (a strategy spec, see
-    :func:`repro.adversary.build_adversary`), ``check_spec_online``
+    ``faults``, ``membership`` (a membership timeline spec, see
+    :func:`build_membership_schedule`), ``adversary`` (a strategy spec,
+    see :func:`repro.adversary.build_adversary`), ``check_spec_online``
     (attach an :class:`~repro.core.monitor.OnlineSpecMonitor`; forces
     history recording), ``broken_client`` (see
     :func:`build_broken_client`) and ``measure_pseudocycles`` (which
@@ -286,6 +341,7 @@ def run_alg1_task(task: RunTask) -> Dict[str, Any]:
         client_class=build_broken_client(params.get("broken_client")),
     )
     install_faults(runner, params.get("faults"))
+    membership = install_membership(runner, params.get("membership"))
     violation: Optional[SpecViolation] = None
     try:
         result = runner.run(check_spec=False)
@@ -323,6 +379,21 @@ def run_alg1_task(task: RunTask) -> Dict[str, Any]:
             "ops_under_failure": result.ops_under_failure,
         }
     out["hung_ops"] = deployment.hung_ops
+    # Membership and give-up accounting appear only for tasks that asked
+    # for them, so payloads of schedule-free tasks keep their exact
+    # pre-membership shape (cached payloads stay interchangeable with
+    # fresh ones).
+    if membership is not None:
+        out["membership"] = {
+            **membership.metric_counters(),
+            "views": membership.view_sizes(),
+            "stale_nacks": deployment.total_stale_nacks,
+            "view_refreshes": deployment.total_view_refreshes,
+        }
+    if membership is not None or (
+        (params.get("retry") or {}).get("max_attempts") is not None
+    ):
+        out["unreachable"] = deployment.total_unreachable
     out["spec_violation"] = (
         violation.payload() if violation is not None else None
     )
@@ -335,6 +406,8 @@ def run_alg1_task(task: RunTask) -> Dict[str, Any]:
             "retries_seen": monitor.retries_seen,
             "timeouts_seen": monitor.timeouts_seen,
         }
+        if membership is not None:
+            out["monitor"]["views_seen"] = monitor.views_seen
     out["faults_injected"] = {
         "crashes": deployment.failures.crashes_injected,
         "recoveries": deployment.failures.recoveries,

@@ -1,0 +1,30 @@
+"""Dynamic membership: epoch/view-based reconfiguration.
+
+The paper's model fixes the universe of ``n`` replica servers before the
+run.  This package removes that assumption: a
+:class:`~repro.membership.schedule.MembershipSchedule` scripts timed
+``join``/``leave`` events (plain data, same idiom as
+:class:`~repro.sim.failures.FailureSchedule`), and a
+:class:`~repro.membership.manager.ViewManager` turns them into numbered
+*views* — per-view member sets with their own probabilistic quorum
+system — installed on the deployment while client operations are in
+flight.  Joining replicas catch up by state transfer from a read quorum
+of the previous view; leaving replicas drain and then stop answering.
+Clients discover new views lazily through ``StaleViewNack`` replies and
+re-dispatch under the existing retry/deadline machinery.
+"""
+
+from repro.membership.manager import View, ViewManager
+from repro.membership.schedule import (
+    MembershipError,
+    MembershipEvent,
+    MembershipSchedule,
+)
+
+__all__ = [
+    "MembershipError",
+    "MembershipEvent",
+    "MembershipSchedule",
+    "View",
+    "ViewManager",
+]

@@ -161,6 +161,35 @@ def collect_deployment(metrics: Any, deployment: Any) -> None:
         "repro_ops_pending", "Operations still in flight at collection time."
     ).set(deployment.pending_ops)
 
+    # Dynamic membership families exist only when a view manager is
+    # installed, so metric exports of static deployments keep their
+    # exact pre-membership shape (pooled/serial byte-equality included).
+    membership = getattr(deployment, "membership", None)
+    if membership is not None:
+        events = metrics.counter(
+            "repro_membership_events_total",
+            "View-manager activity (installs, joins, transfers), by kind.",
+            labelnames=("kind",),
+        )
+        for kind, count in sorted(membership.metric_counters().items()):
+            events.labels(kind).inc(count)
+        metrics.counter(
+            "repro_membership_stale_nacks_total",
+            "StaleViewNack replies received across all clients.",
+        ).inc(deployment.total_stale_nacks)
+        metrics.counter(
+            "repro_membership_view_refreshes_total",
+            "Client view refreshes (nack-, reply- or retry-triggered).",
+        ).inc(deployment.total_view_refreshes)
+        metrics.counter(
+            "repro_ops_unreachable_total",
+            "Operations abandoned with QuorumUnreachable.",
+        ).inc(deployment.total_unreachable)
+        metrics.gauge(
+            "repro_membership_view_id",
+            "Current view id at collection time.",
+        ).set(membership.current_view.view_id)
+
 
 def collect_chaos(metrics: Any, result: Any) -> None:
     """Campaign-level accounting for a chaos run (repro.chaos.campaign).

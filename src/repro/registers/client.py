@@ -26,7 +26,17 @@ from repro.core.register import AbstractRegister
 from repro.core.timestamps import Timestamp
 from repro.obs.core import DISABLED, Observability
 from repro.quorum.base import QuorumSystem
-from repro.registers.messages import ReadQuery, ReadReply, WriteAck, WriteUpdate
+from repro.registers.messages import (
+    ReadQuery,
+    ReadReply,
+    StaleViewNack,
+    ViewReadQuery,
+    ViewReadReply,
+    ViewWriteAck,
+    ViewWriteUpdate,
+    WriteAck,
+    WriteUpdate,
+)
 from repro.registers.space import RegisterSpace
 from repro.sim.futures import Future
 from repro.sim.network import Node
@@ -39,6 +49,26 @@ class SingleWriterViolation(RuntimeError):
 
 class OperationTimeout(RuntimeError):
     """An operation missed its deadline; its future is rejected with this."""
+
+
+class QuorumUnreachable(OperationTimeout):
+    """The client gave up on an operation after ``max_attempts`` resamples.
+
+    Subclasses :class:`OperationTimeout` so every caller that already
+    tolerates deadline misses (the service frontend sheds them, the
+    workload driver counts them) handles permanent quorum loss the same
+    way — but as a distinct type with structured fields, so tests and
+    degradation counters can tell "slow" from "gone".
+    """
+
+    def __init__(self, register: str, kind: str, attempts: int) -> None:
+        super().__init__(
+            f"{kind}({register}) unreachable: no quorum assembled after "
+            f"{attempts} attempt(s)"
+        )
+        self.register = register
+        self.kind = kind
+        self.attempts = attempts
 
 
 @dataclass(frozen=True)
@@ -54,6 +84,11 @@ class RetryPolicy:
     * ``deadline`` — per-operation budget in simulated time; an operation
       still incomplete after this long fails with
       :class:`OperationTimeout`.  None disables deadlines.
+    * ``max_attempts`` — total attempt budget (initial send plus
+      retries); an operation that has resampled this many times without
+      completing fails with :class:`QuorumUnreachable` instead of
+      retrying forever.  None (the default) keeps the historical
+      retry-until-deadline behaviour.
     """
 
     interval: float
@@ -61,6 +96,7 @@ class RetryPolicy:
     max_interval: Optional[float] = None
     jitter: float = 0.1
     deadline: Optional[float] = None
+    max_attempts: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
@@ -75,6 +111,10 @@ class RetryPolicy:
             raise ValueError(f"jitter must be in [0, 1): {self.jitter}")
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError(f"deadline must be positive: {self.deadline}")
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1: {self.max_attempts}"
+            )
 
     @classmethod
     def fixed(
@@ -116,6 +156,7 @@ class _PendingOp:
         "members",
         "member_ids",
         "message",
+        "view",
     )
 
     def __init__(
@@ -151,6 +192,9 @@ class _PendingOp:
         self.members: Optional[List[int]] = None
         self.member_ids: Optional[List[int]] = None
         self.message: Any = None
+        # View id this op is currently dispatched under; None on static
+        # (membership-free) deployments, where messages are unstamped.
+        self.view: Optional[int] = None
 
     def complete_against_quorum(self) -> bool:
         """True once every member of the current quorum has replied."""
@@ -217,6 +261,15 @@ class QuorumRegisterClient(Node):
         self.timeouts = 0
         self.ops_completed = 0
         self.ops_completed_under_failure = 0
+        # Dynamic membership (repro.membership): attached post-construction
+        # by the deployment when a schedule is installed; None on static
+        # deployments, where every membership branch below is skipped.
+        self._membership: Optional[Any] = None
+        self._view: Optional[Any] = None
+        self._view_rng: Optional[np.random.Generator] = None
+        self.unreachable = 0
+        self.stale_nacks = 0
+        self.view_refreshes = 0
         # Observability: per-op spans and the latency histogram are the
         # only *live* instrumentation in the register stack (everything
         # else is collected post-run).  Both sides are prefetched to a
@@ -312,14 +365,23 @@ class QuorumRegisterClient(Node):
             )
         message = op.message
         if message is None:
-            if op.is_read:
-                message = ReadQuery(op.register, op.op_id)
+            # Built once per dispatch: the fields never change across
+            # rounds, and immutability lets retries re-send the same
+            # instance.  (A view refresh clears the cache — the stamp
+            # changes — but a static deployment never does.)
+            if op.view is None:
+                if op.is_read:
+                    message = ReadQuery(op.register, op.op_id)
+                else:
+                    message = WriteUpdate(
+                        op.register, op.op_id, op.value, op.timestamp
+                    )
+            elif op.is_read:
+                message = ViewReadQuery(op.register, op.op_id, op.view)
             else:
-                message = WriteUpdate(
-                    op.register, op.op_id, op.value, op.timestamp
+                message = ViewWriteUpdate(
+                    op.register, op.op_id, op.value, op.timestamp, op.view
                 )
-            # Built once per op: the fields never change across rounds,
-            # and immutability lets retries re-send the same instance.
             op.message = message
         # One immutable message shared across the round, one batched
         # delay draw for the whole quorum (Network.broadcast) — instead
@@ -356,6 +418,16 @@ class QuorumRegisterClient(Node):
         op = self._pending.get(op_id)
         if op is None:
             return
+        policy = self.retry_policy
+        if (
+            policy.max_attempts is not None
+            and op.attempts + 1 >= policy.max_attempts
+        ):
+            # Attempt budget exhausted (initial send counts as attempt
+            # one): give up instead of resampling forever against a
+            # permanently lost quorum.
+            self._give_up(op)
+            return
         op.attempts += 1
         self.retries += 1
         if self._monitor_on:
@@ -366,7 +438,15 @@ class QuorumRegisterClient(Node):
             op.span.event(
                 self.network.scheduler.now, "retry", attempt=op.attempts
             )
-        if op.is_read:
+        if self._membership is not None:
+            # Retry time is also view-refresh time: a stalled quorum is
+            # often stalled *because* its members left the view.
+            self._refresh_view()
+            if op.view != self._view.view_id:
+                op.view = self._view.view_id
+                op.message = None  # stamp changed; rebuild next round
+            op.quorum = self._view.sample(self._view_rng)
+        elif op.is_read:
             op.quorum = self.quorum_system.read_quorum(self.rng)
         else:
             op.quorum = self.quorum_system.write_quorum(self.rng)
@@ -409,6 +489,19 @@ class QuorumRegisterClient(Node):
             )
         )
 
+    def _give_up(self, op: _PendingOp) -> None:
+        """Attempt budget exhausted: fail the future with QuorumUnreachable."""
+        self._teardown(op)
+        self.unreachable += 1
+        kind = "read" if op.is_read else "write"
+        if self._monitor_on:
+            self.spec_monitor.on_timeout(op.register, kind)
+        if op.span is not None:
+            self.observability.spans.finish(
+                op.span, self.network.scheduler.now, status="unreachable"
+            )
+        op.future.fail(QuorumUnreachable(op.register, kind, op.attempts + 1))
+
     def _teardown(self, op: _PendingOp) -> None:
         """Drop the op from the pending table and cancel its timers."""
         del self._pending[op.op_id]
@@ -416,6 +509,58 @@ class QuorumRegisterClient(Node):
             op.retry_handle.cancel()
         if op.deadline_handle is not None:
             op.deadline_handle.cancel()
+
+    # ------------------------------------------------------------------ #
+    # Dynamic membership (repro.membership)
+    # ------------------------------------------------------------------ #
+
+    def attach_membership(self, manager: Any) -> None:
+        """Join a view-managed deployment (called by install_membership)."""
+        self._membership = manager
+        self._view = manager.current_view
+        self._view_rng = manager.client_view_rng(
+            self._view.view_id, self.client_id, self.rng
+        )
+
+    def _roster_extended(self, node_id: int) -> None:
+        """A new replica server exists; extend the id/index maps."""
+        self._server_index[node_id] = len(self.server_ids)
+        self.server_ids.append(node_id)
+
+    def _refresh_view(self) -> None:
+        """Adopt the manager's current view if it is newer than ours."""
+        view = self._membership.current_view
+        if view.view_id != self._view.view_id:
+            self._view = view
+            self._view_rng = self._membership.client_view_rng(
+                view.view_id, self.client_id, self.rng
+            )
+            self.view_refreshes += 1
+
+    def _redispatch(self, op: _PendingOp) -> None:
+        """Re-dispatch a nacked op under the client's current view.
+
+        Earlier replies are kept — their values are valid regardless of
+        which view served them — so the op completes as soon as the new
+        quorum is covered, possibly immediately.
+        """
+        view = self._view
+        if op.view == view.view_id:
+            return  # duplicate nacks from one stale round; already moved
+        op.view = view.view_id
+        op.quorum = view.sample(self._view_rng)
+        op.members = None
+        op.member_ids = None
+        op.message = None
+        if op.span is not None:
+            op.span.event(
+                self.network.scheduler.now, "view_redispatch",
+                view=view.view_id,
+            )
+        if op.complete_against_quorum():
+            self._finish(op)
+            return
+        self._send_round(op)
 
     # ------------------------------------------------------------------ #
     # Operations
@@ -427,11 +572,17 @@ class QuorumRegisterClient(Node):
         now = self.network.scheduler.now
         record: ReadRecord = info.history.begin_read(self.client_id, now)
         future = Future(f"read({register}) by c{self.client_id}")
-        quorum = self.quorum_system.read_quorum(self.rng)
-        self.quorum_system.validate_quorum(quorum)
+        if self._membership is not None:
+            self._refresh_view()
+            quorum = self._view.sample(self._view_rng)
+        else:
+            quorum = self.quorum_system.read_quorum(self.rng)
+            self.quorum_system.validate_quorum(quorum)
         op = _PendingOp(
             next(self._op_ids), register, True, quorum, future, record
         )
+        if self._membership is not None:
+            op.view = self._view.view_id
         self.reads_performed += 1
         self._begin(op)
         return future
@@ -452,12 +603,18 @@ class QuorumRegisterClient(Node):
             self.client_id, now, value, timestamp
         )
         future = Future(f"write({register}) by c{self.client_id}")
-        quorum = self.quorum_system.write_quorum(self.rng)
-        self.quorum_system.validate_quorum(quorum)
+        if self._membership is not None:
+            self._refresh_view()
+            quorum = self._view.sample(self._view_rng)
+        else:
+            quorum = self.quorum_system.write_quorum(self.rng)
+            self.quorum_system.validate_quorum(quorum)
         op = _PendingOp(
             next(self._op_ids), register, False, quorum, future, record,
             value=value, timestamp=timestamp,
         )
+        if self._membership is not None:
+            op.view = self._view.view_id
         self.writes_performed += 1
         self._begin(op)
         return future
@@ -467,6 +624,10 @@ class QuorumRegisterClient(Node):
     # ------------------------------------------------------------------ #
 
     def on_message(self, src: int, message: Any) -> None:
+        # The plain-reply branch stays first: it is the only branch a
+        # membership-free run ever takes, and the native client core
+        # recognises exactly these two types — everything view-stamped
+        # soft-falls back here per message.
         if isinstance(message, (ReadReply, WriteAck)):
             op = self._pending.get(message.op_id)
             if op is None:
@@ -481,6 +642,36 @@ class QuorumRegisterClient(Node):
                 )
             if op.complete_against_quorum():
                 self._finish(op)
+        elif isinstance(message, (ViewReadReply, ViewWriteAck)):
+            if self._membership is None:
+                return  # view traffic on a static deployment: drop
+            if message.view > self._view.view_id:
+                # A draining leaver (or newer member) answered an op we
+                # stamped with an old view; the reply is still a valid
+                # answer, and its stamp tells us to refresh.
+                self._refresh_view()
+            op = self._pending.get(message.op_id)
+            if op is None:
+                return
+            server_index = self._server_index.get(src)
+            if server_index is None:
+                return
+            op.replies[server_index] = message
+            if op.span is not None:
+                op.span.event(
+                    self.network.scheduler.now, "reply", server=server_index
+                )
+            if op.complete_against_quorum():
+                self._finish(op)
+        elif isinstance(message, StaleViewNack):
+            if self._membership is None:
+                return
+            self.stale_nacks += 1
+            self._refresh_view()
+            op = self._pending.get(message.op_id)
+            if op is None:
+                return  # op already completed (or expired) elsewhere
+            self._redispatch(op)
 
     def _finish(self, op: _PendingOp) -> None:
         self._teardown(op)
@@ -505,7 +696,9 @@ class QuorumRegisterClient(Node):
         # Read: return the highest-timestamped value among quorum replies,
         # consulting the monotone cache when enabled.
         quorum_replies = [
-            op.replies[i] for i in op.quorum if isinstance(op.replies.get(i), ReadReply)
+            op.replies[i]
+            for i in op.quorum
+            if isinstance(op.replies.get(i), (ReadReply, ViewReadReply))
         ]
         best = max(quorum_replies, key=lambda reply: reply.timestamp)
         value, timestamp = best.value, best.timestamp

@@ -94,6 +94,16 @@ class RegisterDeployment:
             self.network.add_node(server)
             self.servers.append(server)
         self.server_ids = [server.node_id for server in self.servers]
+        # Reverse map node id -> roster index.  Roster indices are stable
+        # for the life of the deployment: the initial servers occupy
+        # 0..n-1 and dynamic membership (install_membership) appends.
+        self.server_index = {
+            node_id: index for index, node_id in enumerate(self.server_ids)
+        }
+        # Dynamic membership; stays None unless install_membership is
+        # handed a non-empty schedule, and every membership branch in the
+        # register stack gates on that.
+        self.membership: Optional[Any] = None
 
         self.clients: List[QuorumRegisterClient] = []
         for client_id in range(num_clients):
@@ -152,8 +162,12 @@ class RegisterDeployment:
 
     @property
     def num_servers(self) -> int:
-        """Number of replica servers (the quorum system's n)."""
-        return self.quorum_system.n
+        """Number of replica servers in the roster.
+
+        Equals the quorum system's ``n`` on static deployments; under
+        dynamic membership the roster grows as joiners are materialised.
+        """
+        return len(self.servers)
 
     @property
     def num_clients(self) -> int:
@@ -195,6 +209,74 @@ class RegisterDeployment:
             resolve=lambda index: self.server_ids[index % self.num_servers],
         )
 
+    # -- dynamic membership (repro.membership) ------------------------- #
+
+    def install_membership(
+        self,
+        schedule: Any,
+        drain: float = 8.0,
+        transfer_retry: float = 4.0,
+        transfer_max_attempts: int = 8,
+    ) -> Optional[Any]:
+        """Install a membership timeline; returns the ViewManager.
+
+        An **empty** schedule returns None and touches nothing — the
+        deployment stays on the static fast path, byte-identical to one
+        that never heard of membership.  Otherwise every server gets a
+        view state, every client switches to view-stamped dispatch, and
+        the manager's events are scheduled.  Imported lazily so static
+        deployments never load the membership package.
+        """
+        if len(schedule) == 0:
+            return None
+        if self.membership is not None:
+            raise ValueError("membership schedule already installed")
+        from repro.membership.manager import ServerViewState, ViewManager
+
+        manager = ViewManager(
+            self,
+            schedule,
+            drain=drain,
+            transfer_retry=transfer_retry,
+            transfer_max_attempts=transfer_max_attempts,
+        )
+        self.membership = manager
+        for index, server in enumerate(self.servers):
+            server.view_state = ServerViewState(manager, index, 0)
+        for client in self.clients:
+            client.attach_membership(manager)
+        manager.install()
+        return manager
+
+    def ensure_server(self, index: int) -> ReplicaServer:
+        """Grow the roster until roster index ``index`` exists.
+
+        New servers join the network immediately (reachable, not yet view
+        members); clients learn the extended id/index maps at once, so a
+        quorum sampled from a view containing the index can address it.
+        """
+        from repro.membership.manager import ServerViewState
+
+        while len(self.servers) <= index:
+            roster_index = len(self.servers)
+            server = ReplicaServer(self.space)
+            self.network.add_node(server)
+            if self.membership is not None:
+                server.view_state = ServerViewState(
+                    self.membership,
+                    roster_index,
+                    self.membership.current_view.view_id,
+                )
+            core = kernel.make_server_core(server)
+            if core is not None:
+                server.on_message = core
+            self.servers.append(server)
+            self.server_ids.append(server.node_id)
+            self.server_index[server.node_id] = roster_index
+            for client in self.clients:
+                client._roster_extended(server.node_id)
+        return self.servers[index]
+
     # -- degradation accounting (aggregated over all clients) ---------- #
 
     @property
@@ -213,6 +295,21 @@ class RegisterDeployment:
         return sum(
             client.ops_completed_under_failure for client in self.clients
         )
+
+    @property
+    def total_unreachable(self) -> int:
+        """Operations abandoned with QuorumUnreachable across every client."""
+        return sum(client.unreachable for client in self.clients)
+
+    @property
+    def total_stale_nacks(self) -> int:
+        """StaleViewNack replies received across every client."""
+        return sum(client.stale_nacks for client in self.clients)
+
+    @property
+    def total_view_refreshes(self) -> int:
+        """View refreshes performed across every client."""
+        return sum(client.view_refreshes for client in self.clients)
 
     @property
     def pending_ops(self) -> int:

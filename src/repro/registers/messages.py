@@ -74,3 +74,132 @@ class WriteAck(NamedTuple):
 
     def __repr__(self) -> str:
         return f"WriteAck({self.register!r}, op={self.op_id})"
+
+
+# --------------------------------------------------------------------- #
+# View-stamped variants (dynamic membership, repro.membership)
+#
+# Deployments with an installed ViewManager exchange these instead of
+# the plain four: requests carry the client's view id, replies the
+# server's, and a server nacks requests stamped with an older view so
+# the client refreshes and re-dispatches.  They are deliberately
+# *distinct types*, not extra fields on the plain messages: the native
+# kernel's protocol cores recognise the four plain NamedTuples by exact
+# type and soft-fall back to the Python handlers per message for
+# anything else, so view-bearing traffic takes the Python path with no
+# C changes — and membership-free runs, which never allocate these,
+# stay byte-identical.  Query/reply kinds reuse the plain labels so
+# per-kind message stats stay comparable across modes.
+# --------------------------------------------------------------------- #
+
+
+class ViewReadQuery(NamedTuple):
+    """Client -> server: a read query stamped with the client's view."""
+
+    register: str
+    op_id: int
+    view: int
+
+    kind = "read_query"
+
+    def __repr__(self) -> str:
+        return f"ViewReadQuery({self.register!r}, op={self.op_id}, v={self.view})"
+
+
+class ViewReadReply(NamedTuple):
+    """Server -> client: replica value/timestamp plus the server's view."""
+
+    register: str
+    op_id: int
+    value: Any
+    timestamp: Timestamp
+    view: int
+
+    kind = "read_reply"
+
+    def __repr__(self) -> str:
+        return (
+            f"ViewReadReply({self.register!r}, op={self.op_id}, "
+            f"v={self.value!r}, ts={self.timestamp.seq}, view={self.view})"
+        )
+
+
+class ViewWriteUpdate(NamedTuple):
+    """Client -> server: a write update stamped with the client's view."""
+
+    register: str
+    op_id: int
+    value: Any
+    timestamp: Timestamp
+    view: int
+
+    kind = "write_update"
+
+    def __repr__(self) -> str:
+        return (
+            f"ViewWriteUpdate({self.register!r}, op={self.op_id}, "
+            f"v={self.value!r}, ts={self.timestamp.seq}, view={self.view})"
+        )
+
+
+class ViewWriteAck(NamedTuple):
+    """Server -> client: write acknowledgement plus the server's view."""
+
+    register: str
+    op_id: int
+    view: int
+
+    kind = "write_ack"
+
+    def __repr__(self) -> str:
+        return f"ViewWriteAck({self.register!r}, op={self.op_id}, view={self.view})"
+
+
+class StaleViewNack(NamedTuple):
+    """Server -> client: request refused, stamped view is out of date.
+
+    ``view`` is the server's *current* view id; the client refreshes to
+    it and re-dispatches the operation under the new view's quorum.
+    """
+
+    register: str
+    op_id: int
+    view: int
+
+    kind = "stale_view_nack"
+
+    def __repr__(self) -> str:
+        return f"StaleViewNack({self.register!r}, op={self.op_id}, view={self.view})"
+
+
+class StateRequest(NamedTuple):
+    """Joiner -> old-view member: request the member's replica state."""
+
+    transfer_id: int
+    view: int
+
+    kind = "state_request"
+
+    def __repr__(self) -> str:
+        return f"StateRequest(transfer={self.transfer_id}, view={self.view})"
+
+
+class StateReply(NamedTuple):
+    """Old-view member -> joiner: every materialised replica entry.
+
+    ``entries`` is a tuple of ``(register, timestamp, value)`` triples;
+    registers the member never touched stay at their declared initial
+    values, which the joiner's lazy replica probe supplies on demand.
+    """
+
+    transfer_id: int
+    view: int
+    entries: Any
+
+    kind = "state_reply"
+
+    def __repr__(self) -> str:
+        return (
+            f"StateReply(transfer={self.transfer_id}, view={self.view}, "
+            f"entries={len(self.entries)})"
+        )

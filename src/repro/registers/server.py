@@ -4,12 +4,36 @@ Each server keeps, per register, a local replica value and its timestamp
 (Section 4).  A ReadQuery is answered with the current replica; a
 WriteUpdate installs the value only when its timestamp is newer than the
 stored one, which makes the protocol tolerate message reordering.
+
+Dynamic membership (``repro.membership``) rides on the view-stamped
+message variants: when a :class:`~repro.membership.manager.ViewManager`
+attaches a :class:`~repro.membership.manager.ServerViewState`, the
+server answers ``ViewReadQuery``/``ViewWriteUpdate`` with replies
+carrying its current view id, nacks requests stamped with an older view
+(``StaleViewNack`` — the client refreshes and re-dispatches), serves
+``StateRequest`` catch-up queries from joining replicas, and — once
+retired after its drain window — ignores all traffic, counted.  A
+deployment with no membership schedule never attaches the state, and
+every view-stamped branch sits after the plain-message dispatch, so the
+membership-free hot path is unchanged.
 """
 
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.timestamps import Timestamp
-from repro.registers.messages import ReadQuery, ReadReply, WriteAck, WriteUpdate
+from repro.registers.messages import (
+    ReadQuery,
+    ReadReply,
+    StaleViewNack,
+    StateReply,
+    StateRequest,
+    ViewReadQuery,
+    ViewReadReply,
+    ViewWriteAck,
+    ViewWriteUpdate,
+    WriteAck,
+    WriteUpdate,
+)
 from repro.registers.space import RegisterSpace
 from repro.sim.network import Node
 
@@ -25,6 +49,13 @@ class ReplicaServer(Node):
         self.writes_applied = 0
         self.stale_updates_ignored = 0
         self.unknown_messages_ignored = 0
+        # Membership state, attached by a ViewManager; None on static
+        # deployments (the overwhelmingly common case).
+        self.view_state: Optional[Any] = None
+        self.stale_nacks_sent = 0
+        self.retired_messages_ignored = 0
+        self.state_requests_served = 0
+        self.state_entries_applied = 0
 
     def _replica(self, register: str) -> Tuple[Timestamp, Any]:
         # Hot path: one dict probe per message.  The space.info lookup
@@ -52,14 +83,24 @@ class ReplicaServer(Node):
 
         Read post-run by :func:`repro.obs.collect.collect_deployment`; the
         dict shape is the contract, so any node exposing it can feed the
-        per-server instrument families.
+        per-server instrument families.  Membership counters appear only
+        when a view manager is attached, keeping membership-free metric
+        exports identical to builds without the feature.
         """
-        return {
+        counters = {
             "reads_served": self.reads_served,
             "writes_applied": self.writes_applied,
             "stale_updates_ignored": self.stale_updates_ignored,
             "unknown_messages_ignored": self.unknown_messages_ignored,
         }
+        if self.view_state is not None:
+            counters.update(
+                stale_nacks_sent=self.stale_nacks_sent,
+                retired_messages_ignored=self.retired_messages_ignored,
+                state_requests_served=self.state_requests_served,
+                state_entries_applied=self.state_entries_applied,
+            )
+        return counters
 
     def on_message(self, src: int, message: Any) -> None:
         # Replies go through network.send directly: Node.send's attachment
@@ -83,11 +124,126 @@ class ReplicaServer(Node):
             self.network.send(
                 self.node_id, src, WriteAck(message.register, message.op_id)
             )
+        elif isinstance(message, ViewReadQuery):
+            self._on_view_read(src, message)
+        elif isinstance(message, ViewWriteUpdate):
+            self._on_view_write(src, message)
+        elif isinstance(message, StateRequest):
+            self._on_state_request(src, message)
+        elif isinstance(message, StateReply):
+            self._on_state_reply(src, message)
         else:
             # Unknown message kinds are ignored, matching Node's default —
             # but counted, so a misrouted or malformed stream leaves a
             # trace instead of vanishing.
             self.unknown_messages_ignored += 1
+
+    # ------------------------------------------------------------------ #
+    # View-stamped protocol (dynamic membership)
+    # ------------------------------------------------------------------ #
+
+    def _gate(self, message: Any, src: int) -> bool:
+        """Common view checks; True when the request should be answered.
+
+        Retired servers ignore everything (counted).  An *active* member
+        nacks requests stamped with an older view, forcing the client to
+        refresh; a *draining* leaver keeps answering them — its reply
+        carries the new view id, which refreshes the client anyway —
+        so in-flight old-view operations complete during the drain.
+        """
+        state = self.view_state
+        if state.retired:
+            self.retired_messages_ignored += 1
+            return False
+        if message.view < state.view_id and not state.retiring:
+            self.stale_nacks_sent += 1
+            self.network.send(
+                self.node_id,
+                src,
+                StaleViewNack(message.register, message.op_id, state.view_id),
+            )
+            return False
+        return True
+
+    def _on_view_read(self, src: int, message: ViewReadQuery) -> None:
+        if self.view_state is None:
+            self.unknown_messages_ignored += 1
+            return
+        if not self._gate(message, src):
+            return
+        timestamp, value = self._replica(message.register)
+        self.reads_served += 1
+        self.network.send(
+            self.node_id,
+            src,
+            ViewReadReply(
+                message.register, message.op_id, value, timestamp,
+                self.view_state.view_id,
+            ),
+        )
+
+    def _on_view_write(self, src: int, message: ViewWriteUpdate) -> None:
+        if self.view_state is None:
+            self.unknown_messages_ignored += 1
+            return
+        if not self._gate(message, src):
+            return
+        current_ts, _ = self._replica(message.register)
+        if message.timestamp > current_ts:
+            self._replicas[message.register] = (
+                message.timestamp, message.value
+            )
+            self.writes_applied += 1
+        else:
+            self.stale_updates_ignored += 1
+        self.network.send(
+            self.node_id,
+            src,
+            ViewWriteAck(
+                message.register, message.op_id, self.view_state.view_id
+            ),
+        )
+
+    def _on_state_request(self, src: int, message: StateRequest) -> None:
+        state = self.view_state
+        if state is None:
+            self.unknown_messages_ignored += 1
+            return
+        if state.retired:
+            self.retired_messages_ignored += 1
+            return
+        # Every materialised replica, in sorted register order so the
+        # reply payload is deterministic.  Untouched registers stay at
+        # their declared initial values, which the joiner's lazy replica
+        # probe supplies on first access.
+        entries = tuple(
+            (name, timestamp, value)
+            for name, (timestamp, value) in sorted(self._replicas.items())
+        )
+        self.state_requests_served += 1
+        self.network.send(
+            self.node_id,
+            src,
+            StateReply(message.transfer_id, state.view_id, entries),
+        )
+
+    def _on_state_reply(self, src: int, message: StateReply) -> None:
+        state = self.view_state
+        if (
+            state is None
+            or state.transfer is None
+            or message.transfer_id != state.transfer.transfer_id
+        ):
+            self.unknown_messages_ignored += 1
+            return
+        for name, timestamp, value in message.entries:
+            current_ts, _ = self._replica(name)
+            if timestamp > current_ts:
+                self._replicas[name] = (timestamp, value)
+                self.state_entries_applied += 1
+        manager = state.manager
+        src_index = manager.deployment.server_index[src]
+        manager.on_transfer_reply(state.index, src_index, message.transfer_id)
 
     def __repr__(self) -> str:
         return (

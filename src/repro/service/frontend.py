@@ -40,6 +40,7 @@ from typing import Any, Dict, Optional
 
 from repro.obs.core import DISABLED, Observability
 from repro.obs.quantiles import DEFAULT_QUANTILES, StreamingQuantiles
+from repro.registers.client import QuorumUnreachable
 from repro.registers.sharding import ShardedKeyspace
 from repro.sim.futures import Future
 
@@ -91,6 +92,10 @@ class KeyValueFrontend:
         self.shed: Dict[str, int] = {"read": 0, "write": 0}
         self.completed: Dict[str, int] = {"read": 0, "write": 0}
         self.timed_out: Dict[str, int] = {"read": 0, "write": 0}
+        #: Operations abandoned as permanently unreachable (the bounded
+        #: ``max_attempts`` give-up) — counted apart from deadline
+        #: timeouts so a churn run can tell "slow" from "gave up".
+        self.unreachable: Dict[str, int] = {"read": 0, "write": 0}
 
         #: Streaming SLO estimators per kind plus the combined stream.
         self.stream_quantiles: Dict[str, StreamingQuantiles] = {
@@ -128,6 +133,10 @@ class KeyValueFrontend:
     @property
     def total_timed_out(self) -> int:
         return sum(self.timed_out.values())
+
+    @property
+    def total_unreachable(self) -> int:
+        return sum(self.unreachable.values())
 
     # ------------------------------------------------------------------ #
 
@@ -169,7 +178,10 @@ class KeyValueFrontend:
     def _settled(self, kind: str, started: float, future: Future) -> None:
         self.in_flight -= 1
         if future.failed:
-            self.timed_out[kind] += 1
+            if isinstance(future.exception, QuorumUnreachable):
+                self.unreachable[kind] += 1
+            else:
+                self.timed_out[kind] += 1
             return
         elapsed = self._scheduler.now - started
         self.completed[kind] += 1
@@ -185,6 +197,7 @@ class KeyValueFrontend:
             "shed": dict(self.shed),
             "completed": dict(self.completed),
             "timed_out": dict(self.timed_out),
+            "unreachable": dict(self.unreachable),
             "in_flight": self.in_flight,
             "peak_in_flight": self.peak_in_flight,
         }

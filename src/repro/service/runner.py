@@ -18,6 +18,8 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from repro.adversary import build_adversary
+from repro.membership import MembershipSchedule
 from repro.obs.collect import collect_deployment
 from repro.obs.core import Observability
 from repro.quorum.probabilistic import ProbabilisticQuorumSystem
@@ -61,6 +63,21 @@ class ServiceConfig:
     loss_rate: float = 0.0
     retry_interval: float = 4.0
     operation_deadline: Optional[float] = 60.0
+    #: Bounded give-up: after this many dispatch attempts an operation
+    #: fails with :class:`~repro.registers.client.QuorumUnreachable`
+    #: (None keeps retrying until the deadline).
+    max_attempts: Optional[int] = None
+    #: Membership timeline spec for
+    #: :meth:`repro.membership.MembershipSchedule.build` — e.g.
+    #: ``{"kind": "churn", "period": 60.0, "batch": 1}``.  None (the
+    #: default) keeps the deployment on the static fast path, and the
+    #: run's metrics snapshot stays byte-identical to pre-membership
+    #: builds.  Requires ``write_mode="owner"``: the two-phase
+    #: multi-writer protocol is not view-stamped.
+    membership: Optional[Dict[str, Any]] = None
+    #: Adversary strategy spec for
+    #: :func:`repro.adversary.build_adversary` (None: no adversary).
+    adversary: Optional[Dict[str, Any]] = None
 
     def build_delay_model(self):
         if self.delay_model == "constant":
@@ -91,6 +108,14 @@ class ServiceResult:
     snapshot: Dict[str, Any]
     snapshot_bytes: bytes
     wall_seconds: float
+    #: Operations abandoned as permanently unreachable (bounded retries).
+    unreachable: int = 0
+    #: View-manager summary (installs, transfers, per-view sizes, client
+    #: refresh/nack counts) — None on a static run.
+    membership: Optional[Dict[str, Any]] = None
+    #: Adversary summary (drops, delays, strategy knobs) — None when the
+    #: run had no adversary.
+    adversary: Optional[Dict[str, Any]] = None
 
     @property
     def completed(self) -> int:
@@ -122,13 +147,25 @@ class ServiceResult:
             f"({self.offered / self.config.duration:.3f}/t), "
             f"completed {self.completed} ({self.completed_rate:.3f}/t), "
             f"shed {self.shed} ({self.shed_fraction:.2%}), "
-            f"timeouts {self.timeouts}",
+            f"timeouts {self.timeouts}"
+            + (f", unreachable {self.unreachable}" if self.unreachable else ""),
             f"  in flight: peak {self.counters['peak_in_flight']} "
             f"/ limit {self.config.max_in_flight}; "
             f"still pending at horizon: {self.counters['in_flight']}; "
             f"retries {self.retries}",
-            "  latency             p50       p99      p999  overflow",
         ]
+        if self.membership is not None:
+            m = self.membership
+            lines.append(
+                f"  membership: {m['views_installed']} views installed, "
+                f"transfers {m['state_transfers_completed']} done / "
+                f"{m['state_transfers_incomplete']} incomplete, "
+                f"{m['stale_nacks']} stale nacks, "
+                f"{m['view_refreshes']} view refreshes"
+            )
+        lines.append(
+            "  latency             p50       p99      p999  overflow"
+        )
         for kind in ("read", "write", "all"):
             stream = self.streaming[kind]
             hist = self.histogram_quantiles.get(kind)
@@ -160,8 +197,19 @@ def run_service(config: ServiceConfig) -> ServiceResult:
         max_interval=4.0 * config.retry_interval,
         jitter=0.1,
         deadline=config.operation_deadline,
+        max_attempts=config.max_attempts,
     )
     two_phase = config.write_mode == "two_phase"
+    if config.membership is not None and two_phase:
+        raise ValueError(
+            "membership requires write_mode='owner': the two-phase "
+            "multi-writer protocol is not view-stamped"
+        )
+    adversary = (
+        build_adversary(config.adversary, horizon=config.duration)
+        if config.adversary is not None
+        else None
+    )
     deployment = RegisterDeployment(
         ProbabilisticQuorumSystem(config.num_servers, config.quorum_size),
         num_clients=config.num_clients,
@@ -177,6 +225,7 @@ def run_service(config: ServiceConfig) -> ServiceResult:
         record_history=False,
         detailed_stats=False,
         observability=observability,
+        adversary=adversary,
     )
     keyspace = ShardedKeyspace(config.num_registers)
     for shard, name in enumerate(keyspace.register_names):
@@ -184,6 +233,23 @@ def run_service(config: ServiceConfig) -> ServiceResult:
             name,
             writer=None if two_phase else shard % config.num_clients,
             initial_value=0,
+        )
+    manager = None
+    if config.membership is not None:
+        # Expand churn up to the arrival horizon: reconfiguring after the
+        # last arrival would only churn an idle deployment.
+        schedule = MembershipSchedule.build(
+            config.membership,
+            num_initial=config.num_servers,
+            horizon=config.duration,
+        )
+        manager = deployment.install_membership(
+            schedule,
+            drain=config.membership.get("drain", 8.0),
+            transfer_retry=config.membership.get("transfer_retry", 4.0),
+            transfer_max_attempts=config.membership.get(
+                "transfer_max_attempts", 8
+            ),
         )
     frontend = KeyValueFrontend(
         deployment,
@@ -239,6 +305,18 @@ def run_service(config: ServiceConfig) -> ServiceResult:
         snapshot=snapshot,
         snapshot_bytes=metrics.snapshot_bytes(),
         wall_seconds=time.perf_counter() - started,
+        unreachable=deployment.total_unreachable,
+        membership=(
+            None
+            if manager is None
+            else {
+                **manager.metric_counters(),
+                "views": manager.view_sizes(),
+                "stale_nacks": deployment.total_stale_nacks,
+                "view_refreshes": deployment.total_view_refreshes,
+            }
+        ),
+        adversary=adversary.summary() if adversary is not None else None,
     )
 
 
@@ -271,6 +349,16 @@ def _collect_service(metrics: Any, driver: OpenLoopDriver,
         family = metrics.counter(name, help_text, labelnames=("kind",))
         for kind in sorted(counters):
             family.labels(kind).inc(counters[kind])
+    # Gated like the deployment-level membership families: a static run's
+    # snapshot keeps its exact pre-membership shape.
+    if getattr(frontend.deployment, "membership", None) is not None:
+        family = metrics.counter(
+            "repro_service_unreachable_total",
+            "Requests abandoned as permanently unreachable, by kind.",
+            labelnames=("kind",),
+        )
+        for kind in sorted(frontend.unreachable):
+            family.labels(kind).inc(frontend.unreachable[kind])
     metrics.gauge(
         "repro_service_in_flight",
         "Operations still in flight at collection time.",

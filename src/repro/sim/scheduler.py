@@ -198,27 +198,52 @@ class Scheduler:
         it, repeating events keep the queue non-empty forever, so runs
         driving them must bound themselves with ``until`` / ``max_events``
         / ``stop_when``.
+
+        Occurrence times are computed as ``base + i * interval`` (not by
+        repeatedly adding ``interval``), and an occurrence that overshoots
+        the horizon by at most ``interval * 1e-9`` — float representation
+        drift, e.g. ``0.2 + 2 * 0.2 > 0.6`` — is snapped to fire exactly
+        at ``t == until``.  An event landing on the horizon therefore
+        fires exactly once, deterministically, on both kernel backends;
+        before this rule such occurrences were silently dropped.
         """
         if interval <= 0:
             raise SchedulerError(
                 f"repeating interval must be positive, got {interval}"
             )
         handle = RepeatingHandle()
+        delay = interval if first_delay is None else first_delay
+        base = self._now + delay
+        tolerance = interval * 1e-9
+        count = 0
+
+        def occurrence(index: int) -> Optional[float]:
+            """Time of occurrence ``index``, None once past the horizon."""
+            time = base + index * interval
+            if until is not None and time > until:
+                return until if time - until <= tolerance else None
+            return time
 
         def fire() -> None:
+            nonlocal count
             if handle.cancelled:
                 return
-            if until is None or self._now + interval <= until:
-                handle._current = self.schedule(interval, fire)
+            count += 1
+            next_time = occurrence(count)
+            if next_time is not None:
+                handle._current = self.schedule_at(next_time, fire)
             else:
                 handle.cancelled = True
             callback(*args)
 
-        delay = interval if first_delay is None else first_delay
-        if until is not None and self._now + delay > until:
+        first_time = occurrence(0)
+        if first_time is None:
             handle.cancelled = True
             return handle
-        handle._current = self.schedule(delay, fire)
+        if first_time != base:
+            handle._current = self.schedule_at(first_time, fire)
+        else:
+            handle._current = self.schedule(delay, fire)
         return handle
 
     def stop(self) -> None:

@@ -469,6 +469,145 @@ def test_cancel_requeue_churn_is_event_for_event_identical():
         assert expected == got, f"traces diverge at event {index}"
 
 
+# --------------------------------------------------------------------- #
+# Golden membership trace (one join + one retire, both backends)
+# --------------------------------------------------------------------- #
+
+# Captured on the pure-python kernel at the introduction of dynamic
+# membership.  The workload reconfigures mid-flight: roster index 4
+# joins at t=6 (state transfer from a read quorum of view 0, the
+# state_request/state_reply pairs below), and index 0 retires at t=14
+# (drains for 4 time units, then stops appearing in quorums).  The
+# native backend has no C support for the view-stamped message types —
+# its protocol cores recognise the four plain NamedTuples by exact type
+# and fall back to the Python handlers per message — so this trace doubles
+# as the regression test that the fallback is byte-exact.
+GOLDEN_MEMBERSHIP_TRACE = [
+    (1, 0.327884676, "write_update", 4, 0),
+    (2, 0.337857094, "write_ack", 0, 4),
+    (3, 4.388070745, "write_update", 4, 2),
+    (4, 4.85871208, "write_ack", 2, 4),
+    (5, 4.872343753, "read_query", 4, 1),
+    (6, 5.0507385, "read_reply", 1, 4),
+    (8, 6.230303966, "state_request", 5, 0),
+    (9, 6.635218382, "read_query", 4, 2),
+    (10, 6.722887836, "read_reply", 2, 4),
+    (11, 6.821792594, "state_request", 5, 1),
+    (12, 7.158487165, "write_update", 4, 2),
+    (13, 7.661951381, "write_ack", 2, 4),
+    (14, 7.705471716, "write_update", 4, 0),
+    (15, 7.726997043, "state_reply", 1, 5),
+    (16, 8.206023245, "state_reply", 0, 5),
+    (17, 8.249400017, "write_ack", 0, 4),
+    (18, 8.837252614, "read_query", 4, 1),
+    (19, 9.329461722, "read_query", 4, 0),
+    (20, 10.150264623, "read_reply", 0, 4),
+    (21, 10.595428818, "read_reply", 1, 4),
+    (22, 11.053287231, "write_update", 4, 2),
+    (23, 11.609162073, "write_update", 4, 3),
+    (24, 11.889826958, "write_ack", 3, 4),
+    (26, 14.02369983, "write_ack", 2, 4),
+    (27, 14.048366863, "read_query", 4, 3),
+    (28, 15.2257135, "read_query", 4, 2),
+    (29, 15.485896673, "read_reply", 3, 4),
+    (30, 17.342462977, "read_reply", 2, 4),
+    (31, 17.865654691, "write_update", 4, 3),
+    (33, 19.471058273, "write_ack", 3, 4),
+    (34, 21.173036104, "write_update", 4, 1),
+    (35, 21.633507807, "write_ack", 1, 4),
+    (36, 21.698924343, "read_query", 4, 3),
+    (37, 21.877016963, "read_reply", 3, 4),
+    (38, 21.947576141, "read_query", 4, 5),
+    (39, 22.134825013, "read_reply", 5, 4),
+    (40, 22.363962736, "write_update", 4, 1),
+    (41, 22.981283079, "write_ack", 1, 4),
+    (42, 25.040334891, "write_update", 4, 5),
+    (43, 25.169620181, "write_ack", 5, 4),
+    (44, 25.770004618, "read_query", 4, 3),
+    (45, 26.049556671, "read_query", 4, 5),
+    (46, 26.600581357, "read_reply", 3, 4),
+    (47, 26.609997058, "read_reply", 5, 4),
+]
+
+
+def _capture_membership_trace():
+    """One join + one retire under seeded single-client traffic."""
+    from repro.membership import MembershipSchedule
+
+    deployment = RegisterDeployment(
+        ProbabilisticQuorumSystem(4, 2),
+        num_clients=1,
+        delay_model=ExponentialDelay(1.0),
+        seed=424,
+        record_history=False,
+    )
+    deployment.declare_register("g", writer=0)
+    schedule = MembershipSchedule().join(6.0, [4]).leave(14.0, [0])
+    manager = deployment.install_membership(schedule, drain=4.0)
+
+    trace = []
+    network = deployment.network
+    original_deliver = network._deliver
+
+    def recording_deliver(src, dst, message, kind):
+        trace.append(
+            (
+                deployment.scheduler.events_processed,
+                round(deployment.scheduler.now, 9),
+                kind,
+                src,
+                dst,
+            )
+        )
+        original_deliver(src, dst, message, kind)
+
+    network._deliver = recording_deliver
+
+    state = {"ops": 0}
+    client = deployment.clients[0]
+
+    def issue(_future=None):
+        n = state["ops"]
+        if n >= 10:
+            return
+        state["ops"] = n + 1
+        if n % 2 == 0:
+            future = client.write("g", n)
+        else:
+            future = client.read("g")
+        future.add_callback(issue)
+
+    issue()
+    deployment.run()
+    return trace, manager, deployment
+
+
+def test_golden_membership_trace_is_unchanged(kernel_backend):
+    """Join + retire deliver the exact golden sequence on both backends.
+
+    Parametrized over python and native: the native cores must hand every
+    view-stamped message (and the transfer protocol) to the Python
+    handlers without perturbing event order, times or RNG streams.
+    """
+    trace, manager, deployment = _capture_membership_trace()
+    assert trace == GOLDEN_MEMBERSHIP_TRACE
+    assert manager.view_sizes() == [(0, 4, 2), (1, 5, 2), (2, 4, 2)]
+    assert manager.state_transfers_completed == 1
+    assert manager.state_transfers_incomplete == 0
+    assert deployment.pending_ops == 0
+    assert deployment.hung_ops == 0
+
+
+@needs_native
+def test_membership_backends_agree_in_one_process():
+    """Both backends, back to back in one interpreter, byte-identical."""
+    with kernel.use_backend("python"):
+        trace_python, _, _ = _capture_membership_trace()
+    with kernel.use_backend("native"):
+        trace_native, _, _ = _capture_membership_trace()
+    assert trace_python == trace_native == GOLDEN_MEMBERSHIP_TRACE
+
+
 def test_broadcast_matches_serial_sends():
     """broadcast(src, dsts, m) consumes the streams exactly like a loop
     of send() calls: same deliveries at the same times."""

@@ -303,3 +303,55 @@ def test_pending_mass_cancel_then_requeue(scheduler):
     assert scheduler.pending == 0
     scheduler.run()
     assert scheduler.pending == 0
+
+
+class TestRepeatingHorizonBoundary:
+    """schedule_repeating(until=...) must include an occurrence landing
+    exactly at the horizon — once, deterministically (the rule view
+    installs at sweep boundaries rely on)."""
+
+    def test_integer_multiple_fires_at_horizon(self, scheduler):
+        fired = []
+        scheduler.schedule_repeating(
+            5.0, lambda: fired.append(scheduler.now), until=10.0
+        )
+        scheduler.run()
+        assert fired == [5.0, 10.0]
+
+    def test_first_delay_exactly_at_horizon_fires_once(self, scheduler):
+        fired = []
+        scheduler.schedule_repeating(
+            5.0, lambda: fired.append(scheduler.now),
+            first_delay=10.0, until=10.0,
+        )
+        scheduler.run()
+        assert fired == [10.0]
+
+    def test_float_drift_occurrence_snapped_to_horizon(self, scheduler):
+        # 0.2 + 2 * 0.2 overshoots 0.6 by one ulp; the occurrence used to
+        # be dropped entirely.  It must fire, at exactly t == until.
+        fired = []
+        scheduler.schedule_repeating(
+            0.2, lambda: fired.append(scheduler.now), until=0.6
+        )
+        scheduler.run()
+        assert fired == [0.2, 0.4, 0.6]
+        assert fired[-1] == 0.6  # snapped, not 0.6000000000000001
+
+    def test_genuine_overshoot_still_excluded(self, scheduler):
+        fired = []
+        scheduler.schedule_repeating(
+            2.0, lambda: fired.append(scheduler.now), until=7.0
+        )
+        scheduler.run()
+        assert fired == [2.0, 4.0, 6.0]
+
+    def test_past_horizon_never_fires(self, scheduler):
+        fired = []
+        handle = scheduler.schedule_repeating(
+            2.0, lambda: fired.append(scheduler.now),
+            first_delay=8.0, until=7.0,
+        )
+        scheduler.run()
+        assert fired == []
+        assert handle.cancelled
